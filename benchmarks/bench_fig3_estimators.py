@@ -1,0 +1,83 @@
+"""Fig. 3 — recall and overall ratio of the four distance estimators
+(L2, L1, QD, Rand) as the candidate budget T grows.
+
+Protocol (§3.2): sample a Trevi-like dataset, take query points, compute
+exact 100-NN; for each estimator rank all points by estimated distance to
+the query in the m = 15 projected space, keep the top-T, and measure how
+well the exact 100-NN are recovered (recall) and approximated (ratio) by
+the best 100 of those T.
+
+Reproduced shape: L2 (the paper's estimator, Lemma 2) dominates L1 and QD;
+Rand is the floor.  All estimators improve with T.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimation import DistanceEstimator, EstimatorKind
+from repro.core.hashing import GaussianProjection
+from repro.evaluation.metrics import overall_ratio, recall
+from repro.evaluation.tables import format_series
+
+from conftest import bench_queries
+
+K_EXACT = 100
+T_VALUES = [100, 200, 400, 600, 800, 1000, 1400, 2000]
+M = 15
+
+
+def test_fig3_estimators(cache, write_result, benchmark):
+    workload = cache.workload("Trevi", n=4000)
+    ground_truth = cache.ground_truth("Trevi", k_max=K_EXACT, n=4000)
+    projection = GaussianProjection(workload.d, M, seed=11)
+    projected = projection.project(workload.data)
+    projected_queries = projection.project(workload.queries)
+    series_recall = {kind.value: [] for kind in EstimatorKind}
+    series_ratio = {kind.value: [] for kind in EstimatorKind}
+
+    def sweep():
+        for kind in EstimatorKind:
+            series_recall[kind.value].clear()
+            series_ratio[kind.value].clear()
+            estimator = DistanceEstimator(projected, kind=kind, seed=12)
+            # Rank once per query with the largest T; prefixes give all Ts.
+            per_query_rankings = [
+                estimator.top(projected_queries[i], max(T_VALUES))
+                for i in range(workload.queries.shape[0])
+            ]
+            for t in T_VALUES:
+                recalls, ratios = [], []
+                for i in range(workload.queries.shape[0]):
+                    candidates = per_query_rankings[i][:t]
+                    true_dists = np.linalg.norm(
+                        workload.data[candidates] - workload.queries[i], axis=1
+                    )
+                    order = np.argsort(true_dists, kind="stable")[:K_EXACT]
+                    result_ids = candidates[order]
+                    result_dists = true_dists[order]
+                    exact_ids, exact_dists = ground_truth.for_query(i, K_EXACT)
+                    recalls.append(recall(result_ids, exact_ids))
+                    ratios.append(overall_ratio(result_dists, exact_dists, k=K_EXACT))
+                series_recall[kind.value].append(float(np.mean(recalls)))
+                series_ratio[kind.value].append(float(np.mean(ratios)))
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_series(
+        "Fig 3(a): Recall of estimators vs T",
+        "T", T_VALUES, series_recall,
+    ) + "\n" + format_series(
+        "Fig 3(b): Overall ratio of estimators vs T",
+        "T", T_VALUES, series_ratio,
+        note="Paper shape: L2 dominates on both metrics for every T.",
+    )
+    write_result("fig3_estimators", text)
+
+    # Shape: L2 >= each competitor on recall, <= on ratio, at every T.
+    for i, _ in enumerate(T_VALUES):
+        for other in ("L1", "QD", "Rand"):
+            assert series_recall["L2"][i] >= series_recall[other][i] - 0.02, other
+            assert series_ratio["L2"][i] <= series_ratio[other][i] + 0.002, other
+    # Everyone improves with T.
+    for kind in ("L2", "L1", "QD"):
+        assert series_recall[kind][-1] >= series_recall[kind][0]

@@ -1,0 +1,80 @@
+"""Figs. 7–9 — query time / recall / overall ratio as k varies, on the
+Cifar, Deep and Trevi emulations, for all six algorithms.
+
+Reproduced shapes (§6.2, "Effect of k"):
+
+* query time is roughly flat in k (the candidate budget βn + k barely
+  moves);
+* ratio drifts up and recall drifts down slightly as k grows;
+* PM-LSH keeps the best quality profile across the sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import run_query_set
+from repro.evaluation.tables import format_series
+
+from conftest import algorithm_factories
+
+K_VALUES = [1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+DATASETS = ["Cifar", "Deep", "Trevi"]
+
+
+def test_fig7_9_vary_k(cache, write_result, benchmark):
+    factories = algorithm_factories()
+    tables = []
+    summary = {}
+
+    def sweep():
+        tables.clear()
+        for dataset in DATASETS:
+            workload = cache.workload(dataset)
+            ground_truth = cache.ground_truth(dataset, k_max=max(K_VALUES))
+            indexes = {
+                name: make(workload.data).build() for name, make in factories.items()
+            }
+            times = {name: [] for name in factories}
+            recalls = {name: [] for name in factories}
+            ratios = {name: [] for name in factories}
+            for k in K_VALUES:
+                for name, index in indexes.items():
+                    result = run_query_set(index, workload.queries, k, ground_truth)
+                    times[name].append(result.query_time_ms)
+                    recalls[name].append(result.recall)
+                    ratios[name].append(result.overall_ratio)
+            summary[dataset] = (times, recalls, ratios)
+            tables.append(
+                format_series(
+                    f"Fig 7-9 ({dataset}): query time (ms) vs k", "k", K_VALUES, times
+                )
+            )
+            tables.append(
+                format_series(
+                    f"Fig 7-9 ({dataset}): recall vs k", "k", K_VALUES, recalls
+                )
+            )
+            tables.append(
+                format_series(
+                    f"Fig 7-9 ({dataset}): overall ratio vs k", "k", K_VALUES, ratios
+                )
+            )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_result("fig7_9_vary_k", "\n".join(tables))
+
+    for dataset in DATASETS:
+        times, recalls, ratios = summary[dataset]
+        # PM-LSH quality stays at the front of the pack at the default k=50.
+        at_k50 = K_VALUES.index(50)
+        pm_ratio = ratios["PM-LSH"][at_k50]
+        for other in ("SRS", "Multi-Probe", "LScan"):
+            assert pm_ratio <= ratios[other][at_k50] + 5e-3, (dataset, other)
+        # Query time roughly flat in k for PM-LSH (paper: "relatively
+        # steady"): the k=100 time is within a small factor of the k=10 one.
+        assert times["PM-LSH"][K_VALUES.index(100)] < 3.0 * max(
+            times["PM-LSH"][K_VALUES.index(10)], 0.1
+        ), dataset
+        # Ratio does not improve as k grows (weakly increasing trend).
+        assert ratios["PM-LSH"][-1] >= ratios["PM-LSH"][0] - 5e-3, dataset

@@ -1,0 +1,112 @@
+"""Table 2 — estimated computation cost (CC) of PM-tree vs R-tree.
+
+Reproduces §4.2's model comparison: both trees are built over the m = 15
+dimensional projection of every emulated dataset with node capacity 16, the
+query radius is chosen to return ~8 % of the points, and the expected
+number of distance computations is evaluated with Eqs. 6–7 (PM-tree) and
+Eq. 9 (R-tree).  The paper reports reductions of 5–46 %; the reproduced
+shape to check is `PM-tree CC < R-tree CC` on every dataset.
+
+An empirical pair of columns measures the live distance-computation
+counters on the same range queries, validating the model against reality
+(the in-text claim accompanying Table 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import GaussianProjection
+from repro.costmodel import (
+    compare_trees,
+    pm_tree_computation_cost,
+    r_tree_computation_cost,
+    selectivity_radius,
+)
+from repro.datasets import MarginalDistribution, sample_distance_distribution
+from repro.datasets.registry import available_datasets
+from repro.evaluation.tables import format_table
+from repro.pmtree import PMTree
+from repro.rtree import RTree
+
+#: Paper's Table 2 settings.
+M_PROJECTIONS = 15
+NODE_CAPACITY = 16
+SELECTIVITY = 0.08
+
+#: Paper-reported reductions for reference in the output table.
+PAPER_REDUCTION = {
+    "Audio": 0.06, "Cifar": 0.36, "MNIST": 0.04, "Trevi": 0.46,
+    "NUS": 0.20, "GIST": 0.17, "Deep": 0.05,
+}
+
+
+def _build_setup(cache, name):
+    workload = cache.workload(name)
+    projection = GaussianProjection(workload.d, M_PROJECTIONS, seed=3)
+    projected = projection.project(workload.data)
+    pm_tree = PMTree.build(projected, num_pivots=5, capacity=NODE_CAPACITY, seed=4)
+    r_tree = RTree.build(projected, capacity=NODE_CAPACITY)
+    distribution = sample_distance_distribution(projected, num_pairs=30_000, seed=5)
+    marginals = MarginalDistribution.from_points(projected)
+    radius = selectivity_radius(distribution, SELECTIVITY)
+    return projected, pm_tree, r_tree, distribution, marginals, radius
+
+
+def test_table2_costmodel(cache, write_result, benchmark):
+    rows = []
+    all_reductions = {}
+    setups = {name: _build_setup(cache, name) for name in available_datasets()}
+
+    def evaluate_models():
+        rows.clear()
+        for name, (projected, pm_tree, r_tree, distribution, marginals, radius) in setups.items():
+            comparison = compare_trees(
+                name, pm_tree, r_tree, distribution, marginals, radius
+            )
+            # Empirical counters on live range queries at the same radius.
+            rng = np.random.default_rng(6)
+            pm_tree.reset_counters()
+            r_tree.reset_counters()
+            trials = 10
+            for _ in range(trials):
+                query = projected[rng.integers(0, projected.shape[0])]
+                pm_tree.range_query(query, radius)
+                r_tree.range_query(query, radius)
+            measured_pm = pm_tree.distance_computations / trials
+            measured_rt = r_tree.distance_computations / trials
+            all_reductions[name] = comparison.reduction
+            rows.append(
+                [
+                    name,
+                    comparison.pm_tree_cost,
+                    comparison.r_tree_cost,
+                    f"{comparison.reduction:.0%}",
+                    measured_pm,
+                    measured_rt,
+                    f"{1 - measured_pm / max(measured_rt, 1e-9):.0%}",
+                    f"{PAPER_REDUCTION[name]:.0%}",
+                ]
+            )
+        return rows
+
+    benchmark.pedantic(evaluate_models, rounds=1, iterations=1)
+    table = format_table(
+        "Table 2: Computation Cost (CC) of PM-tree and R-tree",
+        [
+            "Dataset", "PM-tree CC", "R-tree CC", "Model reduction",
+            "PM measured", "R measured", "Measured reduction", "Paper reduction",
+        ],
+        rows,
+        note=(
+            "Model columns: Eqs. 6-7 vs Eq. 9 at ~8% selectivity, capacity "
+            f"{NODE_CAPACITY}, m={M_PROJECTIONS}.  Measured columns: live "
+            "distance-computation counters on the same range queries."
+        ),
+    )
+    write_result("table2_costmodel", table)
+
+    # Shape check: PM-tree is cheaper on every dataset (paper: 5-46%).
+    for name, reduction in all_reductions.items():
+        assert reduction > 0.0, f"PM-tree not cheaper on {name}"

@@ -1,0 +1,105 @@
+"""Shared benchmark fixtures.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_N`` — points per emulated dataset (default 2000).
+* ``REPRO_BENCH_QUERIES`` — queries per workload (default 15).
+
+Every bench writes its paper-style table to ``results/<bench>.txt`` and
+registers at least one timed region with pytest-benchmark, so
+``pytest benchmarks/ --benchmark-only`` both regenerates the tables and
+reports timings.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Dict
+
+import numpy as np
+import pytest
+
+from repro import (
+    LinearScan,
+    MultiProbeLSH,
+    PMLSH,
+    PMLSHParams,
+    QALSH,
+    RLSH,
+    SRS,
+)
+from repro.datasets import Workload, load_dataset
+from repro.evaluation import GroundTruth, compute_ground_truth
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_n() -> int:
+    return int(os.environ.get("REPRO_BENCH_N", "2000"))
+
+
+def bench_queries() -> int:
+    return int(os.environ.get("REPRO_BENCH_QUERIES", "15"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_result(results_dir: Path) -> Callable[[str, str], None]:
+    def _write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text)
+        print()
+        print(text)
+
+    return _write
+
+
+class WorkloadCache:
+    """Builds each emulated workload and its ground truth at most once."""
+
+    def __init__(self) -> None:
+        self._workloads: Dict[str, Workload] = {}
+        self._ground_truth: Dict[tuple, GroundTruth] = {}
+
+    def workload(self, name: str, n: int | None = None) -> Workload:
+        size = n if n is not None else bench_n()
+        key = f"{name}:{size}"
+        if key not in self._workloads:
+            self._workloads[key] = load_dataset(
+                name, n=size, num_queries=bench_queries(), seed=1
+            )
+        return self._workloads[key]
+
+    def ground_truth(self, name: str, k_max: int, n: int | None = None) -> GroundTruth:
+        size = n if n is not None else bench_n()
+        key = (name, size, k_max)
+        if key not in self._ground_truth:
+            wl = self.workload(name, n=size)
+            self._ground_truth[key] = compute_ground_truth(wl.data, wl.queries, k_max)
+        return self._ground_truth[key]
+
+
+@pytest.fixture(scope="session")
+def cache() -> WorkloadCache:
+    return WorkloadCache()
+
+
+#: Factory per §6.1 competitor, keyed by the paper's algorithm name.
+def algorithm_factories(
+    c: float = 1.5, node_capacity: int = 128
+) -> Dict[str, Callable[[np.ndarray], object]]:
+    params = PMLSHParams(c=c, node_capacity=node_capacity)
+    return {
+        "PM-LSH": lambda data: PMLSH(data, params=params, seed=7),
+        "SRS": lambda data: SRS(data, c=c, seed=7),
+        "QALSH": lambda data: QALSH(data, c=c, seed=7),
+        "Multi-Probe": lambda data: MultiProbeLSH(data, seed=7),
+        "R-LSH": lambda data: RLSH(data, params=params, seed=7),
+        "LScan": lambda data: LinearScan(data, portion=0.7, seed=7),
+    }

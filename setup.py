@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+Lets ``pip install -e .`` fall back to the legacy ``setup.py develop``
+editable path (PEP 660 editable builds require `wheel`, which may be
+unavailable offline).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""PM-LSH: a fast and accurate LSH framework for high-dimensional
+approximate nearest-neighbour search.
+
+A from-scratch Python reproduction of Zheng et al., PVLDB 13(5), 2020
+(DOI 10.14778/3377369.3377374).  The package provides:
+
+* :class:`~repro.core.pmlsh.PMLSH` — the paper's index (Algorithms 1–2);
+* every baseline it is evaluated against (:mod:`repro.baselines`);
+* the substrates: PM-tree (:mod:`repro.pmtree`), R-tree
+  (:mod:`repro.rtree`), B+-tree (:mod:`repro.bptree`);
+* synthetic dataset emulations and hardness statistics
+  (:mod:`repro.datasets`);
+* the §4.2 cost models (:mod:`repro.costmodel`) and the §6 evaluation
+  harness (:mod:`repro.evaluation`).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import PMLSH
+>>> data = np.random.default_rng(0).normal(size=(2000, 128))
+>>> index = PMLSH(data, seed=42).build()
+>>> result = index.query(data[7] + 0.01, k=10)
+>>> result.ids.shape
+(10,)
+"""
+
+from repro.baselines import (
+    ANNIndex,
+    C2LSH,
+    E2LSH,
+    ExactKNN,
+    LSBForest,
+    LinearScan,
+    MultiProbeLSH,
+    QALSH,
+    QueryResult,
+    RLSH,
+    SRS,
+)
+from repro.core import (
+    GaussianProjection,
+    LSHFunction,
+    PMLSH,
+    PMLSHParams,
+    solve_parameters,
+)
+from repro.datasets import load_dataset
+from repro.pmtree import PMTree
+from repro.rtree import RTree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANNIndex",
+    "C2LSH",
+    "E2LSH",
+    "ExactKNN",
+    "GaussianProjection",
+    "LSBForest",
+    "LSHFunction",
+    "LinearScan",
+    "MultiProbeLSH",
+    "PMLSH",
+    "PMLSHParams",
+    "PMTree",
+    "QALSH",
+    "QueryResult",
+    "RLSH",
+    "RTree",
+    "SRS",
+    "__version__",
+    "load_dataset",
+    "solve_parameters",
+]

@@ -1,0 +1,98 @@
+"""The common interface every ANN algorithm in this library implements."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one (c, k)-ANN query.
+
+    ``ids`` and ``distances`` are parallel arrays sorted by ascending
+    distance (original space).  ``stats`` carries per-query diagnostics —
+    candidates verified, range-query rounds, distance computations — used by
+    the harness and the ablation benches.
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        ids = np.asarray(self.ids, dtype=np.int64)
+        distances = np.asarray(self.distances, dtype=np.float64)
+        if ids.shape != distances.shape or ids.ndim != 1:
+            raise ValueError(
+                f"ids and distances must be matching 1-D arrays, got {ids.shape} / {distances.shape}"
+            )
+        object.__setattr__(self, "ids", ids)
+        object.__setattr__(self, "distances", distances)
+
+    def __len__(self) -> int:
+        return int(self.ids.size)
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: List[Tuple[int, float]], stats: Dict[str, float] | None = None
+    ) -> "QueryResult":
+        """Build from ``(id, distance)`` pairs, sorting by distance."""
+        pairs = sorted(pairs, key=lambda pair: pair[1])
+        ids = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        distances = np.asarray([p[1] for p in pairs], dtype=np.float64)
+        return cls(ids=ids, distances=distances, stats=stats or {})
+
+
+class ANNIndex(abc.ABC):
+    """Abstract (c, k)-ANN index over a fixed dataset.
+
+    Implementations receive the dataset at construction and become
+    queryable after :meth:`build`.  ``query`` returns the approximate k
+    nearest neighbours by *original-space* distance.
+    """
+
+    #: Human-readable algorithm name (used in result tables).
+    name: str = "ANNIndex"
+
+    def __init__(self, data: np.ndarray) -> None:
+        data = np.ascontiguousarray(np.asarray(data, dtype=np.float64))
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError(f"data must be a non-empty 2-D array, got shape {data.shape}")
+        self.data = data
+        self._built = False
+
+    @property
+    def n(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def d(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def is_built(self) -> bool:
+        return self._built
+
+    @abc.abstractmethod
+    def build(self) -> "ANNIndex":
+        """Construct the index; returns self for chaining."""
+
+    @abc.abstractmethod
+    def query(self, q: np.ndarray, k: int) -> QueryResult:
+        """Approximate k nearest neighbours of *q*."""
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise RuntimeError(f"{self.name}: call build() before query()")
+
+    def _validate_query(self, q: np.ndarray, k: int) -> np.ndarray:
+        q = np.asarray(q, dtype=np.float64)
+        if q.shape != (self.d,):
+            raise ValueError(f"query must have shape ({self.d},), got {q.shape}")
+        if not 1 <= k <= self.n:
+            raise ValueError(f"k must be in [1, {self.n}], got {k}")
+        return q

@@ -1,0 +1,37 @@
+"""Brute-force exact kNN — the ground-truth oracle for recall and ratio."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import ANNIndex, QueryResult
+from repro.datasets.distance import chunked_knn
+
+
+class ExactKNN(ANNIndex):
+    """Exact k nearest neighbours by blocked brute force.
+
+    Not a competitor in the paper's tables; the harness uses it to compute
+    the exact kNN sets that recall (Eq. 12) and overall ratio (Eq. 11)
+    are defined against.
+    """
+
+    name = "Exact"
+
+    def build(self) -> "ExactKNN":
+        self._built = True
+        return self
+
+    def query(self, q: np.ndarray, k: int) -> QueryResult:
+        self._require_built()
+        q = self._validate_query(q, k)
+        ids, dists = chunked_knn(q[None, :], self.data, k)
+        return QueryResult(ids=ids[0], distances=dists[0], stats={"candidates": float(self.n)})
+
+    def query_batch(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised multi-query path used for ground-truth caching."""
+        self._require_built()
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.shape[1] != self.d:
+            raise ValueError(f"queries must have dimension {self.d}, got {queries.shape[1]}")
+        return chunked_knn(queries, self.data, k)

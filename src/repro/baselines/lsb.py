@@ -1,0 +1,161 @@
+"""LSB-Forest: Z-order-encoded LSH over B-trees (Tao et al., SIGMOD'09).
+
+One of the radius-enlarging methods of §3.1.  Each tree in the forest
+draws m bucketed p-stable hashes, views the m bucket ids of a point as an
+integer grid coordinate, assigns the coordinate a Z-order (Morton) value,
+and stores ``(z-value, point id)`` in a B-tree.  A query walks a
+bidirectional cursor outward from its own z-value: points nearby in
+Z-order share long bucket-id prefixes, so they are likely hash collisions
+at coarse radii — the Z-order walk *is* the virtual rehashing.
+
+Per the paper's taxonomy (§3.2) the LSB-tree estimates distances at
+bucket-to-bucket granularity, which caps its accuracy; the forest of L
+trees compensates by union-ing candidates over independent hash draws.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.baselines.base import ANNIndex, QueryResult
+from repro.bptree.tree import BPlusTree
+from repro.core.hashing import LSHFunction
+from repro.datasets.distance import point_to_points_distances
+from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.utils.zorder import interleave_bits, zorder_values
+
+
+class LSBForest(ANNIndex):
+    """A forest of LSB-trees.
+
+    Parameters
+    ----------
+    num_trees:
+        Forest size L (the paper sets L from the dataset's page geometry;
+        here a small constant suffices).
+    m:
+        Bucketed hashes per tree (the Z-order dimensionality).
+    w:
+        Bucket width; ``None`` calibrates to the projection spread.
+    budget_fraction:
+        Candidates verified per query, as a fraction of n (split across
+        the trees' cursor walks).
+    """
+
+    name = "LSB-Forest"
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        num_trees: int = 4,
+        m: int = 8,
+        w: float | None = None,
+        budget_fraction: float = 0.12,
+        bptree_order: int = 64,
+        seed: RandomState = None,
+    ) -> None:
+        super().__init__(data)
+        if num_trees <= 0:
+            raise ValueError(f"num_trees must be positive, got {num_trees}")
+        if w is not None and w <= 0:
+            raise ValueError(f"bucket width w must be positive, got {w}")
+        if not 0.0 < budget_fraction <= 1.0:
+            raise ValueError(f"budget_fraction must be in (0, 1], got {budget_fraction}")
+        self.num_trees = num_trees
+        self.m = m
+        self.w = None if w is None else float(w)
+        self.budget_fraction = float(budget_fraction)
+        self.bptree_order = bptree_order
+        self._rng = as_generator(seed)
+        self._functions: List[LSHFunction] = []
+        self._trees: List[BPlusTree] = []
+        self._grid_mins: List[np.ndarray] = []
+        self._bits: List[int] = []
+
+    def _calibrated_width(self) -> float:
+        sample_size = min(self.n, 1024)
+        sample = self.data[self._rng.choice(self.n, size=sample_size, replace=False)]
+        directions = self._rng.normal(size=(8, self.d))
+        spreads = (sample @ directions.T).std(axis=0)
+        return max(2.0 * float(np.median(spreads)), 1e-12)
+
+    def build(self) -> "LSBForest":
+        if self.w is None:
+            self.w = self._calibrated_width()
+        self._functions = [
+            LSHFunction(self.d, self.m, w=self.w, seed=child)
+            for child in spawn_generators(self._rng, self.num_trees)
+        ]
+        self._trees = []
+        self._grid_mins = []
+        self._bits = []
+        for function in self._functions:
+            grid = function.bucketize(self.data)  # (n, m) ints
+            grid_min = grid.min(axis=0)
+            shifted = grid - grid_min
+            bits = max(1, int(shifted.max()).bit_length() + 1)  # +1 headroom for queries
+            z_values = zorder_values(shifted, bits=bits)
+            self._trees.append(
+                BPlusTree.from_items(zip(z_values, range(self.n)), order=self.bptree_order)
+            )
+            self._grid_mins.append(grid_min)
+            self._bits.append(bits)
+        self._built = True
+        return self
+
+    def _query_zvalue(self, tree_index: int, q: np.ndarray) -> int:
+        # Shift by the same per-dimension minimum used at build time (NOT
+        # zorder_values, which would re-shift a single row to the origin).
+        grid = np.atleast_1d(self._functions[tree_index].bucketize(q))
+        shifted = np.clip(grid - self._grid_mins[tree_index], 0, None)
+        limit = (1 << self._bits[tree_index]) - 1
+        shifted = np.minimum(shifted, limit)
+        return interleave_bits([int(v) for v in shifted], bits=self._bits[tree_index])
+
+    def query(self, q: np.ndarray, k: int) -> QueryResult:
+        self._require_built()
+        q = self._validate_query(q, k)
+        budget = max(k, int(math.ceil(self.budget_fraction * self.n)))
+        per_tree = max(k, budget // self.num_trees)
+        seen: set = set()
+        candidates: List[int] = []
+        for tree_index, tree in enumerate(self._trees):
+            z_query = self._query_zvalue(tree_index, q)
+            cursor = tree.cursor(z_query)
+            taken = 0
+            # Alternate the cursor outward: the entries nearest in Z-order
+            # are the likeliest hash collisions at the coarsest radii.
+            while taken < per_tree:
+                left = cursor.peek_left()
+                right = cursor.peek_right()
+                if left is None and right is None:
+                    break
+                if right is None or (
+                    left is not None and (z_query - left[0]) <= (right[0] - z_query)
+                ):
+                    entry = cursor.move_left()
+                else:
+                    entry = cursor.move_right()
+                taken += 1
+                point_id = entry[1]
+                if point_id not in seen:
+                    seen.add(point_id)
+                    candidates.append(point_id)
+        if not candidates:
+            candidates = list(
+                self._rng.choice(self.n, size=min(self.n, 4 * k), replace=False)
+            )
+        ids = np.asarray(candidates, dtype=np.int64)
+        dists = point_to_points_distances(q, self.data[ids])
+        k_eff = min(k, ids.size)
+        part = np.argpartition(dists, k_eff - 1)[:k_eff]
+        order = np.argsort(dists[part], kind="stable")
+        chosen = part[order]
+        return QueryResult(
+            ids=ids[chosen],
+            distances=dists[chosen],
+            stats={"candidates": float(ids.size)},
+        )

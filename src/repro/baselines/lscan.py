@@ -1,0 +1,53 @@
+"""LScan: linear scan over a random portion of the dataset (§6.1).
+
+The paper's sanity baseline: select a fixed fraction (default 70 %) of the
+points uniformly at random at build time and answer every query by scanning
+that subset.  Fast to build, dimension-proof, but pays a full scan per query
+and misses any neighbour outside the retained portion — which is exactly the
+recall ceiling (~0.7) Table 4 shows for it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import ANNIndex, QueryResult
+from repro.datasets.distance import point_to_points_distances
+from repro.utils.rng import RandomState, as_generator
+
+
+class LinearScan(ANNIndex):
+    """Scan a random ``portion`` of the points for every query."""
+
+    name = "LScan"
+
+    def __init__(
+        self, data: np.ndarray, portion: float = 0.7, seed: RandomState = None
+    ) -> None:
+        super().__init__(data)
+        if not 0.0 < portion <= 1.0:
+            raise ValueError(f"portion must be in (0, 1], got {portion}")
+        self.portion = float(portion)
+        self._rng = as_generator(seed)
+        self._subset: np.ndarray | None = None
+
+    def build(self) -> "LinearScan":
+        size = max(1, int(round(self.portion * self.n)))
+        self._subset = np.sort(self._rng.choice(self.n, size=size, replace=False))
+        self._built = True
+        return self
+
+    def query(self, q: np.ndarray, k: int) -> QueryResult:
+        self._require_built()
+        q = self._validate_query(q, k)
+        subset = self._subset
+        dists = point_to_points_distances(q, self.data[subset])
+        k_eff = min(k, subset.size)
+        part = np.argpartition(dists, k_eff - 1)[:k_eff]
+        order = np.argsort(dists[part], kind="stable")
+        chosen = part[order]
+        return QueryResult(
+            ids=subset[chosen],
+            distances=dists[chosen],
+            stats={"candidates": float(subset.size)},
+        )

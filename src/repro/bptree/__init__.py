@@ -1,0 +1,12 @@
+"""B+-tree substrate.
+
+QALSH (§3.1) indexes the 1-D projections ``h*(o) = a·o`` of all points, one
+B+-tree per hash function, and answers queries by expanding a width-
+``w·r/2`` window around the query's projection ("virtual rehashing").  This
+package provides the tree: an order-configurable B+-tree with chained
+leaves, duplicate-key support, range scans, and bidirectional cursors.
+"""
+
+from repro.bptree.tree import BPlusTree, Cursor
+
+__all__ = ["BPlusTree", "Cursor"]

@@ -1,0 +1,36 @@
+"""Core PM-LSH: the paper's primary contribution.
+
+* :mod:`repro.core.hashing` — p-stable Gaussian projections (Eqs. 1–3).
+* :mod:`repro.core.estimation` — the χ²(m) distance-estimation theory
+  (Lemmas 1–3), the Eq. 10 parameter solver, and the Fig. 3 estimators.
+* :mod:`repro.core.radius` — distance-distribution-driven r_min (§4.5).
+* :mod:`repro.core.pmlsh` — Algorithms 1 and 2 on top of the PM-tree.
+"""
+
+from repro.core.estimation import (
+    ConfidenceInterval,
+    DistanceEstimator,
+    EstimatorKind,
+    confidence_interval,
+    estimate_original_distance,
+    solve_parameters,
+)
+from repro.core.hashing import GaussianProjection, LSHFunction, collision_probability
+from repro.core.params import PMLSHParams
+from repro.core.pmlsh import PMLSH
+from repro.core.radius import select_initial_radius
+
+__all__ = [
+    "ConfidenceInterval",
+    "DistanceEstimator",
+    "EstimatorKind",
+    "GaussianProjection",
+    "LSHFunction",
+    "PMLSH",
+    "PMLSHParams",
+    "collision_probability",
+    "confidence_interval",
+    "estimate_original_distance",
+    "select_initial_radius",
+    "solve_parameters",
+]

@@ -1,0 +1,193 @@
+"""Distance estimation in the projected space (§3.2, §4.3, §5.1).
+
+The chain of results implemented here:
+
+* **Lemma 1** — for m Gaussian projections, ``r'² / r² ~ χ²(m)`` where r is
+  the original distance and r' the projected distance.
+* **Lemma 2** — ``r̂ = r'/√m`` is an unbiased (and MLE) estimator of r.
+* **Lemma 3** — a tunable confidence interval: with probability α each,
+  ``r' < r·√(χ²_{1−α}(m))`` and ``r' > r·√(χ²_α(m))``, where χ²_α is the
+  *upper* quantile.
+* **Eq. 10 / Lemma 4** — the solver that turns (m, c, α1) into the
+  projected search-radius multiplier t, the false-positive level α2, and
+  the candidate budget β = 2·α2 that Algorithms 1–2 consume.
+
+It also hosts the four distance estimators compared in Fig. 3 (L2, L1, QD,
+Rand); the experiment shows L2 — the paper's estimator — dominating.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.utils.rng import RandomState, as_generator
+
+
+def chi2_upper_quantile(alpha: float, m: int) -> float:
+    """χ²_α(m): the value whose upper-tail probability is α (paper's
+    convention, Lemma 3)."""
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    if m <= 0:
+        raise ValueError(f"degrees of freedom m must be positive, got {m}")
+    return float(stats.chi2.isf(alpha, df=m))
+
+
+def estimate_original_distance(projected_distance: np.ndarray | float, m: int):
+    """Lemma 2: the unbiased estimate ``r̂ = r'/√m`` of the original distance."""
+    if m <= 0:
+        raise ValueError(f"m must be positive, got {m}")
+    return projected_distance / np.sqrt(m)
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """Two-sided interval for the projected distance r' given original r.
+
+    ``Pr[r' < lower] = alpha`` and ``Pr[r' > upper] = alpha`` (Lemma 3), so
+    r' falls inside ``[lower, upper]`` with probability 1 − 2α.
+    """
+
+    lower: float
+    upper: float
+    alpha: float
+
+    def contains(self, projected_distance: float) -> bool:
+        return self.lower <= projected_distance <= self.upper
+
+
+def confidence_interval(original_distance: float, m: int, alpha: float) -> ConfidenceInterval:
+    """Lemma 3's interval for r' at confidence level 1 − 2α."""
+    if original_distance < 0:
+        raise ValueError(f"distance must be non-negative, got {original_distance}")
+    lower = original_distance * np.sqrt(chi2_upper_quantile(1.0 - alpha, m))
+    upper = original_distance * np.sqrt(chi2_upper_quantile(alpha, m))
+    return ConfidenceInterval(lower=float(lower), upper=float(upper), alpha=alpha)
+
+
+@dataclass(frozen=True)
+class SolvedParameters:
+    """Output of the Eq. 10 solver.
+
+    ``t`` multiplies the original-space radius r to obtain the projected
+    search radius t·r; E1 (no true positive missed) holds with probability
+    ≥ 1 − α1 and E2 (< βn far points admitted) with probability ≥ 1 − α2/β.
+    """
+
+    m: int
+    c: float
+    alpha1: float
+    alpha2: float
+    beta: float
+    t: float
+
+    @property
+    def success_probability(self) -> float:
+        """Joint lower bound Pr[E1 ∧ E2] ≥ 1 − α1 − α2/β (Theorem 1 uses
+        β = 2α2, giving 1/2 − 1/e with α1 = 1/e)."""
+        return max(0.0, 1.0 - self.alpha1 - self.alpha2 / self.beta)
+
+
+def solve_parameters(
+    m: int,
+    c: float,
+    alpha1: float = 1.0 / np.e,
+    beta_multiplier: float = 2.0,
+) -> SolvedParameters:
+    """Solve Eq. 10 for (t, α2) and set β = beta_multiplier·α2.
+
+    From ``t² = χ²_{α1}(m)`` (upper quantile) the projected radius
+    multiplier t follows directly; substituting into
+    ``t² = c²·χ²_{1−α2}(m)`` gives ``χ²_{1−α2}(m) = t²/c²`` and therefore
+    ``α2 = CDF_{χ²(m)}(t²/c²)``.  The paper's default β = 2α2 makes
+    Pr[E2] = 1/2 (Lemma 5).
+    """
+    if c <= 1.0:
+        raise ValueError(f"approximation ratio c must exceed 1, got {c}")
+    if not 0.0 < alpha1 < 1.0:
+        raise ValueError(f"alpha1 must be in (0, 1), got {alpha1}")
+    if beta_multiplier <= 1.0:
+        raise ValueError(
+            f"beta_multiplier must exceed 1 (beta > alpha2 required), got {beta_multiplier}"
+        )
+    t_squared = chi2_upper_quantile(alpha1, m)
+    alpha2 = float(stats.chi2.cdf(t_squared / (c * c), df=m))
+    beta = beta_multiplier * alpha2
+    return SolvedParameters(
+        m=m, c=c, alpha1=alpha1, alpha2=alpha2, beta=beta, t=float(np.sqrt(t_squared))
+    )
+
+
+# ----------------------------------------------------------------------
+# The Fig. 3 estimator family
+# ----------------------------------------------------------------------
+
+
+class EstimatorKind(str, enum.Enum):
+    """The four candidate-ranking estimators compared in Fig. 3."""
+
+    L2 = "L2"      # projected Euclidean distance (the paper's choice)
+    L1 = "L1"      # projected Manhattan distance
+    QD = "QD"      # quantization-distance style score (GQR-inspired)
+    RAND = "Rand"  # random score (sanity floor)
+
+
+class DistanceEstimator:
+    """Rank dataset points by estimated distance to a query.
+
+    Given the projected dataset ``(n, m)``, produce a score per point for a
+    projected query; smaller = believed closer in the original space.  The
+    Fig. 3 experiment retrieves the top-T scored points and measures how
+    well the true kNN are covered.
+    """
+
+    def __init__(
+        self,
+        projected_points: np.ndarray,
+        kind: EstimatorKind | str = EstimatorKind.L2,
+        bucket_width: float = 1.0,
+        seed: RandomState = None,
+    ) -> None:
+        self.projected = np.asarray(projected_points, dtype=np.float64)
+        if self.projected.ndim != 2:
+            raise ValueError(f"projected points must be 2-D, got {self.projected.shape}")
+        self.kind = EstimatorKind(kind)
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be positive, got {bucket_width}")
+        self.bucket_width = float(bucket_width)
+        self._rng = as_generator(seed)
+
+    def scores(self, projected_query: np.ndarray) -> np.ndarray:
+        """Score every dataset point for one projected query (lower=closer)."""
+        query = np.asarray(projected_query, dtype=np.float64)
+        if query.shape != (self.projected.shape[1],):
+            raise ValueError(
+                f"query has shape {query.shape}, expected ({self.projected.shape[1]},)"
+            )
+        diff = self.projected - query
+        if self.kind is EstimatorKind.L2:
+            return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        if self.kind is EstimatorKind.L1:
+            return np.abs(diff).sum(axis=1)
+        if self.kind is EstimatorKind.QD:
+            # Quantization-distance: residual distance after snapping each
+            # axis difference to its containing bucket — the bucket-granular
+            # score a hash-bucket index effectively ranks by (GQR-style).
+            buckets = np.floor(np.abs(diff) / self.bucket_width)
+            return np.sqrt(((buckets * self.bucket_width) ** 2).sum(axis=1))
+        if self.kind is EstimatorKind.RAND:
+            return self._rng.uniform(0.0, 1.0, size=self.projected.shape[0])
+        raise AssertionError(f"unhandled estimator kind {self.kind}")
+
+    def top(self, projected_query: np.ndarray, count: int) -> np.ndarray:
+        """Ids of the *count* best-scored points, ascending by score."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        scores = self.scores(projected_query)
+        count = min(count, scores.size)
+        part = np.argpartition(scores, count - 1)[:count]
+        return part[np.argsort(scores[part], kind="stable")]

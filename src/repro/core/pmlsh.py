@@ -1,0 +1,313 @@
+"""PM-LSH: Algorithms 1 and 2 of the paper on top of the PM-tree.
+
+Query pipeline (Fig. 2's three components):
+
+1. **data partitioning** — m Gaussian projections map the dataset into R^m,
+   a PM-tree with s global pivots indexes the projected points;
+2. **distance estimation** — the Eq. 10 solver turns (m, c, α1) into the
+   projected radius multiplier t and candidate budget β;
+3. **point probing** — range queries ``range(q', t·r)`` with
+   ``r = r_min, c·r_min, c²·r_min, …`` collect candidates, each verified by
+   its true distance, until k points within c·r are known or βn + k
+   candidates have been inspected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.baselines.base import ANNIndex, QueryResult
+from repro.core.estimation import SolvedParameters, solve_parameters
+from repro.core.hashing import GaussianProjection
+from repro.core.params import PMLSHParams
+from repro.core.radius import select_initial_radius
+from repro.datasets.distance import (
+    DistanceDistribution,
+    point_to_points_distances,
+    sample_distance_distribution,
+)
+from repro.pmtree.tree import PMTree
+from repro.utils.rng import RandomState, as_generator
+
+
+class PMLSH(ANNIndex):
+    """The PM-LSH index (the paper's primary contribution).
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` dataset in the original space.
+    params:
+        Tunables; see :class:`~repro.core.params.PMLSHParams`.
+    seed:
+        Controls projection directions, pivot selection and the F(x) sample.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import PMLSH
+    >>> rng = np.random.default_rng(0)
+    >>> data = rng.normal(size=(1000, 64))
+    >>> index = PMLSH(data, seed=0).build()
+    >>> result = index.query(data[0] + 0.01, k=5)
+    >>> len(result)
+    5
+    """
+
+    name = "PM-LSH"
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        params: PMLSHParams | None = None,
+        seed: RandomState = None,
+    ) -> None:
+        super().__init__(data)
+        self.params = params or PMLSHParams()
+        self._rng = as_generator(seed)
+        self.projection: Optional[GaussianProjection] = None
+        self.projected: Optional[np.ndarray] = None
+        self.tree: Optional[PMTree] = None
+        self.solved: SolvedParameters = solve_parameters(
+            m=self.params.m,
+            c=self.params.c,
+            alpha1=self.params.alpha1,
+            beta_multiplier=self.params.beta_multiplier,
+        )
+        if self.params.beta_override is not None:
+            self.solved = replace(self.solved, beta=self.params.beta_override)
+        self.distance_distribution: Optional[DistanceDistribution] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def build(self) -> "PMLSH":
+        """Project the dataset, build the PM-tree, estimate F(x)."""
+        params = self.params
+        self.projection = GaussianProjection(self.d, params.m, seed=self._rng)
+        self.projected = self.projection.project(self.data)
+        self.tree = PMTree.build(
+            self.projected,
+            num_pivots=params.num_pivots,
+            capacity=params.node_capacity,
+            method=params.build_method,
+            pivot_method=params.pivot_method,
+            split_promotion=params.split_promotion,
+            split_partition=params.split_partition,
+            use_rings=params.use_rings,
+            use_parent_filter=params.use_parent_filter,
+            seed=self._rng,
+        )
+        # F(x) over ORIGINAL distances drives r_min selection (§4.5); the HV
+        # statistic being ≈ 1 is what licenses reusing it for every query.
+        self.distance_distribution = sample_distance_distribution(
+            self.data,
+            num_pairs=min(params.radius_sample_pairs, max(1000, 10 * self.n)),
+            seed=self._rng,
+        )
+        self._built = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: the (r, c)-BC query
+    # ------------------------------------------------------------------
+
+    def ball_cover_query(
+        self, q: np.ndarray, r: float, exclude: Optional[set] = None
+    ) -> Optional[Tuple[int, float]]:
+        """Algorithm 1: answer an (r, c)-ball-cover query.
+
+        Returns ``(point_id, distance)`` for some point inside B(q, c·r), or
+        ``None`` — correct with constant probability by Lemma 5.
+        ``exclude`` skips the given point ids, e.g. the query's own row when
+        probing for a near-duplicate of an indexed item.
+        """
+        self._require_built()
+        q = self._validate_query(q, k=1)
+        if r <= 0:
+            raise ValueError(f"radius r must be positive, got {r}")
+        projected_query = self.projection.project(q)
+        budget = int(np.ceil(self.solved.beta * self.n)) + 1
+        candidates = self.tree.range_query(
+            projected_query, self.solved.t * r, limit=budget, exclude=exclude
+        )
+        if not candidates:
+            return None
+        ids = np.asarray([pid for pid, _ in candidates], dtype=np.int64)
+        true_dists = point_to_points_distances(q, self.data[ids])
+        best = int(np.argmin(true_dists))
+        best_id, best_dist = int(ids[best]), float(true_dists[best])
+        if len(candidates) >= budget:
+            # ≥ βn + 1 collisions: E2 guarantees one of them lies in B(q, cr).
+            return best_id, best_dist
+        if best_dist <= self.params.c * r:
+            return best_id, best_dist
+        return None
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: the (c, k)-ANN query
+    # ------------------------------------------------------------------
+
+    def query(self, q: np.ndarray, k: int) -> QueryResult:
+        """Algorithm 2: the (c, k)-ANN query via radius enlargement."""
+        self._require_built()
+        q = self._validate_query(q, k)
+        params = self.params
+        projected_query = self.projection.project(q)
+        budget = int(np.ceil(self.solved.beta * self.n)) + k
+        r = select_initial_radius(
+            self.distance_distribution,
+            n=self.n,
+            beta=self.solved.beta,
+            k=k,
+            shrink=params.radius_shrink,
+        )
+        seen: Set[int] = set()
+        collected: List[Tuple[int, float]] = []  # (id, true distance)
+        rounds = 0
+        for _ in range(params.max_iterations):
+            rounds += 1
+            # Termination test 1 (line 4): k verified points within c·r.
+            if self._count_within(collected, params.c * r) >= k:
+                break
+            new_candidates = self.tree.range_query(
+                projected_query,
+                self.solved.t * r,
+                limit=max(0, budget - len(seen)),
+                exclude=seen,
+            )
+            if new_candidates:
+                ids = np.asarray([pid for pid, _ in new_candidates], dtype=np.int64)
+                true_dists = point_to_points_distances(q, self.data[ids])
+                for pid, dist in zip(ids, true_dists):
+                    seen.add(int(pid))
+                    collected.append((int(pid), float(dist)))
+            # Termination test 2 (line 9): candidate budget exhausted.
+            if len(seen) >= budget:
+                break
+            r *= params.c
+        collected.sort(key=lambda pair: pair[1])
+        top = collected[:k]
+        stats = {
+            "candidates": float(len(seen)),
+            "rounds": float(rounds),
+            "final_radius": float(r),
+        }
+        return QueryResult(
+            ids=np.asarray([pid for pid, _ in top], dtype=np.int64),
+            distances=np.asarray([dist for _, dist in top], dtype=np.float64),
+            stats=stats,
+        )
+
+    @staticmethod
+    def _count_within(collected: List[Tuple[int, float]], threshold: float) -> int:
+        return sum(1 for _, dist in collected if dist <= threshold)
+
+    def query_batch(self, queries: np.ndarray, k: int) -> List[QueryResult]:
+        """Answer one (c, k)-ANN query per row of *queries*.
+
+        A convenience wrapper over :meth:`query`; results are independent,
+        so the list order matches the input rows.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.shape[1] != self.d:
+            raise ValueError(
+                f"queries must have dimension {self.d}, got {queries.shape[1]}"
+            )
+        return [self.query(row, k) for row in queries]
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Persist the index to a ``.npz`` archive (no pickle involved).
+
+        Stored: the dataset, the projection directions, the PM-tree pivots,
+        the F(x) sample behind r_min selection, and the parameter bundle as
+        JSON.  :meth:`load` rebuilds the PM-tree deterministically from
+        those; because Algorithm 2's candidate set (the closest βn + k
+        points inside the projected ball) does not depend on tree shape,
+        the restored index answers every query identically.
+        """
+        self._require_built()
+        import json
+        from dataclasses import asdict
+
+        params_json = json.dumps(asdict(self.params))
+        np.savez_compressed(
+            path,
+            data=self.data,
+            directions=self.projection.directions,
+            pivots=self.tree.pivots,
+            distance_samples=self.distance_distribution.samples,
+            params_json=np.frombuffer(params_json.encode("utf-8"), dtype=np.uint8),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "PMLSH":
+        """Restore an index persisted with :meth:`save`."""
+        import json
+
+        with np.load(path) as archive:
+            data = archive["data"]
+            directions = archive["directions"]
+            pivots = archive["pivots"]
+            samples = archive["distance_samples"]
+            params_json = bytes(archive["params_json"]).decode("utf-8")
+        params = PMLSHParams(**json.loads(params_json))
+        index = cls(data, params=params, seed=0)
+        index.projection = GaussianProjection.from_directions(directions)
+        index.projected = index.projection.project(index.data)
+        index.tree = PMTree.build(
+            index.projected,
+            num_pivots=pivots.shape[0],
+            capacity=params.node_capacity,
+            method=params.build_method,
+            split_promotion=params.split_promotion,
+            split_partition=params.split_partition,
+            use_rings=params.use_rings,
+            use_parent_filter=params.use_parent_filter,
+            seed=0,
+            pivots=pivots,
+        )
+        index.distance_distribution = DistanceDistribution(samples)
+        index._built = True
+        return index
+
+    def extend(self, new_points: np.ndarray) -> np.ndarray:
+        """Add *new_points* to the index dynamically.
+
+        New rows are projected with the existing hash functions and
+        inserted into the PM-tree through the ordinary insertion path; the
+        r_min distance distribution keeps serving (it drifts only as much
+        as the data distribution does, which HV ≈ 1 keeps small).  Returns
+        the ids assigned to the new rows — subsequent queries can return
+        them immediately.
+        """
+        self._require_built()
+        new_points = np.atleast_2d(np.asarray(new_points, dtype=np.float64))
+        if new_points.shape[1] != self.d:
+            raise ValueError(
+                f"new points have dimension {new_points.shape[1]}, expected {self.d}"
+            )
+        projected_new = self.projection.project(new_points)
+        new_ids = self.tree.append_points(projected_new)
+        self.data = np.ascontiguousarray(np.vstack([self.data, new_points]))
+        self.projected = self.tree.points
+        return new_ids
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def estimated_distance(self, o1: np.ndarray, o2: np.ndarray) -> float:
+        """Lemma 2's estimate of ‖o1, o2‖ from their projections."""
+        self._require_built()
+        p1 = self.projection.project(np.asarray(o1, dtype=np.float64))
+        p2 = self.projection.project(np.asarray(o2, dtype=np.float64))
+        return float(np.linalg.norm(p1 - p2) / np.sqrt(self.params.m))

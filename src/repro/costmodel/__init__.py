@@ -1,0 +1,27 @@
+"""Node-based cost models for the PM-tree and the R-tree (§4.2, Table 2).
+
+Both models estimate the expected number of distance computations
+(computation cost, CC) of a range query from per-node access probabilities:
+the PM-tree model uses the global distance distribution F(x) (Eq. 4) over
+sphere and ring tests (Eqs. 5–7); the R-tree model substitutes an isochoric
+hyper-cube for the query ball and uses per-dimension marginals G_i(x)
+(Eqs. 8–9).
+"""
+
+from repro.costmodel.model import (
+    CostComparison,
+    compare_trees,
+    isochoric_cube_side,
+    pm_tree_computation_cost,
+    r_tree_computation_cost,
+    selectivity_radius,
+)
+
+__all__ = [
+    "CostComparison",
+    "compare_trees",
+    "isochoric_cube_side",
+    "pm_tree_computation_cost",
+    "r_tree_computation_cost",
+    "selectivity_radius",
+]

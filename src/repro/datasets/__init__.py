@@ -1,0 +1,53 @@
+"""Datasets: synthetic generators, the seven emulated evaluation datasets,
+and the statistics reported in Table 3 of the paper (HV, RC, LID).
+
+The paper evaluates on seven real datasets (Audio, Deep, NUS, MNIST, GIST,
+Cifar, Trevi).  Those are not redistributable here, so :mod:`repro.datasets.registry`
+provides seeded synthetic emulations with the same dimensionalities and
+tunable cardinality, generated so that the Table 3 hardness statistics
+(homogeneity of viewpoints, relative contrast, local intrinsic
+dimensionality) land in the neighbourhood of the published values.
+"""
+
+from repro.datasets.distance import (
+    DistanceDistribution,
+    MarginalDistribution,
+    pairwise_distances,
+    point_to_points_distances,
+    sample_distance_distribution,
+)
+from repro.datasets.registry import DATASET_SPECS, DatasetSpec, Workload, load_dataset
+from repro.datasets.stats import (
+    DatasetStatistics,
+    dataset_statistics,
+    homogeneity_of_viewpoints,
+    local_intrinsic_dimensionality,
+    relative_contrast,
+)
+from repro.datasets.synthetic import (
+    gaussian_mixture,
+    low_intrinsic_dimension,
+    sample_queries,
+    uniform_hypercube,
+)
+
+__all__ = [
+    "DATASET_SPECS",
+    "DatasetSpec",
+    "DatasetStatistics",
+    "DistanceDistribution",
+    "MarginalDistribution",
+    "Workload",
+    "dataset_statistics",
+    "gaussian_mixture",
+    "homogeneity_of_viewpoints",
+    "load_dataset",
+    "local_intrinsic_dimensionality",
+    "low_intrinsic_dimension",
+    "pairwise_distances",
+    "point_to_points_distances",
+    "relative_contrast",
+    "sample_distance_distribution",
+    "sample_queries",
+    "uniform_hypercube",
+]

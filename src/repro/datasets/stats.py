@@ -1,0 +1,177 @@
+"""Dataset hardness statistics reported in Table 3 of the paper.
+
+* **HV** — homogeneity of viewpoints (Ciaccia, Patella, Zezula, PODS'98):
+  how similar the distance distributions *as seen from different points*
+  are.  Values near 1 mean a single global distance distribution F(x) is a
+  good stand-in for any per-point distribution, which is the assumption the
+  §4.2 cost models and the §4.5 radius selection rely on.
+* **RC** — relative contrast (He, Kumar, Chang, ICML'12): mean distance
+  divided by NN distance, averaged over query points.  Small RC = hard.
+* **LID** — local intrinsic dimensionality via the maximum-likelihood
+  estimator (Amsaleg et al., KDD'15).  Large LID = hard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.distance import chunked_knn, pairwise_distances, point_to_points_distances
+from repro.utils.rng import RandomState, as_generator
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """The Table 3 row for one dataset."""
+
+    n: int
+    d: int
+    hv: float
+    rc: float
+    lid: float
+
+    def as_row(self, name: str) -> str:
+        return (
+            f"{name:<10} {self.n / 1e3:>9.1f} {self.d:>6d} "
+            f"{self.hv:>8.4f} {self.rc:>7.2f} {self.lid:>7.1f}"
+        )
+
+
+def homogeneity_of_viewpoints(
+    points: np.ndarray,
+    num_viewpoints: int = 50,
+    num_targets: int = 1000,
+    grid_size: int = 64,
+    seed: RandomState = None,
+) -> float:
+    """Estimate HV ∈ [0, 1].
+
+    For sampled viewpoints o, build each viewpoint's distance ECDF F_o over a
+    shared sample of target points, then measure the average absolute
+    discrepancy between pairs of viewpoint ECDFs on a distance grid,
+    normalised by the observed distance range:
+
+        HV = 1 − E_{o1,o2}[ (1/|grid|) Σ_x |F_{o1}(x) − F_{o2}(x)| ]
+
+    A dataset whose points all "see" the same distance profile scores ≈ 1.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if n < 3:
+        raise ValueError("need at least three points to estimate HV")
+    rng = as_generator(seed)
+    num_viewpoints = min(num_viewpoints, n)
+    num_targets = min(num_targets, n)
+    viewpoints = points[rng.choice(n, size=num_viewpoints, replace=False)]
+    targets = points[rng.choice(n, size=num_targets, replace=False)]
+    # distance matrix: viewpoints × targets
+    dists = pairwise_distances(viewpoints, targets)
+    lo, hi = float(dists.min()), float(dists.max())
+    if hi <= lo:
+        return 1.0
+    grid = np.linspace(lo, hi, grid_size)
+    # ECDF of each viewpoint's distance sample evaluated on the grid.
+    sorted_rows = np.sort(dists, axis=1)
+    ecdfs = np.empty((num_viewpoints, grid_size))
+    for i in range(num_viewpoints):
+        ecdfs[i] = np.searchsorted(sorted_rows[i], grid, side="right") / num_targets
+    # Mean |F_o1 - F_o2| over sampled viewpoint pairs.
+    num_pairs = min(500, num_viewpoints * (num_viewpoints - 1) // 2)
+    first = rng.integers(0, num_viewpoints, size=num_pairs)
+    second = rng.integers(0, num_viewpoints, size=num_pairs)
+    valid = first != second
+    if not np.any(valid):
+        return 1.0
+    discrepancy = np.abs(ecdfs[first[valid]] - ecdfs[second[valid]]).mean()
+    return float(1.0 - discrepancy)
+
+
+def relative_contrast(
+    points: np.ndarray,
+    num_queries: int = 100,
+    seed: RandomState = None,
+) -> float:
+    """RC = E_q[ mean distance to q / NN distance to q ] over sampled points.
+
+    Queries are dataset points; the self-distance (zero) is excluded from
+    both the mean and the NN distance.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if n < 3:
+        raise ValueError("need at least three points to estimate RC")
+    rng = as_generator(seed)
+    num_queries = min(num_queries, n)
+    chosen = rng.choice(n, size=num_queries, replace=False)
+    ratios = []
+    for index in chosen:
+        dists = point_to_points_distances(points[index], points)
+        dists = np.delete(dists, index)
+        nearest = float(dists.min())
+        if nearest <= 0.0:
+            continue  # duplicate point; RC undefined for this viewpoint
+        ratios.append(float(dists.mean()) / nearest)
+    if not ratios:
+        raise ValueError("all sampled queries had duplicate nearest neighbours")
+    return float(np.mean(ratios))
+
+
+def local_intrinsic_dimensionality(
+    points: np.ndarray,
+    k: int = 20,
+    num_queries: int = 200,
+    seed: RandomState = None,
+) -> float:
+    """Average MLE of the local intrinsic dimensionality.
+
+    For each sampled point x with k-NN distances r_1 ≤ … ≤ r_k (excluding x
+    itself):
+
+        LID(x) = − ( (1/k) Σ_{i=1..k} ln(r_i / r_k) )^{-1}
+
+    and the dataset LID is the mean over samples.  Zero distances (exact
+    duplicates) are dropped from the sum.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if n < k + 2:
+        raise ValueError(f"need at least k + 2 = {k + 2} points, got {n}")
+    rng = as_generator(seed)
+    num_queries = min(num_queries, n)
+    chosen = rng.choice(n, size=num_queries, replace=False)
+    # k+1 neighbours so the self match can be dropped.
+    _, dists = chunked_knn(points[chosen], points, k + 1)
+    estimates = []
+    for row in dists:
+        radii = row[1:]  # drop self (distance 0 at position 0)
+        r_k = radii[-1]
+        if r_k <= 0.0:
+            continue
+        positive = radii[radii > 0.0]
+        if positive.size == 0:
+            continue
+        log_ratio_sum = float(np.log(positive / r_k).sum()) / k
+        if log_ratio_sum >= 0.0:
+            continue  # degenerate neighbourhood (all radii equal)
+        estimates.append(-1.0 / log_ratio_sum)
+    if not estimates:
+        raise ValueError("could not estimate LID: too many duplicate points")
+    return float(np.mean(estimates))
+
+
+def dataset_statistics(
+    points: np.ndarray,
+    seed: RandomState = None,
+    lid_k: int = 20,
+) -> DatasetStatistics:
+    """Compute the full Table 3 row (n, d, HV, RC, LID) for one dataset."""
+    points = np.asarray(points, dtype=np.float64)
+    rng = as_generator(seed)
+    return DatasetStatistics(
+        n=points.shape[0],
+        d=points.shape[1],
+        hv=homogeneity_of_viewpoints(points, seed=rng),
+        rc=relative_contrast(points, seed=rng),
+        lid=local_intrinsic_dimensionality(points, k=lid_k, seed=rng),
+    )

@@ -1,0 +1,27 @@
+"""Evaluation harness: the metrics, runners and formatters behind §6.
+
+* :mod:`repro.evaluation.metrics` — overall ratio (Eq. 11) and recall
+  (Eq. 12).
+* :mod:`repro.evaluation.ground_truth` — cached exact kNN per workload.
+* :mod:`repro.evaluation.harness` — run any :class:`ANNIndex` over a query
+  set, timing each query and aggregating quality metrics.
+* :mod:`repro.evaluation.tables` — plain-text table/series formatting used
+  by the benchmark scripts to print paper-style outputs.
+"""
+
+from repro.evaluation.ground_truth import GroundTruth, compute_ground_truth
+from repro.evaluation.harness import AlgorithmResult, evaluate_index, run_query_set
+from repro.evaluation.metrics import overall_ratio, recall
+from repro.evaluation.tables import format_series, format_table
+
+__all__ = [
+    "AlgorithmResult",
+    "GroundTruth",
+    "compute_ground_truth",
+    "evaluate_index",
+    "format_series",
+    "format_table",
+    "overall_ratio",
+    "recall",
+    "run_query_set",
+]

@@ -1,0 +1,51 @@
+"""Exact-kNN ground truth, computed once per workload and reused."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.distance import chunked_knn
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Exact kNN ids and distances for a batch of queries.
+
+    ``ids`` and ``distances`` have shape ``(num_queries, k_max)``; rows are
+    ascending by distance.  Slicing ``[:, :k]`` serves any k ≤ k_max, so one
+    computation covers a whole parameter sweep.
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+
+    def __post_init__(self) -> None:
+        ids = np.asarray(self.ids, dtype=np.int64)
+        distances = np.asarray(self.distances, dtype=np.float64)
+        if ids.shape != distances.shape or ids.ndim != 2:
+            raise ValueError(
+                f"ids/distances must be matching 2-D arrays, got {ids.shape} / {distances.shape}"
+            )
+        object.__setattr__(self, "ids", ids)
+        object.__setattr__(self, "distances", distances)
+
+    @property
+    def num_queries(self) -> int:
+        return self.ids.shape[0]
+
+    @property
+    def k_max(self) -> int:
+        return self.ids.shape[1]
+
+    def for_query(self, index: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+        if not 1 <= k <= self.k_max:
+            raise ValueError(f"k must be in [1, {self.k_max}], got {k}")
+        return self.ids[index, :k], self.distances[index, :k]
+
+
+def compute_ground_truth(data: np.ndarray, queries: np.ndarray, k_max: int) -> GroundTruth:
+    """Exact k_max-NN of every query by blocked brute force."""
+    ids, distances = chunked_knn(queries, data, k_max)
+    return GroundTruth(ids=ids, distances=distances)

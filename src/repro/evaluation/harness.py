@@ -1,0 +1,109 @@
+"""Run an ANN index over a query workload and aggregate §6's three metrics:
+average query time (ms), overall ratio, and recall."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.baselines.base import ANNIndex
+from repro.evaluation.ground_truth import GroundTruth, compute_ground_truth
+from repro.evaluation.metrics import overall_ratio, recall
+
+
+@dataclass(frozen=True)
+class AlgorithmResult:
+    """Aggregated outcome of one (algorithm, workload, k) evaluation."""
+
+    algorithm: str
+    dataset: str
+    k: int
+    query_time_ms: float
+    overall_ratio: float
+    recall: float
+    per_query_time_ms: np.ndarray = field(repr=False, default=None)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> str:
+        return (
+            f"{self.algorithm:<12} {self.dataset:<8} k={self.k:<4} "
+            f"time={self.query_time_ms:8.2f}ms ratio={self.overall_ratio:.4f} "
+            f"recall={self.recall:.4f}"
+        )
+
+
+def run_query_set(
+    index: ANNIndex,
+    queries: np.ndarray,
+    k: int,
+    ground_truth: GroundTruth,
+) -> AlgorithmResult:
+    """Query *index* with every row of *queries*, timing each call.
+
+    Ratio and recall are averaged over queries exactly as in §6.1; per-query
+    times are kept so the benchmark layer can report distributions.
+    """
+    if not index.is_built:
+        raise RuntimeError(f"{index.name}: build() the index before evaluation")
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if ground_truth.num_queries != queries.shape[0]:
+        raise ValueError(
+            f"ground truth covers {ground_truth.num_queries} queries, got {queries.shape[0]}"
+        )
+    if ground_truth.k_max < k:
+        raise ValueError(f"ground truth has k_max={ground_truth.k_max} < k={k}")
+    times = np.empty(queries.shape[0], dtype=np.float64)
+    ratios = np.empty(queries.shape[0], dtype=np.float64)
+    recalls = np.empty(queries.shape[0], dtype=np.float64)
+    candidate_counts: List[float] = []
+    for i, query in enumerate(queries):
+        start = time.perf_counter()
+        result = index.query(query, k)
+        times[i] = (time.perf_counter() - start) * 1e3
+        exact_ids, exact_dists = ground_truth.for_query(i, k)
+        ratios[i] = overall_ratio(result.distances, exact_dists, k=k)
+        recalls[i] = recall(result.ids, exact_ids, k=k)
+        if "candidates" in result.stats:
+            candidate_counts.append(result.stats["candidates"])
+    finite = np.isfinite(ratios)
+    mean_ratio = float(ratios[finite].mean()) if np.any(finite) else float("inf")
+    extra: Dict[str, float] = {}
+    if candidate_counts:
+        extra["mean_candidates"] = float(np.mean(candidate_counts))
+    return AlgorithmResult(
+        algorithm=index.name,
+        dataset="",
+        k=k,
+        query_time_ms=float(times.mean()),
+        overall_ratio=mean_ratio,
+        recall=float(recalls.mean()),
+        per_query_time_ms=times,
+        extra=extra,
+    )
+
+
+def evaluate_index(
+    index: ANNIndex,
+    data: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    dataset_name: str = "",
+    ground_truth: GroundTruth | None = None,
+) -> AlgorithmResult:
+    """Convenience wrapper: compute ground truth if absent, then run."""
+    if ground_truth is None:
+        ground_truth = compute_ground_truth(data, queries, k_max=k)
+    result = run_query_set(index, queries, k, ground_truth)
+    return AlgorithmResult(
+        algorithm=result.algorithm,
+        dataset=dataset_name,
+        k=result.k,
+        query_time_ms=result.query_time_ms,
+        overall_ratio=result.overall_ratio,
+        recall=result.recall,
+        per_query_time_ms=result.per_query_time_ms,
+        extra=result.extra,
+    )

@@ -1,0 +1,63 @@
+"""Plain-text formatting of paper-style tables and figure series.
+
+The benchmark scripts regenerate each table/figure of §6 as text: tables
+match the paper's row/column layout; figures become aligned numeric series
+(one row per sweep point) suitable for diffing across runs and for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    title: str,
+    column_names: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: str = "",
+) -> str:
+    """Render an aligned monospace table with a title banner."""
+    names = [str(name) for name in column_names]
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(name) for name in names]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header = "  ".join(name.ljust(widths[i]) for i, name in enumerate(names))
+    separator = "-" * len(header)
+    lines = [f"== {title} ==", header, separator]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines) + "\n"
+
+
+def format_series(
+    title: str,
+    x_name: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    note: str = "",
+) -> str:
+    """Render a figure as one aligned column per series (x first)."""
+    lengths = {name: len(values) for name, values in series.items()}
+    if any(length != len(x_values) for length in lengths.values()):
+        raise ValueError(f"series lengths {lengths} do not match x length {len(x_values)}")
+    columns = [x_name, *series.keys()]
+    rows: List[List[object]] = []
+    for i, x in enumerate(x_values):
+        rows.append([x, *(series[name][i] for name in series)])
+    return format_table(title, columns, rows, note=note)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4f}"
+    return str(value)

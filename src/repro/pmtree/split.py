@@ -1,0 +1,130 @@
+"""Node-split policies for the PM-tree (inherited from the M-tree).
+
+A split has two decisions:
+
+* **promotion** — which two members become the routing objects of the two
+  new nodes.  ``mM_RAD`` (minimise the larger of the two covering radii)
+  is the classic quality-optimal policy; ``random`` is the cheap one.
+* **partition** — how the remaining members are distributed between the two
+  promoted objects.  ``balanced`` alternates nearest-first assignments so
+  both nodes respect minimum fill; ``hyperplane`` (generalised hyperplane)
+  assigns each member to its nearer promoted object, which yields tighter
+  spheres but possibly unbalanced nodes.
+
+All functions work on a precomputed member-distance matrix so they are
+metric-agnostic and cheap to test in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+
+#: Cap on candidate promotion pairs examined by mM_RAD; beyond this the
+#: policy samples pairs instead of enumerating all O(k²) of them.
+MAX_PROMOTION_PAIRS = 512
+
+
+def promote_mm_rad(
+    dist_matrix: np.ndarray,
+    partition: str = "balanced",
+    seed: RandomState = None,
+) -> Tuple[int, int]:
+    """Pick the promotion pair minimising the larger covering radius.
+
+    *dist_matrix* is the symmetric ``(k, k)`` matrix of member distances.
+    For every candidate pair the members are partitioned with the requested
+    policy and the pair whose worse covering radius is smallest wins.
+    """
+    k = _validate_matrix(dist_matrix)
+    pairs = _candidate_pairs(k, seed)
+    best_pair, best_score = pairs[0], np.inf
+    for i, j in pairs:
+        group_a, group_b = partition_members(dist_matrix, i, j, method=partition)
+        radius_a = dist_matrix[i, group_a].max() if group_a else 0.0
+        radius_b = dist_matrix[j, group_b].max() if group_b else 0.0
+        score = max(radius_a, radius_b)
+        if score < best_score:
+            best_score, best_pair = score, (i, j)
+    return best_pair
+
+
+def promote_random(dist_matrix: np.ndarray, seed: RandomState = None) -> Tuple[int, int]:
+    """Pick two distinct members uniformly at random."""
+    k = _validate_matrix(dist_matrix)
+    rng = as_generator(seed)
+    first, second = rng.choice(k, size=2, replace=False)
+    return int(first), int(second)
+
+
+def partition_members(
+    dist_matrix: np.ndarray,
+    promoted_a: int,
+    promoted_b: int,
+    method: str = "balanced",
+) -> Tuple[List[int], List[int]]:
+    """Distribute all k members (including the promoted two) into two groups.
+
+    Returns ``(group_a, group_b)`` as index lists; the promoted member leads
+    its own group.
+    """
+    k = _validate_matrix(dist_matrix)
+    if promoted_a == promoted_b:
+        raise ValueError("promoted members must be distinct")
+    others = [i for i in range(k) if i not in (promoted_a, promoted_b)]
+    group_a, group_b = [promoted_a], [promoted_b]
+    if method == "hyperplane":
+        for member in others:
+            if dist_matrix[member, promoted_a] <= dist_matrix[member, promoted_b]:
+                group_a.append(member)
+            else:
+                group_b.append(member)
+        return group_a, group_b
+    if method == "balanced":
+        # Repeatedly let each group grab its nearest unassigned member.
+        remaining = sorted(others, key=lambda member: dist_matrix[member, promoted_a])
+        take_a = True
+        pool = set(remaining)
+        order_a = remaining
+        order_b = sorted(others, key=lambda member: dist_matrix[member, promoted_b])
+        idx_a = idx_b = 0
+        while pool:
+            if take_a:
+                while order_a[idx_a] not in pool:
+                    idx_a += 1
+                member = order_a[idx_a]
+                group_a.append(member)
+            else:
+                while order_b[idx_b] not in pool:
+                    idx_b += 1
+                member = order_b[idx_b]
+                group_b.append(member)
+            pool.remove(member)
+            take_a = not take_a
+        return group_a, group_b
+    raise ValueError(f"unknown partition method {method!r}")
+
+
+def _validate_matrix(dist_matrix: np.ndarray) -> int:
+    if dist_matrix.ndim != 2 or dist_matrix.shape[0] != dist_matrix.shape[1]:
+        raise ValueError(f"dist_matrix must be square, got shape {dist_matrix.shape}")
+    k = dist_matrix.shape[0]
+    if k < 2:
+        raise ValueError(f"need at least two members to split, got {k}")
+    return k
+
+
+def _candidate_pairs(k: int, seed: RandomState) -> List[Tuple[int, int]]:
+    total = k * (k - 1) // 2
+    if total <= MAX_PROMOTION_PAIRS:
+        return [(i, j) for i in range(k) for j in range(i + 1, k)]
+    rng = as_generator(seed)
+    pairs = set()
+    while len(pairs) < MAX_PROMOTION_PAIRS:
+        i, j = rng.integers(0, k, size=2)
+        if i != j:
+            pairs.add((min(int(i), int(j)), max(int(i), int(j))))
+    return sorted(pairs)

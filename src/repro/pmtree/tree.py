@@ -1,0 +1,664 @@
+"""The PM-tree: an M-tree clipped by global-pivot hyper-rings (§4.1).
+
+Indexing model
+--------------
+The tree indexes *row ids* of one fixed ``(n, m)`` float64 matrix (for
+PM-LSH this is the projected dataset).  A ``(n, s)`` matrix of distances
+from every point to the ``s`` global pivots is precomputed once; hyper-ring
+maintenance and leaf-level ring filtering are numpy gathers against it.
+
+Pruning tests for a range query ``range(q, r)`` on a routing entry ``e``
+(Eq. 5 of the paper):
+
+1. parent-distance test: ``|d(q, parent RO) − e.PD| > r + e.r`` → prune
+   without computing ``d(q, e.RO)``;
+2. sphere test: ``d(q, e.RO) > r + e.r`` → prune;
+3. ring tests, one per pivot: the interval
+   ``[d(q, p_i) − r, d(q, p_i) + r]`` must intersect ``e.HR[i]``.
+
+``distance_computations`` counts evaluated point/centre distances — the
+quantity the §4.2 cost models predict and Table 2 compares.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.pmtree.entries import InnerNode, LeafNode, Node, RoutingEntry
+from repro.pmtree.pivots import select_pivots
+from repro.pmtree.split import partition_members, promote_mm_rad, promote_random
+from repro.utils.heap import BoundedMaxHeap, MinHeap
+from repro.utils.rng import RandomState, as_generator
+
+
+class PMTree:
+    """PM-tree over the rows of a fixed point matrix.
+
+    Parameters
+    ----------
+    points:
+        ``(n, m)`` matrix to index (row ids are the keys).
+    num_pivots:
+        The paper's ``s``; 0 yields a plain M-tree.
+    capacity:
+        Maximum entries per node; minimum fill after a split is
+        ``capacity // 2`` under balanced partitioning.
+    split_promotion / split_partition:
+        Split policies (see :mod:`repro.pmtree.split`).
+    pivot_method:
+        Pivot selection strategy (see :mod:`repro.pmtree.pivots`).
+    use_rings / use_parent_filter:
+        Ablation switches for the two PM-tree-specific pruning tests.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        num_pivots: int = 5,
+        capacity: int = 32,
+        split_promotion: str = "mm_rad",
+        split_partition: str = "balanced",
+        pivot_method: str = "maxsep",
+        use_rings: bool = True,
+        use_parent_filter: bool = True,
+        seed: RandomState = None,
+        pivots: Optional[np.ndarray] = None,
+    ) -> None:
+        points = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError(f"points must be a non-empty 2-D array, got shape {points.shape}")
+        if capacity < 4:
+            raise ValueError(f"capacity must be at least 4, got {capacity}")
+        if split_promotion not in ("mm_rad", "random"):
+            raise ValueError(f"unknown promotion policy {split_promotion!r}")
+        self.points = points
+        self.capacity = capacity
+        self.split_promotion = split_promotion
+        self.split_partition = split_partition
+        self.use_rings = use_rings
+        self.use_parent_filter = use_parent_filter
+        self._rng = as_generator(seed)
+        if pivots is not None:
+            # Explicit pivots (e.g. restored from a persisted index) bypass
+            # the selection heuristic.
+            pivots = np.asarray(pivots, dtype=np.float64)
+            if pivots.ndim != 2 or pivots.shape[1] != points.shape[1]:
+                raise ValueError(
+                    f"pivots must be (s, {points.shape[1]}), got {pivots.shape}"
+                )
+            self.pivots = pivots.copy()
+        else:
+            self.pivots = select_pivots(
+                points, num_pivots, method=pivot_method, seed=self._rng
+            )
+        self.num_pivots = self.pivots.shape[0]
+        # (n, s) distances from every point to every pivot; the backbone of
+        # both HR maintenance and leaf-level ring filtering.
+        if self.num_pivots:
+            self.pivot_dists = _cross_distances(points, self.pivots)
+        else:
+            self.pivot_dists = np.empty((points.shape[0], 0), dtype=np.float64)
+        self._root: Optional[Node] = None
+        self._count = 0
+        #: point/centre distance evaluations performed by queries
+        self.distance_computations = 0
+        #: nodes visited by queries
+        self.node_accesses = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        points: np.ndarray,
+        num_pivots: int = 5,
+        capacity: int = 32,
+        method: str = "bulk",
+        seed: RandomState = None,
+        **kwargs: object,
+    ) -> "PMTree":
+        """Build a PM-tree over all rows of *points*.
+
+        ``method='bulk'`` uses recursive clustering (fast, well-shaped);
+        ``method='insert'`` performs one-by-one insertion through the full
+        M-tree split machinery.
+        """
+        tree = cls(points, num_pivots=num_pivots, capacity=capacity, seed=seed, **kwargs)
+        ids = np.arange(points.shape[0], dtype=np.int64)
+        if method == "bulk":
+            tree._root = tree._bulk_build(ids)
+            tree._count = int(ids.size)
+        elif method == "insert":
+            for point_id in ids:
+                tree.insert(int(point_id))
+        else:
+            raise ValueError(f"unknown build method {method!r}")
+        return tree
+
+    def _bulk_build(self, ids: np.ndarray) -> Node:
+        """Balanced bottom-up bulk load.
+
+        Points are recursively median-split along generalised hyperplanes
+        (two far-apart seeds; members sorted by ``d(x,a) − d(x,b)``) until
+        groups fit a leaf, so every leaf holds between capacity/2 and
+        capacity points.  Leaves are then packed level by level — exactly
+        like a B+-tree bulk load, but with metric routing entries — which
+        keeps all leaves at the same depth and node counts minimal.
+        """
+        if ids.size <= self.capacity:
+            leaf = LeafNode()
+            leaf.ids = [int(i) for i in ids]
+            leaf.parent_distances = [0.0] * int(ids.size)
+            return leaf
+        level: List[RoutingEntry] = []
+        for group in self._balanced_leaf_groups(ids):
+            leaf = LeafNode()
+            leaf.ids = [int(i) for i in group]
+            leaf.parent_distances = [0.0] * int(group.size)
+            center = self._one_center(self.points[group])
+            level.append(self._make_entry(center, leaf, parent_distance=0.0))
+        while len(level) > 1:
+            level = self._pack_level(level)
+        root = level[0].child
+        if not root.is_leaf:
+            self._refresh_parent_distances(root, parent_center=None)
+        return root
+
+    def _balanced_leaf_groups(self, ids: np.ndarray) -> List[np.ndarray]:
+        """Median hyperplane splits until every group fits in one leaf."""
+        if ids.size <= self.capacity:
+            return [ids]
+        coords = self.points[ids]
+        anchor = coords[int(self._rng.integers(0, ids.size))]
+        seed_a = coords[int(np.argmax(_distances_to(coords, anchor)))]
+        seed_b = coords[int(np.argmax(_distances_to(coords, seed_a)))]
+        side = _distances_to(coords, seed_a) - _distances_to(coords, seed_b)
+        order = np.argsort(side, kind="stable")
+        half = ids.size // 2
+        left, right = ids[order[:half]], ids[order[half:]]
+        return self._balanced_leaf_groups(left) + self._balanced_leaf_groups(right)
+
+    def _pack_level(self, entries: List[RoutingEntry]) -> List[RoutingEntry]:
+        """Group consecutive entries (they are spatially coherent thanks to
+        the split order) into parent nodes of near-equal fan-out."""
+        num_parents = int(np.ceil(len(entries) / self.capacity))
+        boundaries = np.linspace(0, len(entries), num_parents + 1).astype(int)
+        parents: List[RoutingEntry] = []
+        for start, stop in zip(boundaries[:-1], boundaries[1:]):
+            chunk = entries[start:stop]
+            node = InnerNode()
+            for entry in chunk:
+                node.add(entry)
+            center = self._one_center(node.centers)
+            parents.append(self._make_entry(center, node, parent_distance=0.0))
+        return parents
+
+    def _one_center(self, coords: np.ndarray) -> np.ndarray:
+        """Approximate 1-center: the member minimising the maximum distance
+        to the others (exact over ≤ 128 members, sampled beyond)."""
+        if coords.shape[0] == 1:
+            return coords[0].copy()
+        if coords.shape[0] > 128:
+            sample = coords[self._rng.choice(coords.shape[0], size=128, replace=False)]
+        else:
+            sample = coords
+        matrix = _pairwise(sample)
+        return sample[int(np.argmin(matrix.max(axis=1)))].copy()
+
+    def _make_entry(
+        self, center: np.ndarray, child: Node, parent_distance: float
+    ) -> RoutingEntry:
+        """Wrap *child* in a routing entry, computing radius and rings
+        bottom-up from the child's content."""
+        if child.is_leaf:
+            member_ids = child.ids_array
+            coords = self.points[member_ids]
+            dists = _distances_to(coords, center)
+            radius = float(dists.max()) if dists.size else 0.0
+            child.parent_distances = [float(x) for x in dists]
+            child.invalidate()
+            if self.num_pivots:
+                rings = self.pivot_dists[member_ids]
+                hr = np.stack([rings.min(axis=0), rings.max(axis=0)], axis=1)
+            else:
+                hr = np.empty((0, 2), dtype=np.float64)
+        else:
+            centers = child.centers
+            dists = _distances_to(centers, center)
+            radius = float((dists + child.radii).max()) if len(child) else 0.0
+            for entry, dist in zip(child.entries, dists):
+                entry.parent_distance = float(dist)
+            child.invalidate()
+            if self.num_pivots:
+                hr = np.stack(
+                    [child.hr_min.min(axis=0), child.hr_max.max(axis=0)], axis=1
+                )
+            else:
+                hr = np.empty((0, 2), dtype=np.float64)
+        return RoutingEntry(center, radius, child, parent_distance, hr)
+
+    def _refresh_parent_distances(self, node: InnerNode, parent_center: Optional[np.ndarray]) -> None:
+        """Set PD of *node*'s entries relative to *parent_center* (root: 0)."""
+        if parent_center is None:
+            for entry in node.entries:
+                entry.parent_distance = 0.0
+        else:
+            dists = _distances_to(node.centers, parent_center)
+            for entry, dist in zip(node.entries, dists):
+                entry.parent_distance = float(dist)
+        node.invalidate()
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, point_id: int) -> None:
+        """Insert one row id (M-tree descent + overflow splits)."""
+        if not 0 <= point_id < self.points.shape[0]:
+            raise IndexError(f"point_id {point_id} out of range")
+        point = self.points[point_id]
+        if self._root is None:
+            root = LeafNode()
+            root.add(point_id, 0.0)
+            self._root = root
+            self._count = 1
+            return
+        outcome = self._insert_into(self._root, point_id, point, parent_center=None)
+        if outcome is not None:
+            entry_a, entry_b = outcome
+            new_root = InnerNode()
+            new_root.add(entry_a)
+            new_root.add(entry_b)
+            self._refresh_parent_distances(new_root, parent_center=None)
+            self._root = new_root
+        self._count += 1
+
+    def _insert_into(
+        self,
+        node: Node,
+        point_id: int,
+        point: np.ndarray,
+        parent_center: Optional[np.ndarray],
+    ) -> Optional[Tuple[RoutingEntry, RoutingEntry]]:
+        """Insert into the subtree at *node*.
+
+        Returns ``None`` when the subtree absorbed the point, or the two
+        replacement entries when *node* itself had to split (the caller
+        swaps them in).
+        """
+        if node.is_leaf:
+            parent_distance = (
+                float(np.linalg.norm(point - parent_center)) if parent_center is not None else 0.0
+            )
+            node.add(point_id, parent_distance)
+            if len(node) > self.capacity:
+                return self._split_leaf(node, parent_center)
+            return None
+
+        # Choose the subtree: prefer entries whose sphere already covers the
+        # point (minimum distance); otherwise minimum radius enlargement.
+        dists = _distances_to(node.centers, point)
+        covering = dists <= node.radii
+        if np.any(covering):
+            best = int(np.flatnonzero(covering)[np.argmin(dists[covering])])
+        else:
+            enlargement = dists - node.radii
+            best = int(np.argmin(enlargement))
+        entry = node.entries[best]
+        if dists[best] > entry.radius:
+            entry.radius = float(dists[best])
+        if self.num_pivots:
+            point_rings = self.pivot_dists[point_id]
+            np.minimum(entry.hr[:, 0], point_rings, out=entry.hr[:, 0])
+            np.maximum(entry.hr[:, 1], point_rings, out=entry.hr[:, 1])
+        node.invalidate()
+
+        outcome = self._insert_into(entry.child, point_id, point, entry.center)
+        if outcome is None:
+            return None
+        entry_a, entry_b = outcome
+        node.entries.pop(best)
+        node.entries.append(entry_a)
+        node.entries.append(entry_b)
+        if parent_center is not None:
+            entry_a.parent_distance = float(np.linalg.norm(entry_a.center - parent_center))
+            entry_b.parent_distance = float(np.linalg.norm(entry_b.center - parent_center))
+        node.invalidate()
+        if len(node) > self.capacity:
+            return self._split_inner(node, parent_center)
+        return None
+
+    def _split_leaf(
+        self, node: LeafNode, parent_center: Optional[np.ndarray]
+    ) -> Tuple[RoutingEntry, RoutingEntry]:
+        ids = node.ids_array
+        coords = self.points[ids]
+        dist_matrix = _pairwise(coords)
+        promoted = self._promote(dist_matrix)
+        group_a, group_b = partition_members(
+            dist_matrix, *promoted, method=self.split_partition
+        )
+        entries = []
+        for group, promoted_index in ((group_a, promoted[0]), (group_b, promoted[1])):
+            leaf = LeafNode()
+            leaf.ids = [int(ids[i]) for i in group]
+            leaf.parent_distances = [0.0] * len(group)
+            center = coords[promoted_index].copy()
+            parent_distance = (
+                float(np.linalg.norm(center - parent_center)) if parent_center is not None else 0.0
+            )
+            entries.append(self._make_entry(center, leaf, parent_distance))
+        return entries[0], entries[1]
+
+    def _split_inner(
+        self, node: InnerNode, parent_center: Optional[np.ndarray]
+    ) -> Tuple[RoutingEntry, RoutingEntry]:
+        centers = node.centers
+        dist_matrix = _pairwise(centers)
+        promoted = self._promote(dist_matrix)
+        group_a, group_b = partition_members(
+            dist_matrix, *promoted, method=self.split_partition
+        )
+        results = []
+        for group, promoted_index in ((group_a, promoted[0]), (group_b, promoted[1])):
+            inner = InnerNode()
+            for member in group:
+                inner.add(node.entries[member])
+            center = centers[promoted_index].copy()
+            parent_distance = (
+                float(np.linalg.norm(center - parent_center)) if parent_center is not None else 0.0
+            )
+            results.append(self._make_entry(center, inner, parent_distance))
+        return results[0], results[1]
+
+    def _promote(self, dist_matrix: np.ndarray) -> Tuple[int, int]:
+        if self.split_promotion == "mm_rad":
+            return promote_mm_rad(dist_matrix, partition=self.split_partition, seed=self._rng)
+        return promote_random(dist_matrix, seed=self._rng)
+
+    def append_points(self, new_points: np.ndarray) -> np.ndarray:
+        """Grow the indexed matrix by *new_points* rows and insert them.
+
+        Supports dynamic workloads (e.g. streaming archives): the point
+        matrix and the pivot-distance matrix are extended, then each new
+        row goes through the ordinary M-tree insertion path, so all
+        invariants (covering radii, rings, parent distances, balance) are
+        maintained.  Returns the ids assigned to the new rows.
+        """
+        new_points = np.atleast_2d(np.asarray(new_points, dtype=np.float64))
+        if new_points.shape[1] != self.points.shape[1]:
+            raise ValueError(
+                f"new points have dimension {new_points.shape[1]}, "
+                f"expected {self.points.shape[1]}"
+            )
+        start = self.points.shape[0]
+        self.points = np.ascontiguousarray(np.vstack([self.points, new_points]))
+        if self.num_pivots:
+            new_rings = _cross_distances(new_points, self.pivots)
+            self.pivot_dists = np.vstack([self.pivot_dists, new_rings])
+        new_ids = np.arange(start, start + new_points.shape[0], dtype=np.int64)
+        for point_id in new_ids:
+            self.insert(int(point_id))
+        return new_ids
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def reset_counters(self) -> None:
+        self.distance_computations = 0
+        self.node_accesses = 0
+
+    def range_query(
+        self,
+        query: np.ndarray,
+        radius: float,
+        limit: Optional[int] = None,
+        exclude: Optional[set] = None,
+    ) -> List[Tuple[int, float]]:
+        """All ``(point_id, distance)`` within *radius* of *query*.
+
+        ``limit`` stops the traversal once that many results are collected
+        (Algorithm 2 line 7 probes only until ``βn + k`` candidates are
+        found).  ``exclude`` skips ids already collected by a previous,
+        smaller-radius pass of the radius-enlarging loop.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        if self._root is None:
+            return []
+        if limit is not None:
+            if limit <= 0:
+                return []
+            return self.knn_within(query, k=limit, radius=radius, exclude=exclude)
+        query_rings = self._query_pivot_distances(query)
+        results: List[Tuple[int, float]] = []
+        stack: List[Tuple[Node, Optional[float]]] = [(self._root, None)]
+        while stack:
+            node, dist_to_parent = stack.pop()
+            self.node_accesses += 1
+            if node.is_leaf:
+                ids = node.ids_array
+                if ids.size == 0:
+                    continue
+                keep = np.ones(ids.size, dtype=bool)
+                # Parent-distance filter: |d(q, par) − o.PD| ≤ r.
+                if self.use_parent_filter and dist_to_parent is not None:
+                    keep &= np.abs(node.pd_array - dist_to_parent) <= radius
+                # Ring filter: ∀i |d(q,p_i) − d(o,p_i)| ≤ r.
+                if self.use_rings and self.num_pivots:
+                    gaps = np.abs(self.pivot_dists[ids] - query_rings)
+                    keep &= (gaps <= radius).all(axis=1)
+                survivors = ids[keep]
+                if survivors.size == 0:
+                    continue
+                dists = _distances_to(self.points[survivors], query)
+                self.distance_computations += int(survivors.size)
+                inside = dists <= radius
+                for pid, dist in zip(survivors[inside], dists[inside]):
+                    pid = int(pid)
+                    if exclude is not None and pid in exclude:
+                        continue
+                    results.append((pid, float(dist)))
+            else:
+                for entry_index, center_dist in self._surviving_children(
+                    node, query, query_rings, radius, dist_to_parent
+                ):
+                    stack.append((node.entries[entry_index].child, center_dist))
+        return results
+
+    def knn_within(
+        self,
+        query: np.ndarray,
+        k: int,
+        radius: float = np.inf,
+        exclude: Optional[set] = None,
+    ) -> List[Tuple[int, float]]:
+        """The k nearest points with distance ≤ *radius*, sorted ascending.
+
+        Best-first traversal with a *shrinking admission bound*: nodes enter
+        the frontier keyed by their distance lower bound (sphere test
+        combined with the tightest hyper-ring bound); once k candidates are
+        held, the admission bound drops from *radius* to the current k-th
+        best distance, so later subtrees prune against the tighter value.
+        ``radius=inf`` yields plain kNN; a finite radius yields the
+        *closest k points inside the ball* — exactly the candidate set
+        Algorithm 2 wants when it probes until βn + k points are found.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        query = np.asarray(query, dtype=np.float64)
+        if self._root is None:
+            return []
+        query_rings = self._query_pivot_distances(query)
+        best = BoundedMaxHeap(k)
+        frontier = MinHeap()
+        frontier.push(0.0, (self._root, None))
+        while frontier:
+            bound, (node, dist_to_parent) = frontier.pop()
+            admission = min(radius, best.bound)
+            if bound > admission:
+                break
+            self.node_accesses += 1
+            if node.is_leaf:
+                ids = node.ids_array
+                if ids.size == 0:
+                    continue
+                keep = np.ones(ids.size, dtype=bool)
+                if self.use_parent_filter and dist_to_parent is not None:
+                    keep &= np.abs(node.pd_array - dist_to_parent) <= admission
+                if self.use_rings and self.num_pivots:
+                    gaps = np.abs(self.pivot_dists[ids] - query_rings)
+                    keep &= (gaps <= admission).all(axis=1)
+                survivors = ids[keep]
+                if survivors.size == 0:
+                    continue
+                dists = _distances_to(self.points[survivors], query)
+                self.distance_computations += int(survivors.size)
+                inside = dists <= admission
+                for pid, dist in zip(survivors[inside], dists[inside]):
+                    pid = int(pid)
+                    if exclude is not None and pid in exclude:
+                        continue
+                    best.push(float(dist), pid)
+            else:
+                for entry_index, center_dist, child_bound in self._surviving_children(
+                    node, query, query_rings, admission, dist_to_parent, with_bounds=True
+                ):
+                    if child_bound <= min(radius, best.bound):
+                        frontier.push(
+                            child_bound, (node.entries[entry_index].child, center_dist)
+                        )
+        return [(pid, dist) for dist, pid in best.items_sorted()]
+
+    def knn(self, query: np.ndarray, k: int) -> List[Tuple[int, float]]:
+        """Best-first k nearest neighbours in the indexed space.
+
+        Lower bounds combine the sphere bound ``max(0, d(q,RO) − r)`` with
+        the tightest hyper-ring bound, so rings prune here exactly as they
+        do for range queries.
+        """
+        return self.knn_within(query, k, radius=np.inf)
+
+    def _surviving_children(
+        self,
+        node: InnerNode,
+        query: np.ndarray,
+        query_rings: np.ndarray,
+        radius: float,
+        dist_to_parent: Optional[float],
+        with_bounds: bool = False,
+    ):
+        """Apply Eq. 5's pruning battery to one inner node.
+
+        Yields ``(entry_index, centre_distance)`` for every child whose
+        region can intersect B(q, radius); with ``with_bounds=True`` a third
+        element carries the child's distance lower bound (sphere ∨ rings).
+        The parent-distance prefilter runs first because it costs no new
+        distance computation.
+        """
+        keep = np.ones(len(node), dtype=bool)
+        if self.use_parent_filter and dist_to_parent is not None:
+            keep &= np.abs(node.pds - dist_to_parent) <= radius + node.radii
+        if self.use_rings and self.num_pivots:
+            ring_ok = (node.hr_min <= query_rings + radius) & (
+                node.hr_max >= query_rings - radius
+            )
+            keep &= ring_ok.all(axis=1)
+        candidates = np.flatnonzero(keep)
+        if candidates.size == 0:
+            return
+        dists = _distances_to(node.centers[candidates], query)
+        self.distance_computations += int(candidates.size)
+        sphere_bounds = np.maximum(dists - node.radii[candidates], 0.0)
+        if with_bounds and self.use_rings and self.num_pivots:
+            below = np.maximum(node.hr_min[candidates] - query_rings, 0.0)
+            above = np.maximum(query_rings - node.hr_max[candidates], 0.0)
+            ring_bounds = np.maximum(below, above).max(axis=1)
+            bounds = np.maximum(sphere_bounds, ring_bounds)
+        else:
+            bounds = sphere_bounds
+        surviving = bounds <= radius
+        if with_bounds:
+            for entry_index, center_dist, bound in zip(
+                candidates[surviving], dists[surviving], bounds[surviving]
+            ):
+                yield int(entry_index), float(center_dist), float(bound)
+        else:
+            for entry_index, center_dist in zip(candidates[surviving], dists[surviving]):
+                yield int(entry_index), float(center_dist)
+
+    def _query_pivot_distances(self, query: np.ndarray) -> np.ndarray:
+        if not self.num_pivots:
+            return np.empty(0, dtype=np.float64)
+        return _distances_to(self.pivots, query)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self) -> Optional[Node]:
+        return self._root
+
+    def height(self) -> int:
+        height, node = 0, self._root
+        while node is not None:
+            height += 1
+            node = node.entries[0].child if not node.is_leaf and node.entries else None
+        return height
+
+    def iter_nodes(self) -> Iterator[Tuple[int, Node]]:
+        """Yield ``(depth, node)`` pairs in DFS order (cost model, tests)."""
+        if self._root is None:
+            return
+        stack: List[Tuple[int, Node]] = [(0, self._root)]
+        while stack:
+            depth, node = stack.pop()
+            yield depth, node
+            if not node.is_leaf:
+                stack.extend((depth + 1, e.child) for e in node.entries)
+
+    def iter_entries(self) -> Iterator[Tuple[int, RoutingEntry]]:
+        """Yield ``(depth, routing_entry)`` for every routing entry."""
+        for depth, node in self.iter_nodes():
+            if not node.is_leaf:
+                for entry in node.entries:
+                    yield depth, entry
+
+
+# ----------------------------------------------------------------------
+# vector helpers
+# ----------------------------------------------------------------------
+
+
+def _distances_to(rows: np.ndarray, anchor: np.ndarray) -> np.ndarray:
+    diff = rows - anchor
+    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+def _pairwise(coords: np.ndarray) -> np.ndarray:
+    sq = np.einsum("ij,ij->i", coords, coords)
+    matrix = sq[:, None] + sq[None, :] - 2.0 * (coords @ coords.T)
+    np.maximum(matrix, 0.0, out=matrix)
+    return np.sqrt(matrix)
+
+
+def _cross_distances(points: np.ndarray, anchors: np.ndarray) -> np.ndarray:
+    sq_points = np.einsum("ij,ij->i", points, points)
+    sq_anchors = np.einsum("ij,ij->i", anchors, anchors)
+    matrix = sq_points[:, None] + sq_anchors[None, :] - 2.0 * (points @ anchors.T)
+    np.maximum(matrix, 0.0, out=matrix)
+    return np.sqrt(matrix)
+
+
+def _nearest_assignment(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    return np.argmin(_cross_distances(points, centers), axis=1)

@@ -1,0 +1,15 @@
+"""Shared utilities: seeded RNG helpers, timing, bounded heaps, chunking."""
+
+from repro.utils.heap import BoundedMaxHeap, MinHeap
+from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.utils.timing import Timer, time_call
+
+__all__ = [
+    "BoundedMaxHeap",
+    "MinHeap",
+    "RandomState",
+    "Timer",
+    "as_generator",
+    "spawn_generators",
+    "time_call",
+]

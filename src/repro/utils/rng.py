@@ -1,0 +1,67 @@
+"""Seeded random-number plumbing.
+
+Every stochastic component in the library (hash function sampling, pivot
+selection, dataset generation, query sampling) accepts a ``seed`` argument
+that may be an ``int``, a ``numpy.random.Generator``, or ``None``.  This
+module centralises the conversion so behaviour is reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+#: Anything accepted where a source of randomness is required.
+RandomState = Union[int, np.random.Generator, None]
+
+#: Default seed used when a component is asked to be deterministic but the
+#: caller did not supply a seed.  Chosen arbitrarily; fixed forever.
+DEFAULT_SEED = 0x5EED
+
+
+def as_generator(seed: RandomState = None) -> np.random.Generator:
+    """Coerce *seed* into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a generator seeded from OS entropy.  An ``int`` yields a
+    fresh deterministic generator.  An existing generator is returned as-is
+    (shared state, *not* copied), which lets callers thread one stream
+    through several components.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"cannot interpret {type(seed).__name__!r} as a random seed")
+
+
+def spawn_generators(seed: RandomState, count: int) -> list[np.random.Generator]:
+    """Derive *count* independent generators from one seed.
+
+    Uses :class:`numpy.random.SeedSequence` spawning so the children are
+    statistically independent regardless of how many are requested.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children by drawing fresh entropy from the parent stream.
+        seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    sequence = np.random.SeedSequence(seed if seed is not None else None)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+def derive_seed(seed: RandomState, salt: int) -> Optional[int]:
+    """Mix *salt* into *seed* to produce a distinct deterministic child seed.
+
+    Returns ``None`` when *seed* is ``None`` (keep full entropy).  Useful when
+    a component must hand different seeds to sub-components but only received
+    one integer.
+    """
+    if seed is None:
+        return None
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**63 - 1))
+    return int(np.random.SeedSequence([int(seed), int(salt)]).generate_state(1)[0])

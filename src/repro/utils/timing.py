@@ -1,0 +1,35 @@
+"""Lightweight timing helpers used by the evaluation harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Tuple
+
+
+class Timer:
+    """Context manager measuring wall-clock time in milliseconds.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed_ms >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float = 0.0
+        self.elapsed_ms: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed_ms = (time.perf_counter() - self._start) * 1e3
+
+
+def time_call(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, float]:
+    """Call ``fn(*args, **kwargs)`` and return ``(result, elapsed_ms)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    elapsed_ms = (time.perf_counter() - start) * 1e3
+    return result, elapsed_ms

@@ -1,0 +1,67 @@
+"""Tests for the shared ANNIndex interface and QueryResult."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import ANNIndex, QueryResult
+
+
+class TestQueryResult:
+    def test_from_pairs_sorts(self):
+        result = QueryResult.from_pairs([(3, 2.0), (1, 1.0), (2, 3.0)])
+        np.testing.assert_array_equal(result.ids, [1, 3, 2])
+        np.testing.assert_array_equal(result.distances, [1.0, 2.0, 3.0])
+
+    def test_len(self):
+        result = QueryResult(ids=np.array([1, 2]), distances=np.array([0.1, 0.2]))
+        assert len(result) == 2
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            QueryResult(ids=np.array([1, 2]), distances=np.array([0.1]))
+
+    def test_stats_default(self):
+        result = QueryResult.from_pairs([(1, 1.0)])
+        assert result.stats == {}
+
+
+class _Dummy(ANNIndex):
+    name = "Dummy"
+
+    def build(self):
+        self._built = True
+        return self
+
+    def query(self, q, k):
+        q = self._validate_query(q, k)
+        dists = np.linalg.norm(self.data - q, axis=1)
+        order = np.argsort(dists)[:k]
+        return QueryResult(ids=order, distances=dists[order])
+
+
+class TestANNIndex:
+    def test_properties(self, tiny_uniform):
+        index = _Dummy(tiny_uniform)
+        assert index.n == tiny_uniform.shape[0]
+        assert index.d == tiny_uniform.shape[1]
+        assert not index.is_built
+
+    def test_rejects_bad_data(self):
+        with pytest.raises(ValueError):
+            _Dummy(np.zeros(5))
+        with pytest.raises(ValueError):
+            _Dummy(np.empty((0, 3)))
+
+    def test_require_built(self, tiny_uniform):
+        index = _Dummy(tiny_uniform)
+        with pytest.raises(RuntimeError):
+            index._require_built()
+
+    def test_validate_query(self, tiny_uniform):
+        index = _Dummy(tiny_uniform).build()
+        with pytest.raises(ValueError):
+            index.query(np.zeros(tiny_uniform.shape[1] + 1), 1)
+        with pytest.raises(ValueError):
+            index.query(tiny_uniform[0], 0)

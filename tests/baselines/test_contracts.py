@@ -1,0 +1,103 @@
+"""Contract tests every ANN algorithm must satisfy, run against all nine
+implementations through the shared interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    C2LSH,
+    E2LSH,
+    ExactKNN,
+    LSBForest,
+    LinearScan,
+    MultiProbeLSH,
+    PMLSH,
+    PMLSHParams,
+    QALSH,
+    RLSH,
+    SRS,
+)
+
+FACTORIES = {
+    "PM-LSH": lambda data: PMLSH(data, params=PMLSHParams(node_capacity=32), seed=3),
+    "SRS": lambda data: SRS(data, seed=3),
+    "QALSH": lambda data: QALSH(data, seed=3),
+    "Multi-Probe": lambda data: MultiProbeLSH(data, seed=3),
+    "R-LSH": lambda data: RLSH(data, params=PMLSHParams(node_capacity=32), seed=3),
+    "LScan": lambda data: LinearScan(data, seed=3),
+    "E2LSH": lambda data: E2LSH(data, w=30.0, seed=3),
+    "C2LSH": lambda data: C2LSH(data, seed=3),
+    "LSB-Forest": lambda data: LSBForest(data, seed=3),
+    "Exact": lambda data: ExactKNN(data),
+}
+
+
+@pytest.fixture(scope="module")
+def data(small_clustered):
+    return small_clustered[:400]
+
+
+@pytest.fixture(scope="module", params=sorted(FACTORIES))
+def built(request, data):
+    return FACTORIES[request.param](data).build()
+
+
+class TestUniversalContracts:
+    def test_query_before_build_raises(self, data):
+        for name, make in FACTORIES.items():
+            index = make(data)
+            with pytest.raises(RuntimeError):
+                index.query(data[0], 1)
+
+    def test_returns_exactly_k(self, built, data):
+        result = built.query(data[0] + 0.01, k=7)
+        assert len(result) == 7
+
+    def test_distances_sorted_ascending(self, built, data):
+        result = built.query(data[5] + 0.01, k=10)
+        assert np.all(np.diff(result.distances) >= -1e-12)
+
+    def test_ids_unique_and_valid(self, built, data):
+        result = built.query(data[9] + 0.01, k=10)
+        ids = result.ids.tolist()
+        assert len(set(ids)) == len(ids)
+        assert all(0 <= pid < data.shape[0] for pid in ids)
+
+    def test_distances_are_true_distances(self, built, data):
+        q = data[3] + 0.01
+        result = built.query(q, k=5)
+        for pid, dist in zip(result.ids, result.distances):
+            actual = float(np.linalg.norm(data[pid] - q))
+            assert dist == pytest.approx(actual, rel=1e-9)
+
+    def test_k_equals_one(self, built, data):
+        result = built.query(data[0] + 0.01, k=1)
+        assert len(result) == 1
+
+    def test_invalid_k_rejected(self, built, data):
+        with pytest.raises(ValueError):
+            built.query(data[0], 0)
+        with pytest.raises(ValueError):
+            built.query(data[0], data.shape[0] + 1)
+
+    def test_wrong_dimension_rejected(self, built):
+        with pytest.raises(ValueError):
+            built.query(np.zeros(3), 1)
+
+    def test_self_query_finds_self(self, built, data):
+        """Querying with an indexed point must return it at distance 0
+        (every method probes the query's own region first)."""
+        result = built.query(data[21], k=1)
+        assert result.distances[0] == pytest.approx(0.0, abs=1e-9)
+        assert int(result.ids[0]) == 21
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(set(FACTORIES) - {"Exact"}))
+    def test_same_seed_same_answer(self, name, data):
+        a = FACTORIES[name](data).build().query(data[2] + 0.01, 5)
+        b = FACTORIES[name](data).build().query(data[2] + 0.01, 5)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        np.testing.assert_allclose(a.distances, b.distances, rtol=1e-12)

@@ -1,0 +1,73 @@
+"""Tests for basic E2LSH (§2.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.e2lsh import E2LSH
+
+
+@pytest.fixture(scope="module")
+def index(small_clustered):
+    return E2LSH(small_clustered, num_tables=8, m=6, w=None_or_default(), seed=0).build()
+
+
+def None_or_default():
+    # E2LSH keeps a fixed w; use a width matched to the fixture's scale so
+    # buckets are neither empty nor global.
+    return 30.0
+
+
+class TestBuild:
+    def test_tables_created(self, index):
+        assert len(index._tables) == 8
+        total = sum(len(ids) for table in index._tables for ids in table.values())
+        assert total == 8 * index.n
+
+    def test_invalid_params(self, small_clustered):
+        with pytest.raises(ValueError):
+            E2LSH(small_clustered, num_tables=0)
+        with pytest.raises(ValueError):
+            E2LSH(small_clustered, probe_cap_per_table=0)
+
+
+class TestBallCover:
+    def test_near_query_found(self, index, small_clustered):
+        q = small_clustered[0] + 1e-6
+        nn = float(np.sort(np.linalg.norm(small_clustered - q, axis=1))[0])
+        hit = index.ball_cover_query(q, r=max(nn, 1e-3) * 2, c=2.0)
+        assert hit is not None
+        _, dist = hit
+        assert dist <= 2.0 * max(nn, 1e-3) * 2 + 1e-9
+
+    def test_far_query_returns_none(self, index, small_clustered):
+        q = small_clustered.max(axis=0) + 1000.0
+        assert index.ball_cover_query(q, r=0.01, c=2.0) is None
+
+    def test_invalid_args(self, index, small_clustered):
+        with pytest.raises(ValueError):
+            index.ball_cover_query(small_clustered[0], r=0.0, c=2.0)
+        with pytest.raises(ValueError):
+            index.ball_cover_query(small_clustered[0], r=1.0, c=1.0)
+
+
+class TestQuery:
+    def test_returns_k(self, index, small_clustered):
+        result = index.query(small_clustered[4] + 0.01, k=5)
+        assert len(result) == 5
+        assert np.all(np.diff(result.distances) >= -1e-12)
+
+    def test_reasonable_recall(self, index, small_clustered):
+        from repro.baselines.exact import ExactKNN
+
+        exact = ExactKNN(small_clustered).build()
+        rng = np.random.default_rng(1)
+        hits = total = 0
+        for _ in range(15):
+            q = small_clustered[rng.integers(0, index.n)] + 0.01
+            got = set(index.query(q, 5).ids.tolist())
+            truth = set(exact.query(q, 5).ids.tolist())
+            hits += len(got & truth)
+            total += 5
+        assert hits / total > 0.5

@@ -1,0 +1,122 @@
+"""Tests for Multi-Probe LSH, including the perturbation-sequence generator."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactKNN
+from repro.baselines.multiprobe import MultiProbeLSH
+
+
+class TestPerturbationSequence:
+    def test_home_bucket_first(self):
+        to_lower = np.array([0.3, 0.7])
+        to_upper = np.array([0.7, 0.3])
+        sequence = MultiProbeLSH.perturbation_sequence(to_lower, to_upper, 5)
+        assert sequence[0] == []
+
+    def test_scores_non_decreasing(self):
+        rng = np.random.default_rng(0)
+        to_lower = rng.uniform(0.1, 1.0, size=6)
+        to_upper = 1.0 - to_lower + 0.1
+
+        def score(perturbation):
+            total = 0.0
+            for axis, delta in perturbation:
+                total += (to_lower[axis] if delta == -1 else to_upper[axis]) ** 2
+            return total
+
+        sequence = MultiProbeLSH.perturbation_sequence(to_lower, to_upper, 30)
+        scores = [score(p) for p in sequence]
+        assert all(a <= b + 1e-12 for a, b in zip(scores, scores[1:]))
+
+    def test_no_axis_repeated_within_set(self):
+        rng = np.random.default_rng(1)
+        to_lower = rng.uniform(0.1, 1.0, size=5)
+        to_upper = rng.uniform(0.1, 1.0, size=5)
+        for perturbation in MultiProbeLSH.perturbation_sequence(to_lower, to_upper, 40):
+            axes = [axis for axis, _ in perturbation]
+            assert len(axes) == len(set(axes))
+
+    def test_no_duplicate_sets(self):
+        rng = np.random.default_rng(2)
+        to_lower = rng.uniform(0.1, 1.0, size=4)
+        to_upper = rng.uniform(0.1, 1.0, size=4)
+        sequence = MultiProbeLSH.perturbation_sequence(to_lower, to_upper, 25)
+        frozen = [tuple(sorted(p)) for p in sequence]
+        assert len(frozen) == len(set(frozen))
+
+    def test_count_respected(self):
+        to_lower = np.array([0.5])
+        to_upper = np.array([0.5])
+        assert len(MultiProbeLSH.perturbation_sequence(to_lower, to_upper, 1)) == 1
+
+    def test_covers_cheapest_singletons(self):
+        """The first few perturbations must include the globally cheapest
+        single-axis shifts."""
+        to_lower = np.array([0.1, 0.9, 0.5])
+        to_upper = np.array([0.9, 0.1, 0.5])
+        sequence = MultiProbeLSH.perturbation_sequence(to_lower, to_upper, 3)
+        assert [(0, -1)] in sequence  # cost 0.01
+        assert [(1, +1)] in sequence  # cost 0.01
+
+
+class TestMultiProbeIndex:
+    @pytest.fixture(scope="class")
+    def index(self, small_clustered):
+        return MultiProbeLSH(small_clustered, num_tables=4, m=8, seed=0).build()
+
+    def test_width_calibrated(self, index):
+        assert index.w is not None and index.w > 0
+
+    def test_returns_k_sorted(self, index, small_clustered):
+        result = index.query(small_clustered[0] + 0.01, k=10)
+        assert len(result) == 10
+        assert np.all(np.diff(result.distances) >= -1e-12)
+
+    def test_decent_recall_on_clustered(self, index, small_clustered):
+        exact = ExactKNN(small_clustered).build()
+        rng = np.random.default_rng(3)
+        hits = total = 0
+        for _ in range(15):
+            q = small_clustered[rng.integers(0, index.n)] + 0.01
+            got = set(index.query(q, 10).ids.tolist())
+            truth = set(exact.query(q, 10).ids.tolist())
+            hits += len(got & truth)
+            total += 10
+        assert hits / total > 0.6
+
+    def test_more_probes_no_worse(self, small_clustered):
+        exact = ExactKNN(small_clustered).build()
+
+        def mean_recall(num_probes):
+            index = MultiProbeLSH(
+                small_clustered, num_tables=2, m=8, num_probes=num_probes, seed=4
+            ).build()
+            rng = np.random.default_rng(5)
+            hits = 0
+            for _ in range(10):
+                q = small_clustered[rng.integers(0, index.n)] + 0.01
+                got = set(index.query(q, 10).ids.tolist())
+                truth = set(exact.query(q, 10).ids.tolist())
+                hits += len(got & truth)
+            return hits / 100
+
+        assert mean_recall(32) >= mean_recall(1) - 0.05
+
+    def test_explicit_width_respected(self, small_clustered):
+        index = MultiProbeLSH(small_clustered, w=12.0, seed=0).build()
+        assert index.w == 12.0
+
+    def test_invalid_params(self, small_clustered):
+        with pytest.raises(ValueError):
+            MultiProbeLSH(small_clustered, num_tables=0)
+        with pytest.raises(ValueError):
+            MultiProbeLSH(small_clustered, w=-1.0)
+        with pytest.raises(ValueError):
+            MultiProbeLSH(small_clustered, max_candidates_fraction=0.0)
+        with pytest.raises(ValueError):
+            MultiProbeLSH(small_clustered, width_scale=0.0)

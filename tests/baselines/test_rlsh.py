@@ -1,0 +1,63 @@
+"""Tests for R-LSH (the R-tree ablation of PM-LSH)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactKNN
+from repro.baselines.rlsh import RLSH
+from repro.core.params import PMLSHParams
+from repro.core.pmlsh import PMLSH
+
+
+@pytest.fixture(scope="module")
+def index(small_clustered):
+    return RLSH(small_clustered, params=PMLSHParams(node_capacity=32), seed=0).build()
+
+
+class TestRLSH:
+    def test_returns_k_sorted(self, index, small_clustered):
+        result = index.query(small_clustered[0] + 0.01, k=10)
+        assert len(result) == 10
+        assert np.all(np.diff(result.distances) >= -1e-12)
+
+    def test_high_recall(self, index, small_clustered):
+        exact = ExactKNN(small_clustered).build()
+        rng = np.random.default_rng(1)
+        hits = total = 0
+        for _ in range(15):
+            q = small_clustered[rng.integers(0, index.n)] + 0.01
+            got = set(index.query(q, 10).ids.tolist())
+            truth = set(exact.query(q, 10).ids.tolist())
+            hits += len(got & truth)
+            total += 10
+        assert hits / total > 0.85
+
+    def test_same_projection_as_pmlsh_with_same_seed(self, small_clustered):
+        """R-LSH is PM-LSH with only the tree swapped: identical seed must
+        produce identical projections."""
+        pm = PMLSH(small_clustered[:200], seed=11).build()
+        rl = RLSH(small_clustered[:200], seed=11).build()
+        np.testing.assert_allclose(pm.projected, rl.projected)
+
+    def test_pm_tree_does_fewer_distance_computations(self, small_clustered):
+        """The Table 2 claim, measured on live queries: at identical
+        parameters and collection semantics, the PM-tree needs fewer
+        distance computations than the R-tree."""
+        params = PMLSHParams(node_capacity=32)
+        pm = PMLSH(small_clustered, params=params, seed=5).build()
+        rl = RLSH(small_clustered, params=params, seed=5).build()
+        pm.tree.reset_counters()
+        rl.tree.reset_counters()
+        rng = np.random.default_rng(6)
+        for _ in range(10):
+            q = small_clustered[rng.integers(0, small_clustered.shape[0])] + 0.01
+            pm.query(q, 10)
+            rl.query(q, 10)
+        assert pm.tree.distance_computations < rl.tree.distance_computations
+
+    def test_stats(self, index, small_clustered):
+        result = index.query(small_clustered[3], k=5)
+        assert result.stats["rounds"] >= 1
+        assert result.stats["candidates"] > 0

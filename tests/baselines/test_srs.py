@@ -1,0 +1,92 @@
+"""Tests for SRS: incremental projected-space NN + early termination."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactKNN
+from repro.baselines.srs import SRS
+
+
+@pytest.fixture(scope="module")
+def index(small_clustered):
+    return SRS(small_clustered, m=15, c=1.5, seed=0).build()
+
+
+class TestSRS:
+    def test_returns_k_sorted(self, index, small_clustered):
+        result = index.query(small_clustered[1] + 0.01, k=10)
+        assert len(result) == 10
+        assert np.all(np.diff(result.distances) >= -1e-12)
+
+    def test_recall_reflects_early_stop_tradeoff(self, index, small_clustered):
+        # On tightly clustered data the χ² early-termination test passes
+        # quickly (the k-th best distance sits far below the bulk of the
+        # distance spectrum), trading recall for speed — the documented SRS
+        # behaviour PM-LSH improves on.  The floor here only fences off
+        # regressions; the integration suite checks realistic recall on the
+        # emulated Audio workload.
+        exact = ExactKNN(small_clustered).build()
+        rng = np.random.default_rng(2)
+        def run(early_stop_threshold):
+            srs = SRS(
+                small_clustered, early_stop_threshold=early_stop_threshold, seed=0
+            ).build()
+            hits = total = 0
+            for _ in range(15):
+                base = small_clustered[rng.integers(0, srs.n)]
+                q = base + rng.normal(size=small_clustered.shape[1]) * 0.5
+                got = set(srs.query(q, 10).ids.tolist())
+                truth = set(exact.query(q, 10).ids.tolist())
+                hits += len(got & truth)
+                total += 10
+            return hits / total
+
+        default_recall = run(0.8107)
+        thorough_recall = run(0.99999)
+        assert default_recall > 0.35
+        assert thorough_recall > 0.85
+        assert thorough_recall >= default_recall
+
+    def test_candidates_respect_budget(self, index, small_clustered):
+        result = index.query(small_clustered[0], k=5)
+        budget = max(5, int(np.ceil(index.max_fraction * index.n)))
+        assert result.stats["candidates"] <= budget
+
+    def test_early_stop_reduces_work(self, small_clustered):
+        """A permissive early-stop threshold should verify fewer candidates
+        than a disabled one."""
+        eager = SRS(small_clustered, early_stop_threshold=0.5, seed=1).build()
+        thorough = SRS(small_clustered, early_stop_threshold=0.999, seed=1).build()
+        q = small_clustered[0] + 0.01
+        assert (
+            eager.query(q, 5).stats["candidates"]
+            <= thorough.query(q, 5).stats["candidates"]
+        )
+
+    def test_early_stop_zero_best_distance(self, index, small_clustered):
+        """Query identical to a data point: best distance 0 triggers the
+        guard (returns immediately once found)."""
+        result = index.query(small_clustered[42], k=1)
+        assert result.distances[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_params(self, small_clustered):
+        with pytest.raises(ValueError):
+            SRS(small_clustered, c=1.0)
+        with pytest.raises(ValueError):
+            SRS(small_clustered, early_stop_threshold=1.0)
+        with pytest.raises(ValueError):
+            SRS(small_clustered, max_fraction=0.0)
+
+    def test_full_fraction_is_near_exact(self, small_clustered):
+        """With T = 1.0 and no early stop shortcut, SRS degenerates to an
+        exhaustive scan in projected order — recall should be ~1."""
+        index = SRS(
+            small_clustered, max_fraction=1.0, early_stop_threshold=0.9999, seed=3
+        ).build()
+        exact = ExactKNN(small_clustered).build()
+        q = small_clustered[7] + 0.001
+        got = set(index.query(q, 5).ids.tolist())
+        truth = set(exact.query(q, 5).ids.tolist())
+        assert len(got & truth) >= 4

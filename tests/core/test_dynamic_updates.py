@@ -1,0 +1,92 @@
+"""Tests for dynamic updates: PMTree.append_points and PMLSH.extend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import PMLSHParams
+from repro.core.pmlsh import PMLSH
+from repro.pmtree.tree import PMTree
+from repro.pmtree.validate import check_invariants
+
+
+class TestPMTreeAppend:
+    def test_appended_points_are_findable(self, projected_points):
+        base, extra = projected_points[:800], projected_points[800:]
+        tree = PMTree.build(base, num_pivots=4, capacity=16, seed=0)
+        new_ids = tree.append_points(extra)
+        assert list(new_ids) == list(range(800, 1000))
+        assert len(tree) == 1000
+        check_invariants(tree)
+        # Range queries now see the appended rows.
+        query = extra[0]
+        got = {pid for pid, _ in tree.range_query(query, 1e-9)}
+        assert 800 in got
+
+    def test_append_preserves_exactness(self, projected_points):
+        base, extra = projected_points[:700], projected_points[700:900]
+        tree = PMTree.build(base, num_pivots=3, capacity=16, seed=1)
+        tree.append_points(extra)
+        all_points = projected_points[:900]
+        query = all_points[123] + 0.1
+        got = {pid for pid, _ in tree.range_query(query, 3.0)}
+        dists = np.linalg.norm(all_points - query, axis=1)
+        expected = {int(i) for i in np.flatnonzero(dists <= 3.0)}
+        assert got == expected
+
+    def test_dimension_mismatch(self, projected_points):
+        tree = PMTree.build(projected_points[:100], capacity=16, seed=0)
+        with pytest.raises(ValueError):
+            tree.append_points(np.zeros((2, 3)))
+
+    def test_single_row_append(self, projected_points):
+        tree = PMTree.build(projected_points[:50], capacity=8, seed=0)
+        new_ids = tree.append_points(projected_points[50])
+        assert list(new_ids) == [50]
+        check_invariants(tree)
+
+
+class TestPMLSHExtend:
+    def test_extend_finds_new_points(self, small_clustered):
+        base, extra = small_clustered[:600], small_clustered[600:650]
+        index = PMLSH(base, params=PMLSHParams(node_capacity=32), seed=0).build()
+        new_ids = index.extend(extra)
+        assert index.n == 650
+        # A query at a new point returns it first.
+        result = index.query(extra[10], k=1)
+        assert int(result.ids[0]) == int(new_ids[10])
+        assert result.distances[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_extend_preserves_quality(self, small_clustered):
+        from repro.baselines.exact import ExactKNN
+        from repro.evaluation.metrics import recall
+
+        base, extra = small_clustered[:600], small_clustered[600:]
+        index = PMLSH(base, params=PMLSHParams(node_capacity=32), seed=0).build()
+        index.extend(extra)
+        exact = ExactKNN(small_clustered[:800]).build()
+        rng = np.random.default_rng(1)
+        recalls = []
+        for _ in range(10):
+            q = small_clustered[rng.integers(0, 800)] + 0.01
+            got = index.query(q, k=10)
+            truth = exact.query(q, k=10)
+            recalls.append(recall(got.ids, truth.ids))
+        assert np.mean(recalls) > 0.85
+
+    def test_extend_before_build_rejected(self, small_clustered):
+        index = PMLSH(small_clustered[:100], seed=0)
+        with pytest.raises(RuntimeError):
+            index.extend(small_clustered[100:110])
+
+    def test_extend_dimension_check(self, small_clustered):
+        index = PMLSH(small_clustered[:100], seed=0).build()
+        with pytest.raises(ValueError):
+            index.extend(np.zeros((2, 3)))
+
+    def test_projected_matrix_stays_consistent(self, small_clustered):
+        index = PMLSH(small_clustered[:200], seed=0).build()
+        index.extend(small_clustered[200:220])
+        expected = index.projection.project(index.data)
+        np.testing.assert_allclose(index.projected, expected, rtol=1e-10)

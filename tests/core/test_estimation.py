@@ -1,0 +1,203 @@
+"""Tests for the χ² estimation theory (Lemmas 1–3) and the Eq. 10 solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.estimation import (
+    DistanceEstimator,
+    EstimatorKind,
+    chi2_upper_quantile,
+    confidence_interval,
+    estimate_original_distance,
+    solve_parameters,
+)
+from repro.core.hashing import GaussianProjection
+
+
+class TestChi2Quantile:
+    def test_matches_scipy(self):
+        assert chi2_upper_quantile(0.1, 15) == pytest.approx(stats.chi2.isf(0.1, 15))
+
+    def test_monotone_in_alpha(self):
+        assert chi2_upper_quantile(0.05, 10) > chi2_upper_quantile(0.5, 10)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chi2_upper_quantile(0.0, 10)
+        with pytest.raises(ValueError):
+            chi2_upper_quantile(0.5, 0)
+
+
+class TestLemma1:
+    def test_projected_over_original_is_chi2(self):
+        """r'²/r² must follow χ²(m): check mean and variance."""
+        rng = np.random.default_rng(0)
+        m, trials = 15, 3000
+        o1, o2 = rng.normal(size=32), rng.normal(size=32)
+        r = float(np.linalg.norm(o1 - o2))
+        ratios = np.empty(trials)
+        for t in range(trials):
+            proj = GaussianProjection(32, m, seed=rng)
+            r_proj = float(np.linalg.norm(proj.project(o1) - proj.project(o2)))
+            ratios[t] = (r_proj / r) ** 2
+        # chi2(m) has mean m and variance 2m.
+        assert ratios.mean() == pytest.approx(m, rel=0.05)
+        assert ratios.var() == pytest.approx(2 * m, rel=0.15)
+
+
+class TestLemma2:
+    def test_estimator_unbiased(self):
+        rng = np.random.default_rng(1)
+        m, trials = 15, 4000
+        o1, o2 = rng.normal(size=24), rng.normal(size=24)
+        r = float(np.linalg.norm(o1 - o2))
+        estimates = np.empty(trials)
+        for t in range(trials):
+            proj = GaussianProjection(24, m, seed=rng)
+            r_proj = float(np.linalg.norm(proj.project(o1) - proj.project(o2)))
+            estimates[t] = estimate_original_distance(r_proj, m)
+        # E[r'] = sqrt(m)·r exactly in the squared sense; the sqrt estimator
+        # carries a small negative bias of order 1/(4m), so allow 3%.
+        assert estimates.mean() == pytest.approx(r, rel=0.03)
+
+    def test_vectorised(self):
+        values = estimate_original_distance(np.array([4.0, 8.0]), 16)
+        np.testing.assert_allclose(values, [1.0, 2.0])
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            estimate_original_distance(1.0, 0)
+
+
+class TestLemma3:
+    def test_interval_orientation(self):
+        interval = confidence_interval(2.0, m=15, alpha=0.1)
+        assert interval.lower < 2.0 * np.sqrt(15) < interval.upper
+
+    def test_coverage_matches_alpha(self):
+        """Pr[r' < lower] ≈ alpha and Pr[r' > upper] ≈ alpha empirically."""
+        rng = np.random.default_rng(2)
+        m, alpha, trials = 15, 0.15, 3000
+        o1, o2 = rng.normal(size=16), rng.normal(size=16)
+        r = float(np.linalg.norm(o1 - o2))
+        interval = confidence_interval(r, m=m, alpha=alpha)
+        below = above = 0
+        for _ in range(trials):
+            proj = GaussianProjection(16, m, seed=rng)
+            r_proj = float(np.linalg.norm(proj.project(o1) - proj.project(o2)))
+            below += r_proj < interval.lower
+            above += r_proj > interval.upper
+        assert below / trials == pytest.approx(alpha, abs=0.03)
+        assert above / trials == pytest.approx(alpha, abs=0.03)
+
+    def test_contains(self):
+        interval = confidence_interval(1.0, m=15, alpha=0.1)
+        assert interval.contains((interval.lower + interval.upper) / 2)
+        assert not interval.contains(interval.upper + 1.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval(-1.0, m=15, alpha=0.1)
+
+
+class TestEq10Solver:
+    def test_consistency_with_definition(self):
+        solved = solve_parameters(m=15, c=1.5)
+        # t² = chi2_alpha1(m)
+        assert solved.t**2 == pytest.approx(stats.chi2.isf(solved.alpha1, 15))
+        # t² = c²·chi2_{1-alpha2}(m)  =>  alpha2 = CDF(t²/c²)
+        assert solved.alpha2 == pytest.approx(
+            stats.chi2.cdf(solved.t**2 / 1.5**2, 15)
+        )
+        assert solved.beta == pytest.approx(2 * solved.alpha2)
+
+    def test_paper_probability_bound(self):
+        """With alpha1 = 1/e and beta = 2·alpha2, Pr[E1 ∧ E2] ≥ 1/2 − 1/e
+        (Theorem 1)."""
+        solved = solve_parameters(m=15, c=1.5)
+        assert solved.success_probability == pytest.approx(0.5 - 1 / np.e, abs=1e-9)
+
+    def test_larger_c_means_smaller_alpha2(self):
+        loose = solve_parameters(m=15, c=2.0)
+        tight = solve_parameters(m=15, c=1.1)
+        assert loose.alpha2 < tight.alpha2
+
+    def test_e1_guarantee_empirical(self):
+        """A point inside B(q, r) projects within t·r with prob ≥ 1 − α1."""
+        rng = np.random.default_rng(3)
+        m, trials = 15, 2000
+        solved = solve_parameters(m=m, c=1.5)
+        q = rng.normal(size=20)
+        o = q + rng.normal(size=20) * 0.05
+        r = float(np.linalg.norm(q - o))
+        hits = 0
+        for _ in range(trials):
+            proj = GaussianProjection(20, m, seed=rng)
+            projected = float(np.linalg.norm(proj.project(q) - proj.project(o)))
+            hits += projected <= solved.t * r
+        assert hits / trials >= 1 - solved.alpha1 - 0.03
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            solve_parameters(m=15, c=1.0)
+        with pytest.raises(ValueError):
+            solve_parameters(m=15, c=1.5, alpha1=0.0)
+        with pytest.raises(ValueError):
+            solve_parameters(m=15, c=1.5, beta_multiplier=1.0)
+
+
+class TestEstimators:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=(400, 32))
+        proj = GaussianProjection(32, 15, seed=0)
+        return data, proj.project(data), proj
+
+    @pytest.mark.parametrize("kind", list(EstimatorKind))
+    def test_scores_shape(self, setup, kind):
+        _, projected, proj = setup
+        estimator = DistanceEstimator(projected, kind=kind, seed=0)
+        scores = estimator.scores(projected[0])
+        assert scores.shape == (400,)
+
+    def test_top_is_sorted_by_score(self, setup):
+        _, projected, _ = setup
+        estimator = DistanceEstimator(projected, kind="L2")
+        top = estimator.top(projected[0], 10)
+        scores = estimator.scores(projected[0])
+        assert list(top) == list(np.argsort(scores, kind="stable")[:10])
+
+    def test_l2_beats_rand_on_recall(self, setup):
+        """The Fig. 3 headline: L2 recovers true neighbours, Rand does not."""
+        data, projected, proj = setup
+        from repro.datasets.distance import chunked_knn
+
+        exact_ids, _ = chunked_knn(data[:5], data, k=10)
+        def recall_at_t(kind, t=50):
+            estimator = DistanceEstimator(projected, kind=kind, seed=1)
+            total = 0
+            for i in range(5):
+                got = set(estimator.top(projected[i], t).tolist())
+                total += len(got & set(exact_ids[i].tolist()))
+            return total / (5 * 10)
+
+        assert recall_at_t("L2") > recall_at_t("Rand") + 0.3
+
+    def test_string_kind_coerced(self, setup):
+        _, projected, _ = setup
+        estimator = DistanceEstimator(projected, kind="QD")
+        assert estimator.kind is EstimatorKind.QD
+
+    def test_invalid_inputs(self, setup):
+        _, projected, _ = setup
+        with pytest.raises(ValueError):
+            DistanceEstimator(projected, bucket_width=0.0)
+        estimator = DistanceEstimator(projected)
+        with pytest.raises(ValueError):
+            estimator.scores(np.zeros(3))
+        with pytest.raises(ValueError):
+            estimator.top(projected[0], 0)

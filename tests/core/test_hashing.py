@@ -1,0 +1,147 @@
+"""Tests for p-stable hashing (Eqs. 1–3) and collision probability (Eq. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashing import (
+    GaussianProjection,
+    LSHFunction,
+    collision_probability,
+    sensitivity,
+)
+
+
+class TestGaussianProjection:
+    def test_shapes(self):
+        proj = GaussianProjection(dim=32, m=10, seed=0)
+        points = np.random.default_rng(1).normal(size=(50, 32))
+        assert proj.project(points).shape == (50, 10)
+        assert proj.project(points[0]).shape == (10,)
+
+    def test_linear(self):
+        proj = GaussianProjection(dim=8, m=4, seed=0)
+        a = np.random.default_rng(2).normal(size=8)
+        b = np.random.default_rng(3).normal(size=8)
+        np.testing.assert_allclose(
+            proj.project(a + b), proj.project(a) + proj.project(b), rtol=1e-10
+        )
+
+    def test_deterministic(self):
+        a = GaussianProjection(16, 5, seed=9).directions
+        b = GaussianProjection(16, 5, seed=9).directions
+        np.testing.assert_array_equal(a, b)
+
+    def test_dimension_mismatch(self):
+        proj = GaussianProjection(8, 4, seed=0)
+        with pytest.raises(ValueError):
+            proj.project(np.zeros((3, 9)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GaussianProjection(0, 4)
+        with pytest.raises(ValueError):
+            GaussianProjection(4, 0)
+
+    def test_two_stability(self):
+        """Per Lemma 1's setup: the per-axis hash difference of two points
+        at distance r is N(0, r²) — so its empirical std over many hash
+        functions should approximate r."""
+        rng = np.random.default_rng(0)
+        o1, o2 = rng.normal(size=16), rng.normal(size=16)
+        r = float(np.linalg.norm(o1 - o2))
+        proj = GaussianProjection(16, 4000, seed=1)
+        rho = proj.project(o1) - proj.project(o2)
+        assert np.std(rho) == pytest.approx(r, rel=0.1)
+
+    def test_callable(self):
+        proj = GaussianProjection(4, 2, seed=0)
+        point = np.ones(4)
+        np.testing.assert_array_equal(proj(point), proj.project(point))
+
+
+class TestLSHFunction:
+    def test_bucketize_shapes(self):
+        lsh = LSHFunction(dim=16, m=6, w=4.0, seed=0)
+        points = np.random.default_rng(1).normal(size=(20, 16))
+        buckets = lsh.bucketize(points)
+        assert buckets.shape == (20, 6)
+        assert buckets.dtype == np.int64
+
+    def test_residuals_sum_to_width(self):
+        lsh = LSHFunction(dim=8, m=5, w=3.0, seed=0)
+        point = np.random.default_rng(2).normal(size=8)
+        to_lower, to_upper = lsh.residuals(point)
+        np.testing.assert_allclose(to_lower + to_upper, 3.0, rtol=1e-10)
+        assert np.all(to_lower >= 0)
+        assert np.all(to_upper >= 0)
+
+    def test_compound_key_is_hashable(self):
+        lsh = LSHFunction(dim=8, m=3, seed=0)
+        key = lsh.compound_key(np.zeros(8))
+        assert isinstance(key, tuple)
+        assert len(key) == 3
+        hash(key)
+
+    def test_nearby_points_often_collide(self):
+        lsh = LSHFunction(dim=16, m=2, w=8.0, seed=0)
+        rng = np.random.default_rng(3)
+        base = rng.normal(size=16)
+        collisions = sum(
+            lsh.compound_key(base) == lsh.compound_key(base + rng.normal(size=16) * 0.01)
+            for _ in range(50)
+        )
+        assert collisions > 40
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            LSHFunction(4, 2, w=0.0)
+
+
+class TestCollisionProbability:
+    def test_extremes(self):
+        assert collision_probability(0.0, 4.0) == 1.0
+        assert collision_probability(1e9, 4.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_monotone_in_distance(self):
+        values = [collision_probability(tau, 4.0) for tau in [0.5, 1, 2, 4, 8, 16]]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_monotone_in_width(self):
+        values = [collision_probability(2.0, w) for w in [1.0, 2.0, 4.0, 8.0]]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_matches_monte_carlo(self):
+        """Closed form vs simulation of Eq. 1 at a few (tau, w) points."""
+        rng = np.random.default_rng(0)
+        trials = 40_000
+        for tau, w in [(1.0, 4.0), (2.0, 4.0), (4.0, 4.0)]:
+            a = rng.normal(size=trials)  # projection of the difference vector
+            b = rng.uniform(0, w, size=trials)
+            same_bucket = np.floor(b / w) == np.floor((a * tau + b) / w)
+            assert collision_probability(tau, w) == pytest.approx(
+                same_bucket.mean(), abs=0.02
+            )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            collision_probability(1.0, 0.0)
+        with pytest.raises(ValueError):
+            collision_probability(-1.0, 1.0)
+
+    def test_sensitivity_pair_ordered(self):
+        p1, p2 = sensitivity(1.0, 2.0, 4.0)
+        assert p1 > p2  # the defining property of an LSH family
+
+    def test_sensitivity_rejects_c(self):
+        with pytest.raises(ValueError):
+            sensitivity(1.0, 1.0, 4.0)
+
+    @given(st.floats(0.01, 100.0), st.floats(0.01, 100.0))
+    @settings(max_examples=50)
+    def test_is_probability(self, tau, w):
+        p = collision_probability(tau, w)
+        assert 0.0 <= p <= 1.0

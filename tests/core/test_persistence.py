@@ -1,0 +1,86 @@
+"""Tests for PM-LSH index persistence (save / load round trips)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import GaussianProjection
+from repro.core.params import PMLSHParams
+from repro.core.pmlsh import PMLSH
+from repro.pmtree.validate import check_invariants
+
+
+@pytest.fixture(scope="module")
+def index(small_clustered):
+    return PMLSH(
+        small_clustered[:500], params=PMLSHParams(node_capacity=32), seed=0
+    ).build()
+
+
+class TestFromDirections:
+    def test_round_trip_projection(self):
+        original = GaussianProjection(16, 6, seed=3)
+        rebuilt = GaussianProjection.from_directions(original.directions)
+        point = np.arange(16, dtype=np.float64)
+        np.testing.assert_allclose(rebuilt.project(point), original.project(point))
+        assert rebuilt.m == 6 and rebuilt.dim == 16
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            GaussianProjection.from_directions(np.zeros(5))
+        with pytest.raises(ValueError):
+            GaussianProjection.from_directions(np.empty((0, 4)))
+
+
+class TestSaveLoad:
+    def test_round_trip_answers_identically(self, index, small_clustered, tmp_path):
+        path = str(tmp_path / "index.npz")
+        index.save(path)
+        restored = PMLSH.load(path)
+        assert restored.is_built
+        assert restored.n == index.n
+        check_invariants(restored.tree)
+        rng = np.random.default_rng(4)
+        for _ in range(5):
+            q = small_clustered[rng.integers(0, 500)] + 0.01
+            a = index.query(q, k=10)
+            b = restored.query(q, k=10)
+            np.testing.assert_array_equal(a.ids, b.ids)
+            np.testing.assert_allclose(a.distances, b.distances, rtol=1e-12)
+
+    def test_params_survive(self, small_clustered, tmp_path):
+        params = PMLSHParams(m=10, num_pivots=3, c=1.8, node_capacity=16,
+                             use_rings=False)
+        original = PMLSH(small_clustered[:200], params=params, seed=1).build()
+        path = str(tmp_path / "custom.npz")
+        original.save(path)
+        restored = PMLSH.load(path)
+        assert restored.params == params
+        assert restored.tree.num_pivots == 3
+        assert not restored.tree.use_rings
+
+    def test_ball_cover_after_load(self, index, small_clustered, tmp_path):
+        path = str(tmp_path / "bc.npz")
+        index.save(path)
+        restored = PMLSH.load(path)
+        q = small_clustered[7]
+        a = index.ball_cover_query(q, r=1.0, exclude={7})
+        b = restored.ball_cover_query(q, r=1.0, exclude={7})
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a[0] == b[0]
+
+    def test_unbuilt_index_cannot_save(self, small_clustered, tmp_path):
+        fresh = PMLSH(small_clustered[:100], seed=0)
+        with pytest.raises(RuntimeError):
+            fresh.save(str(tmp_path / "nope.npz"))
+
+    def test_loaded_index_supports_extend(self, index, small_clustered, tmp_path):
+        path = str(tmp_path / "ext.npz")
+        index.save(path)
+        restored = PMLSH.load(path)
+        new_ids = restored.extend(small_clustered[500:520])
+        assert restored.n == index.n + 20
+        hit = restored.query(small_clustered[505], k=1)
+        assert int(hit.ids[0]) == int(new_ids[5])

@@ -1,0 +1,82 @@
+"""Tests for PM-LSH extensions: batch queries, beta override, BC exclude."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import PMLSHParams
+from repro.core.pmlsh import PMLSH
+
+
+@pytest.fixture(scope="module")
+def index(small_clustered):
+    return PMLSH(small_clustered, params=PMLSHParams(node_capacity=32), seed=0).build()
+
+
+class TestQueryBatch:
+    def test_matches_single_queries(self, index, small_clustered):
+        queries = small_clustered[:4] + 0.01
+        batch = index.query_batch(queries, k=5)
+        assert len(batch) == 4
+        for row, result in zip(queries, batch):
+            single = index.query(row, k=5)
+            np.testing.assert_array_equal(result.ids, single.ids)
+
+    def test_single_row_accepted(self, index, small_clustered):
+        batch = index.query_batch(small_clustered[0], k=3)
+        assert len(batch) == 1
+        assert len(batch[0]) == 3
+
+    def test_dimension_mismatch(self, index):
+        with pytest.raises(ValueError):
+            index.query_batch(np.zeros((2, 3)), k=2)
+
+
+class TestBetaOverride:
+    def test_override_replaces_solved_beta(self, small_clustered):
+        params = PMLSHParams(beta_override=0.3)
+        index = PMLSH(small_clustered[:300], params=params, seed=1)
+        assert index.solved.beta == 0.3
+
+    def test_override_changes_candidate_budget(self, small_clustered):
+        data = small_clustered[:500]
+        small = PMLSH(data, params=PMLSHParams(beta_override=0.05), seed=2).build()
+        large = PMLSH(data, params=PMLSHParams(beta_override=0.5), seed=2).build()
+        q = data[0] + 0.01
+        assert (
+            small.query(q, 10).stats["candidates"]
+            < large.query(q, 10).stats["candidates"]
+        )
+
+    def test_invalid_override(self):
+        with pytest.raises(ValueError):
+            PMLSHParams(beta_override=0.0)
+        with pytest.raises(ValueError):
+            PMLSHParams(beta_override=1.0)
+
+    def test_none_keeps_solved(self, small_clustered):
+        from repro.core.estimation import solve_parameters
+
+        index = PMLSH(small_clustered[:200], seed=0)
+        expected = solve_parameters(m=15, c=1.5).beta
+        assert index.solved.beta == pytest.approx(expected)
+
+
+class TestBallCoverExclude:
+    def test_excluding_self_finds_neighbour(self, index, small_clustered):
+        # Probe with an indexed point: without exclude, the point itself is
+        # the closest in-ball hit; with exclude, its true neighbour is.
+        probe_id = 17
+        q = small_clustered[probe_id]
+        dists = np.linalg.norm(small_clustered - q, axis=1)
+        dists[probe_id] = np.inf
+        nn_dist = float(dists.min())
+        plain = index.ball_cover_query(q, r=max(nn_dist * 1.5, 1e-6))
+        assert plain is not None and plain[0] == probe_id
+        excluded = index.ball_cover_query(
+            q, r=max(nn_dist * 1.5, 1e-6), exclude={probe_id}
+        )
+        assert excluded is not None
+        assert excluded[0] != probe_id
+        assert excluded[1] <= index.params.c * nn_dist * 1.5 + 1e-9

@@ -1,0 +1,67 @@
+"""Tests for initial-radius selection (§4.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.radius import radius_from_points, select_initial_radius
+from repro.datasets.distance import DistanceDistribution, sample_distance_distribution
+
+
+class TestSelectInitialRadius:
+    def test_targets_beta_n_plus_k_mass(self):
+        samples = np.linspace(1.0, 100.0, 1000)
+        dist = DistanceDistribution(samples)
+        n, beta, k = 1000, 0.1, 10
+        radius = select_initial_radius(dist, n=n, beta=beta, k=k, shrink=1.0)
+        # F(radius) should be about (beta*n + k)/n = 0.11.
+        assert dist.cdf(radius) == pytest.approx(0.11, abs=0.01)
+
+    def test_shrink_reduces_radius(self):
+        dist = DistanceDistribution(np.linspace(1.0, 10.0, 100))
+        full = select_initial_radius(dist, n=100, beta=0.2, k=5, shrink=1.0)
+        shrunk = select_initial_radius(dist, n=100, beta=0.2, k=5, shrink=0.9)
+        assert shrunk == pytest.approx(0.9 * full)
+
+    def test_positive_even_with_duplicate_head(self):
+        samples = np.concatenate([np.zeros(90), np.linspace(1, 2, 10)])
+        dist = DistanceDistribution(samples)
+        radius = select_initial_radius(dist, n=100, beta=0.05, k=1)
+        assert radius > 0.0
+
+    def test_mass_capped_at_one(self):
+        dist = DistanceDistribution(np.linspace(1.0, 5.0, 50))
+        radius = select_initial_radius(dist, n=10, beta=0.9, k=10, shrink=1.0)
+        assert radius == pytest.approx(5.0)
+
+    def test_invalid_params(self):
+        dist = DistanceDistribution(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            select_initial_radius(dist, n=0, beta=0.1, k=1)
+        with pytest.raises(ValueError):
+            select_initial_radius(dist, n=10, beta=0.0, k=1)
+        with pytest.raises(ValueError):
+            select_initial_radius(dist, n=10, beta=0.1, k=0)
+        with pytest.raises(ValueError):
+            select_initial_radius(dist, n=10, beta=0.1, k=1, shrink=0.0)
+
+
+class TestRadiusFromPoints:
+    def test_yields_working_radius(self, small_clustered):
+        """The ball B(q, r_min) should hold roughly βn + k points for an
+        average query, by construction."""
+        beta, k = 0.1, 10
+        radius = radius_from_points(small_clustered, beta=beta, k=k, shrink=1.0, seed=0)
+        n = small_clustered.shape[0]
+        counts = []
+        for i in range(0, 50):
+            dists = np.linalg.norm(small_clustered - small_clustered[i], axis=1)
+            counts.append(int((dists <= radius).sum()))
+        target = beta * n + k
+        assert np.median(counts) == pytest.approx(target, rel=0.5)
+
+    def test_deterministic(self, small_clustered):
+        a = radius_from_points(small_clustered, beta=0.1, k=5, seed=3)
+        b = radius_from_points(small_clustered, beta=0.1, k=5, seed=3)
+        assert a == b

@@ -1,0 +1,85 @@
+"""Tests for the emulated dataset registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import (
+    DATASET_SPECS,
+    available_datasets,
+    load_dataset,
+)
+from repro.datasets.stats import dataset_statistics
+
+
+class TestSpecs:
+    def test_all_seven_present(self):
+        assert set(DATASET_SPECS) == {
+            "Audio", "Deep", "NUS", "MNIST", "GIST", "Cifar", "Trevi",
+        }
+
+    def test_paper_dimensions(self):
+        expected = {
+            "Audio": 192, "Deep": 256, "NUS": 500, "MNIST": 784,
+            "GIST": 960, "Cifar": 1024, "Trevi": 4096,
+        }
+        for name, d in expected.items():
+            assert DATASET_SPECS[name].paper_d == d
+
+    def test_generate_shape(self):
+        points = DATASET_SPECS["Audio"].generate(n=500)
+        assert points.shape == (500, 192)
+
+    def test_generate_deterministic(self):
+        a = DATASET_SPECS["MNIST"].generate(n=300)
+        b = DATASET_SPECS["MNIST"].generate(n=300)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generate_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            DATASET_SPECS["Audio"].generate(n=0)
+
+    def test_default_n_scales_down(self):
+        for spec in DATASET_SPECS.values():
+            assert 0 < spec.default_n() <= spec.paper_n
+
+
+class TestLoadDataset:
+    def test_workload_shapes(self):
+        workload = load_dataset("Audio", n=600, num_queries=15)
+        assert workload.n == 600 - 15
+        assert workload.queries.shape == (15, 192)
+        assert workload.name == "Audio"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("ImageNet")
+
+    def test_available_datasets_order(self):
+        assert available_datasets()[0] == "Audio"
+        assert len(available_datasets()) == 7
+
+
+class TestHardnessOrdering:
+    """The emulations must reproduce the paper's qualitative hardness
+    ordering (Table 3): NUS is the hardest (largest LID, smallest RC) and
+    Audio among the easiest."""
+
+    @pytest.fixture(scope="class")
+    def stats(self):
+        result = {}
+        for name in ["Audio", "NUS"]:
+            points = DATASET_SPECS[name].generate(n=1500)
+            result[name] = dataset_statistics(points, seed=0)
+        return result
+
+    def test_nus_has_higher_lid(self, stats):
+        assert stats["NUS"].lid > stats["Audio"].lid
+
+    def test_nus_has_lower_rc(self, stats):
+        assert stats["NUS"].rc < stats["Audio"].rc
+
+    def test_hv_is_high_everywhere(self, stats):
+        for row in stats.values():
+            assert row.hv >= 0.85

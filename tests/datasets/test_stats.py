@@ -1,0 +1,99 @@
+"""Tests for the Table 3 hardness statistics (HV, RC, LID)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.stats import (
+    dataset_statistics,
+    homogeneity_of_viewpoints,
+    local_intrinsic_dimensionality,
+    relative_contrast,
+)
+from repro.datasets.synthetic import (
+    gaussian_mixture,
+    low_intrinsic_dimension,
+    uniform_hypercube,
+)
+
+
+class TestHV:
+    def test_in_unit_interval(self, small_clustered):
+        hv = homogeneity_of_viewpoints(small_clustered, seed=0)
+        assert 0.0 <= hv <= 1.0
+
+    def test_homogeneous_data_scores_high(self):
+        """Uniform hypercube data: every viewpoint sees a similar distance
+        profile, so HV should be close to 1 (the paper's datasets all have
+        HV >= 0.9)."""
+        points = uniform_hypercube(800, 16, seed=0)
+        assert homogeneity_of_viewpoints(points, seed=0) > 0.9
+
+    def test_scale_heterogeneous_data_scores_lower(self):
+        """Points at log-spread radii from the origin: a viewpoint near the
+        centre and one on the outer shell see very different distance
+        profiles, so HV must drop below the homogeneous uniform case."""
+        rng = np.random.default_rng(0)
+        directions = rng.normal(size=(600, 8))
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        radii = 10 ** rng.uniform(-1, 2, size=600)
+        heterogeneous = directions * radii[:, None]
+        uniform = uniform_hypercube(600, 8, seed=1)
+        assert homogeneity_of_viewpoints(heterogeneous, seed=0) < (
+            homogeneity_of_viewpoints(uniform, seed=0) - 0.02
+        )
+
+    def test_requires_points(self):
+        with pytest.raises(ValueError):
+            homogeneity_of_viewpoints(np.zeros((2, 3)))
+
+
+class TestRC:
+    def test_at_least_one(self, small_clustered):
+        assert relative_contrast(small_clustered, seed=0) >= 1.0
+
+    def test_clustered_beats_uniform(self):
+        """Clustered data has near neighbours => large RC; uniform
+        high-dimensional data has RC -> 1 (hard)."""
+        clustered = gaussian_mixture(600, 24, num_clusters=10, cluster_std=0.2, seed=0)
+        uniform = np.random.default_rng(1).normal(size=(600, 24))
+        assert relative_contrast(clustered, seed=0) > relative_contrast(uniform, seed=0)
+
+    def test_requires_points(self):
+        with pytest.raises(ValueError):
+            relative_contrast(np.zeros((2, 3)))
+
+
+class TestLID:
+    def test_positive(self, small_clustered):
+        assert local_intrinsic_dimensionality(small_clustered, seed=0) > 0.0
+
+    def test_tracks_manifold_dimension(self):
+        low = low_intrinsic_dimension(1500, 32, intrinsic_dim=3, ambient_noise=0.0, seed=0)
+        high = low_intrinsic_dimension(1500, 32, intrinsic_dim=16, ambient_noise=0.0, seed=0)
+        lid_low = local_intrinsic_dimensionality(low, seed=0)
+        lid_high = local_intrinsic_dimensionality(high, seed=0)
+        assert lid_low < lid_high
+        # The MLE should land in the right ballpark for the low case.
+        assert 1.0 < lid_low < 8.0
+
+    def test_requires_enough_points(self):
+        with pytest.raises(ValueError):
+            local_intrinsic_dimensionality(np.zeros((5, 3)), k=20)
+
+
+class TestDatasetStatistics:
+    def test_full_row(self, small_clustered):
+        stats = dataset_statistics(small_clustered, seed=0)
+        assert stats.n == small_clustered.shape[0]
+        assert stats.d == small_clustered.shape[1]
+        assert 0.0 <= stats.hv <= 1.0
+        assert stats.rc >= 1.0
+        assert stats.lid > 0.0
+
+    def test_as_row_formatting(self, small_clustered):
+        stats = dataset_statistics(small_clustered, seed=0)
+        row = stats.as_row("Test")
+        assert "Test" in row
+        assert str(small_clustered.shape[1]) in row

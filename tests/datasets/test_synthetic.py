@@ -1,0 +1,137 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    clustered_manifold,
+    gaussian_mixture,
+    low_intrinsic_dimension,
+    sample_queries,
+    uniform_hypercube,
+)
+
+
+class TestUniform:
+    def test_shape_and_range(self):
+        points = uniform_hypercube(100, 5, low=-1.0, high=2.0, seed=0)
+        assert points.shape == (100, 5)
+        assert points.min() >= -1.0
+        assert points.max() <= 2.0
+
+    def test_deterministic(self):
+        a = uniform_hypercube(50, 3, seed=7)
+        b = uniform_hypercube(50, 3, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            uniform_hypercube(10, 2, low=1.0, high=1.0)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            uniform_hypercube(0, 2)
+        with pytest.raises(ValueError):
+            uniform_hypercube(10, 0)
+
+
+class TestGaussianMixture:
+    def test_shape(self):
+        points = gaussian_mixture(200, 16, num_clusters=4, seed=0)
+        assert points.shape == (200, 16)
+
+    def test_clusters_make_structure(self):
+        """Clustered data must have smaller NN distances than uniform noise
+        of the same scale."""
+        clustered = gaussian_mixture(300, 8, num_clusters=5, cluster_std=0.2, seed=1)
+        from repro.datasets.distance import chunked_knn
+
+        _, dists = chunked_knn(clustered[:50], clustered, k=2)
+        nn = dists[:, 1].mean()
+        spread = np.linalg.norm(clustered.std(axis=0))
+        assert nn < spread  # neighbours are much closer than the global scale
+
+    def test_weights_control_assignment(self):
+        # All mass on cluster 0 -> one tight blob.
+        points = gaussian_mixture(
+            100, 4, num_clusters=3, cluster_std=0.1,
+            weights=np.array([1.0, 0.0, 0.0]), seed=2,
+        )
+        assert points.std(axis=0).max() < 1.0
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            gaussian_mixture(10, 2, num_clusters=2, weights=np.array([1.0]))
+        with pytest.raises(ValueError):
+            gaussian_mixture(10, 2, num_clusters=2, weights=np.array([-1.0, 2.0]))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            gaussian_mixture(10, 2, num_clusters=0)
+        with pytest.raises(ValueError):
+            gaussian_mixture(10, 2, cluster_std=-1.0)
+
+
+class TestLowIntrinsicDimension:
+    def test_shape(self):
+        points = low_intrinsic_dimension(150, 32, intrinsic_dim=4, seed=0)
+        assert points.shape == (150, 32)
+
+    def test_rank_reflects_intrinsic_dim(self):
+        points = low_intrinsic_dimension(200, 32, intrinsic_dim=4, ambient_noise=0.0, seed=0)
+        singular_values = np.linalg.svd(points - points.mean(axis=0), compute_uv=False)
+        # Only ~4 directions carry energy.
+        assert singular_values[4] < 1e-8 * singular_values[0]
+
+    def test_noise_fills_ambient_space(self):
+        points = low_intrinsic_dimension(200, 16, intrinsic_dim=2, ambient_noise=0.5, seed=0)
+        singular_values = np.linalg.svd(points - points.mean(axis=0), compute_uv=False)
+        assert singular_values[-1] > 0.1
+
+    def test_invalid_intrinsic_dim(self):
+        with pytest.raises(ValueError):
+            low_intrinsic_dimension(10, 4, intrinsic_dim=5)
+        with pytest.raises(ValueError):
+            low_intrinsic_dimension(10, 4, intrinsic_dim=0)
+
+
+class TestClusteredManifold:
+    def test_shape(self):
+        points = clustered_manifold(100, 64, intrinsic_dim=6, num_clusters=5, seed=0)
+        assert points.shape == (100, 64)
+
+    def test_deterministic(self):
+        a = clustered_manifold(60, 16, intrinsic_dim=3, num_clusters=4, seed=9)
+        b = clustered_manifold(60, 16, intrinsic_dim=3, num_clusters=4, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSampleQueries:
+    def test_hold_out_removes_queries(self, small_clustered):
+        data, queries = sample_queries(small_clustered, num_queries=10, seed=0)
+        assert data.shape[0] == small_clustered.shape[0] - 10
+        assert queries.shape == (10, small_clustered.shape[1])
+        # No query row should exist verbatim in the retained data.
+        for query in queries:
+            assert not np.any(np.all(np.isclose(data, query), axis=1))
+
+    def test_no_hold_out_keeps_data(self, small_clustered):
+        data, queries = sample_queries(
+            small_clustered, num_queries=5, hold_out=False, seed=0
+        )
+        assert data.shape == small_clustered.shape
+
+    def test_perturbation_moves_queries(self, small_clustered):
+        _, clean = sample_queries(small_clustered, num_queries=5, seed=3)
+        _, noisy = sample_queries(
+            small_clustered, num_queries=5, perturbation=0.1, seed=3
+        )
+        assert not np.allclose(clean, noisy)
+
+    def test_invalid_count(self, small_clustered):
+        with pytest.raises(ValueError):
+            sample_queries(small_clustered, num_queries=0)
+        with pytest.raises(ValueError):
+            sample_queries(small_clustered, num_queries=small_clustered.shape[0])

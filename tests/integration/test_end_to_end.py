@@ -1,0 +1,117 @@
+"""End-to-end integration: every algorithm on a shared emulated workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    E2LSH,
+    LinearScan,
+    MultiProbeLSH,
+    PMLSH,
+    PMLSHParams,
+    QALSH,
+    RLSH,
+    SRS,
+)
+from repro.datasets import load_dataset
+from repro.evaluation import compute_ground_truth, run_query_set
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return load_dataset("Audio", n=1200, num_queries=12, seed=0)
+
+
+@pytest.fixture(scope="module")
+def ground_truth(workload):
+    return compute_ground_truth(workload.data, workload.queries, k_max=20)
+
+
+ALGORITHMS = {
+    "PM-LSH": lambda data: PMLSH(data, params=PMLSHParams(node_capacity=32), seed=0),
+    "SRS": lambda data: SRS(data, seed=0),
+    "QALSH": lambda data: QALSH(data, seed=0),
+    "Multi-Probe": lambda data: MultiProbeLSH(data, seed=0),
+    "R-LSH": lambda data: RLSH(data, params=PMLSHParams(node_capacity=32), seed=0),
+    "LScan": lambda data: LinearScan(data, seed=0),
+}
+
+
+@pytest.fixture(scope="module")
+def results(workload, ground_truth):
+    output = {}
+    for name, make in ALGORITHMS.items():
+        index = make(workload.data).build()
+        output[name] = run_query_set(index, workload.queries, k=20, ground_truth=ground_truth)
+    return output
+
+
+class TestQualityFloors:
+    """Seeded quality floors per algorithm — regression fences, not tuning
+    targets.  Values are comfortably below typical measurements."""
+
+    def test_pmlsh(self, results):
+        assert results["PM-LSH"].recall > 0.9
+        assert results["PM-LSH"].overall_ratio < 1.02
+
+    def test_srs(self, results):
+        assert results["SRS"].recall > 0.6
+
+    def test_qalsh(self, results):
+        assert results["QALSH"].recall > 0.8
+
+    def test_multiprobe(self, results):
+        assert results["Multi-Probe"].recall > 0.6
+
+    def test_rlsh(self, results):
+        assert results["R-LSH"].recall > 0.85
+
+    def test_lscan_near_its_portion(self, results):
+        assert 0.5 < results["LScan"].recall < 0.9
+
+
+class TestPaperShape:
+    """The qualitative Table 4 orderings the reproduction must preserve."""
+
+    def test_pmlsh_beats_lscan_on_both_metrics(self, results):
+        assert results["PM-LSH"].recall > results["LScan"].recall
+        assert results["PM-LSH"].overall_ratio < results["LScan"].overall_ratio
+
+    def test_pmlsh_recall_at_least_srs(self, results):
+        assert results["PM-LSH"].recall >= results["SRS"].recall - 0.02
+
+    def test_all_ratios_at_least_one(self, results):
+        for name, result in results.items():
+            assert result.overall_ratio >= 1.0 - 1e-9, name
+
+    def test_everyone_returns_k(self, workload, ground_truth):
+        for name, make in ALGORITHMS.items():
+            index = make(workload.data).build()
+            result = index.query(workload.queries[0], 20)
+            assert len(result) == 20, name
+
+
+class TestE2LSHBallCoverLadder:
+    def test_ladder_answers_cann(self, workload):
+        """The §2.2 reduction: running (r, c)-BC queries with growing r
+        eventually returns a c²-approximate neighbour."""
+        data = workload.data
+        index = E2LSH(data, num_tables=6, m=6, w=30.0, seed=0).build()
+        q = workload.queries[0]
+        exact_nn = float(np.min(np.linalg.norm(data - q, axis=1)))
+        c = 1.5
+        r = max(exact_nn / 4, 1e-3)
+        answer = None
+        for _ in range(20):
+            answer = index.ball_cover_query(q, r=r, c=c)
+            if answer is not None:
+                break
+            r *= c
+        assert answer is not None
+        _, dist = answer
+        # c-BC at radius r implies distance <= c*r; the ladder guarantees
+        # r <= c * exact_nn at the stopping round (so dist <= c^2 * exact_nn)
+        # modulo the probabilistic miss, which the seed fixes.
+        assert dist <= c * r + 1e-9

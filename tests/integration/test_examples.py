@@ -1,0 +1,47 @@
+"""Smoke tests: the example scripts run end to end.
+
+Each example is executed in a subprocess with a small scale override where
+the script supports one; the assertions only check successful completion
+and the presence of headline output, not numbers.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
+    return result.stdout
+
+
+@pytest.mark.slow
+def test_quickstart_runs():
+    output = run_example("quickstart.py")
+    assert "recall" in output
+    assert "(r, c)-BC query" in output
+
+
+@pytest.mark.slow
+def test_algorithm_comparison_runs():
+    output = run_example("algorithm_comparison.py", "Audio", "1500")
+    assert "PM-LSH" in output
+    assert "LScan" in output
+
+
+@pytest.mark.slow
+def test_deduplication_runs():
+    output = run_example("deduplication.py")
+    assert "planted duplicates found" in output

@@ -1,0 +1,106 @@
+"""Statistical verification of the paper's theoretical guarantees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactKNN
+from repro.core.params import PMLSHParams
+from repro.core.pmlsh import PMLSH
+from repro.datasets.synthetic import gaussian_mixture
+
+
+class TestTheorem1:
+    """Algorithm 2 returns a c²-ANN with probability ≥ 1/2 − 1/e ≈ 0.132.
+
+    We measure the empirical success frequency over many queries and
+    require it to clear the bound with margin; in practice it is near 1."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        data = gaussian_mixture(1000, 24, num_clusters=8, cluster_std=0.8, seed=0)
+        index = PMLSH(data, params=PMLSHParams(node_capacity=32), seed=1).build()
+        exact = ExactKNN(data).build()
+        return data, index, exact
+
+    def test_c_squared_ann_frequency(self, setup):
+        data, index, exact = setup
+        c = index.params.c
+        rng = np.random.default_rng(2)
+        successes = trials = 0
+        for _ in range(40):
+            q = data[rng.integers(0, data.shape[0])] + rng.normal(size=24) * 0.05
+            got = index.query(q, k=1)
+            truth = exact.query(q, k=1)
+            r_star = max(float(truth.distances[0]), 1e-12)
+            successes += float(got.distances[0]) <= c * c * r_star + 1e-9
+            trials += 1
+        assert successes / trials >= 0.5 - 1 / np.e
+
+    def test_ck_ann_per_rank_guarantee(self, setup):
+        """(c, k)-ANN: every returned o_i within c²·||q, o*_i|| for most
+        queries (Definition 2 with the Theorem 1 ratio)."""
+        data, index, exact = setup
+        c2 = index.params.c ** 2
+        rng = np.random.default_rng(3)
+        per_query_ok = []
+        for _ in range(20):
+            q = data[rng.integers(0, data.shape[0])] + rng.normal(size=24) * 0.05
+            got = index.query(q, k=5)
+            truth = exact.query(q, k=5)
+            ok = all(
+                got.distances[i] <= c2 * max(truth.distances[i], 1e-12) + 1e-9
+                for i in range(5)
+            )
+            per_query_ok.append(ok)
+        assert np.mean(per_query_ok) >= 0.5 - 1 / np.e
+
+
+class TestLemma4Empirical:
+    """E1: points inside B(q, r) project within t·r with prob ≥ 1 − α1."""
+
+    def test_e1_on_real_queries(self):
+        data = gaussian_mixture(600, 16, num_clusters=6, seed=4)
+        hits = trials = 0
+        rng = np.random.default_rng(5)
+        for trial in range(60):
+            index = PMLSH(data, seed=int(rng.integers(0, 2**31))).build()
+            q = data[trial % data.shape[0]] + 0.01
+            dists = np.linalg.norm(data - q, axis=1)
+            near_id = int(np.argmin(dists))
+            r = max(float(dists[near_id]), 1e-9)
+            q_proj = index.projection.project(q)
+            o_proj = index.projected[near_id]
+            projected = float(np.linalg.norm(q_proj - o_proj))
+            hits += projected <= index.solved.t * r
+            trials += 1
+        assert hits / trials >= 1 - 1 / np.e - 0.1
+
+
+class TestSpaceAndTime:
+    """Theorem 2's shape: query cost grows sublinearly with n (O(log n + βn)
+    with small β), and the index stores O(n) items."""
+
+    def test_tree_stores_each_point_once(self):
+        data = gaussian_mixture(700, 16, num_clusters=5, seed=6)
+        index = PMLSH(data, params=PMLSHParams(node_capacity=32), seed=0).build()
+        leaf_ids = [
+            pid
+            for _, node in index.tree.iter_nodes()
+            if node.is_leaf
+            for pid in node.ids
+        ]
+        assert sorted(leaf_ids) == list(range(data.shape[0]))
+
+    def test_candidates_scale_with_beta_n(self):
+        small = gaussian_mixture(400, 16, num_clusters=5, seed=7)
+        large = gaussian_mixture(1200, 16, num_clusters=5, seed=7)
+        k = 5
+        small_index = PMLSH(small, params=PMLSHParams(node_capacity=32), seed=0).build()
+        large_index = PMLSH(large, params=PMLSHParams(node_capacity=32), seed=0).build()
+        small_cand = small_index.query(small[0], k).stats["candidates"]
+        large_cand = large_index.query(large[0], k).stats["candidates"]
+        beta = small_index.solved.beta
+        assert small_cand <= beta * 400 + k + 1
+        assert large_cand <= beta * 1200 + k + 1

@@ -1,0 +1,64 @@
+"""Tests for pivot selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.distance import pairwise_distances
+from repro.pmtree.pivots import select_pivots
+
+
+class TestSelectPivots:
+    @pytest.mark.parametrize("method", ["maxsep", "random", "variance"])
+    def test_shape(self, projected_points, method):
+        pivots = select_pivots(projected_points, 5, method=method, seed=0)
+        assert pivots.shape == (5, projected_points.shape[1])
+
+    def test_zero_pivots(self, projected_points):
+        pivots = select_pivots(projected_points, 0, seed=0)
+        assert pivots.shape == (0, projected_points.shape[1])
+
+    def test_too_many_pivots(self):
+        with pytest.raises(ValueError):
+            select_pivots(np.zeros((3, 2)), 4)
+
+    def test_unknown_method(self, projected_points):
+        with pytest.raises(ValueError):
+            select_pivots(projected_points, 2, method="mystery")
+
+    def test_negative_count(self, projected_points):
+        with pytest.raises(ValueError):
+            select_pivots(projected_points, -1)
+
+    def test_deterministic(self, projected_points):
+        a = select_pivots(projected_points, 4, seed=11)
+        b = select_pivots(projected_points, 4, seed=11)
+        np.testing.assert_array_equal(a, b)
+
+    def test_pivots_are_dataset_points(self, projected_points):
+        pivots = select_pivots(projected_points, 3, seed=0)
+        for pivot in pivots:
+            assert np.any(np.all(np.isclose(projected_points, pivot), axis=1))
+
+    def test_maxsep_spreads_more_than_random(self, projected_points):
+        """Farthest-first pivots should be at least as separated as random
+        ones on average (that is the point of the heuristic)."""
+        def min_separation(pivots):
+            matrix = pairwise_distances(pivots)
+            np.fill_diagonal(matrix, np.inf)
+            return matrix.min()
+
+        maxsep_scores = [
+            min_separation(select_pivots(projected_points, 5, method="maxsep", seed=s))
+            for s in range(5)
+        ]
+        random_scores = [
+            min_separation(select_pivots(projected_points, 5, method="random", seed=s))
+            for s in range(5)
+        ]
+        assert np.mean(maxsep_scores) > np.mean(random_scores)
+
+    def test_sample_size_respected(self, projected_points):
+        pivots = select_pivots(projected_points, 3, sample_size=10, seed=0)
+        assert pivots.shape == (3, projected_points.shape[1])

@@ -1,0 +1,100 @@
+"""Property-based tests: the PM-tree is exact for range and kNN queries
+regardless of data distribution, build path, capacity or pivot count."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pmtree.tree import PMTree
+from repro.pmtree.validate import check_invariants
+
+
+@st.composite
+def point_cloud(draw):
+    n = draw(st.integers(min_value=5, max_value=120))
+    dim = draw(st.integers(min_value=1, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    scale = draw(st.sampled_from([0.1, 1.0, 25.0]))
+    rng = np.random.default_rng(seed)
+    kind = draw(st.sampled_from(["normal", "uniform", "lattice"]))
+    if kind == "normal":
+        points = rng.normal(size=(n, dim)) * scale
+    elif kind == "uniform":
+        points = rng.uniform(-scale, scale, size=(n, dim))
+    else:
+        # Integer lattice: many exact duplicates and ties.
+        points = rng.integers(-3, 4, size=(n, dim)).astype(np.float64)
+    return points
+
+
+@given(
+    point_cloud(),
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=4, max_value=16),
+    st.sampled_from(["bulk", "insert"]),
+    st.floats(min_value=0.0, max_value=10.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_range_query_is_exact(points, num_pivots, capacity, method, radius):
+    num_pivots = min(num_pivots, points.shape[0])
+    tree = PMTree.build(
+        points, num_pivots=num_pivots, capacity=capacity, method=method, seed=0
+    )
+    check_invariants(tree)
+    query = points[0] + 0.25
+    got = sorted(pid for pid, _ in tree.range_query(query, radius))
+    dists = np.linalg.norm(points - query, axis=1)
+    expected = sorted(int(i) for i in np.flatnonzero(dists <= radius))
+    assert got == expected
+
+
+@given(
+    point_cloud(),
+    st.integers(min_value=1, max_value=15),
+    st.sampled_from(["bulk", "insert"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_knn_is_exact(points, k, method):
+    k = min(k, points.shape[0])
+    tree = PMTree.build(points, num_pivots=2 if len(points) >= 2 else 0,
+                        capacity=8, method=method, seed=1)
+    query = points[-1] + 0.1
+    got = tree.knn(query, k)
+    assert len(got) == k
+    dists = np.linalg.norm(points - query, axis=1)
+    kth = np.sort(dists)[k - 1]
+    # Distance multiset must match (ids may differ on ties).
+    got_dists = np.array([d for _, d in got])
+    np.testing.assert_allclose(got_dists, np.sort(dists)[:k], rtol=1e-9, atol=1e-9)
+    assert got_dists.max() <= kth + 1e-9
+
+
+@given(
+    point_cloud(),
+    st.integers(min_value=1, max_value=30),
+    st.floats(min_value=0.1, max_value=20.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_limited_range_returns_closest_prefix(points, limit, radius):
+    tree = PMTree.build(points, num_pivots=min(3, len(points)), capacity=8, seed=2)
+    query = points[0] * 0.5
+    got = tree.range_query(query, radius, limit=limit)
+    dists = np.sort(np.linalg.norm(points - query, axis=1))
+    in_ball = dists[dists <= radius]
+    expected_count = min(limit, in_ball.size)
+    assert len(got) == expected_count
+    got_dists = np.array([d for _, d in got])
+    np.testing.assert_allclose(got_dists, in_ball[:expected_count], rtol=1e-9, atol=1e-9)
+
+
+@given(point_cloud(), st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=30, deadline=None)
+def test_insert_preserves_invariants_under_shuffles(points, seed):
+    order = np.random.default_rng(seed).permutation(points.shape[0])
+    tree = PMTree(points, num_pivots=min(2, len(points)), capacity=4, seed=0)
+    for point_id in order:
+        tree.insert(int(point_id))
+    check_invariants(tree)
+    assert len(tree) == points.shape[0]

@@ -1,0 +1,104 @@
+"""Tests for PM-tree split policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.distance import pairwise_distances
+from repro.pmtree.split import (
+    partition_members,
+    promote_mm_rad,
+    promote_random,
+)
+
+
+def random_matrix(k, seed=0):
+    points = np.random.default_rng(seed).normal(size=(k, 4))
+    return pairwise_distances(points)
+
+
+class TestPromotion:
+    def test_mm_rad_returns_distinct_pair(self):
+        matrix = random_matrix(10)
+        i, j = promote_mm_rad(matrix)
+        assert i != j
+        assert 0 <= i < 10 and 0 <= j < 10
+
+    def test_random_returns_distinct_pair(self):
+        matrix = random_matrix(8)
+        i, j = promote_random(matrix, seed=1)
+        assert i != j
+
+    def test_mm_rad_beats_worst_pair(self):
+        """The chosen pair's max covering radius must be no worse than an
+        arbitrary pair's."""
+        matrix = random_matrix(12, seed=3)
+
+        def score(pair):
+            group_a, group_b = partition_members(matrix, *pair)
+            radius_a = matrix[pair[0], group_a].max()
+            radius_b = matrix[pair[1], group_b].max()
+            return max(radius_a, radius_b)
+
+        best = score(promote_mm_rad(matrix))
+        others = [score((i, j)) for i in range(12) for j in range(i + 1, 12)]
+        assert best <= min(others) + 1e-9
+
+    def test_rejects_tiny_matrix(self):
+        with pytest.raises(ValueError):
+            promote_mm_rad(np.zeros((1, 1)))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            promote_mm_rad(np.zeros((3, 4)))
+
+    def test_large_matrix_uses_sampling(self):
+        matrix = random_matrix(80, seed=5)
+        i, j = promote_mm_rad(matrix, seed=0)
+        assert i != j
+
+
+class TestPartition:
+    def test_balanced_sizes_differ_by_at_most_one(self):
+        matrix = random_matrix(15)
+        group_a, group_b = partition_members(matrix, 0, 1, method="balanced")
+        assert abs(len(group_a) - len(group_b)) <= 1
+        assert sorted(group_a + group_b) == list(range(15))
+
+    def test_hyperplane_assigns_to_nearest(self):
+        matrix = random_matrix(12, seed=2)
+        group_a, group_b = partition_members(matrix, 0, 1, method="hyperplane")
+        for member in group_a[1:]:
+            assert matrix[member, 0] <= matrix[member, 1]
+        for member in group_b[1:]:
+            assert matrix[member, 1] < matrix[member, 0]
+
+    def test_promoted_lead_groups(self):
+        matrix = random_matrix(9)
+        group_a, group_b = partition_members(matrix, 2, 7)
+        assert group_a[0] == 2
+        assert group_b[0] == 7
+
+    def test_same_promoted_rejected(self):
+        matrix = random_matrix(5)
+        with pytest.raises(ValueError):
+            partition_members(matrix, 1, 1)
+
+    def test_unknown_method(self):
+        matrix = random_matrix(5)
+        with pytest.raises(ValueError):
+            partition_members(matrix, 0, 1, method="zigzag")
+
+    @given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=99))
+    @settings(max_examples=30, deadline=None)
+    def test_partition_is_exhaustive_and_disjoint(self, k, seed):
+        matrix = random_matrix(k, seed=seed)
+        rng = np.random.default_rng(seed)
+        a, b = rng.choice(k, size=2, replace=False)
+        for method in ("balanced", "hyperplane"):
+            group_a, group_b = partition_members(matrix, int(a), int(b), method=method)
+            assert sorted(group_a + group_b) == list(range(k))
+            assert not set(group_a) & set(group_b)

@@ -1,0 +1,106 @@
+"""Unit and property tests for the heap helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.heap import BoundedMaxHeap, MinHeap
+
+
+class TestBoundedMaxHeap:
+    def test_rejects_non_positive_k(self):
+        with pytest.raises(ValueError):
+            BoundedMaxHeap(0)
+        with pytest.raises(ValueError):
+            BoundedMaxHeap(-3)
+
+    def test_keeps_k_smallest(self):
+        heap = BoundedMaxHeap(3)
+        for key in [5.0, 1.0, 4.0, 2.0, 3.0]:
+            heap.push(key, f"v{key}")
+        assert [key for key, _ in heap.items_sorted()] == [1.0, 2.0, 3.0]
+
+    def test_bound_is_infinite_until_full(self):
+        heap = BoundedMaxHeap(2)
+        assert heap.bound == float("inf")
+        heap.push(1.0, "a")
+        assert heap.bound == float("inf")
+        heap.push(5.0, "b")
+        assert heap.bound == 5.0
+        heap.push(2.0, "c")
+        assert heap.bound == 2.0
+
+    def test_push_returns_retention(self):
+        heap = BoundedMaxHeap(1)
+        assert heap.push(2.0, "a") is True
+        assert heap.push(3.0, "b") is False
+        assert heap.push(1.0, "c") is True
+
+    def test_values_never_compared(self):
+        """Un-orderable payloads (dicts) must not break tie handling."""
+        heap = BoundedMaxHeap(2)
+        heap.push(1.0, {"x": 1})
+        heap.push(1.0, {"y": 2})
+        heap.push(1.0, {"z": 3})
+        assert len(heap) == 2
+
+    def test_extend(self):
+        heap = BoundedMaxHeap(2)
+        heap.extend([(3.0, "a"), (1.0, "b"), (2.0, "c")])
+        assert [key for key, _ in heap.items_sorted()] == [1.0, 2.0]
+
+    def test_len_and_bool(self):
+        heap = BoundedMaxHeap(5)
+        assert not heap
+        heap.push(1.0, "a")
+        assert heap
+        assert len(heap) == 1
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False), min_size=1, max_size=200),
+           st.integers(min_value=1, max_value=20))
+    def test_matches_sorted_prefix(self, keys, k):
+        heap = BoundedMaxHeap(k)
+        for i, key in enumerate(keys):
+            heap.push(key, i)
+        got = [key for key, _ in heap.items_sorted()]
+        assert got == sorted(keys)[: min(k, len(keys))]
+
+
+class TestMinHeap:
+    def test_pops_in_key_order(self):
+        heap = MinHeap()
+        for key in [3.0, 1.0, 2.0]:
+            heap.push(key, f"v{key}")
+        assert [heap.pop()[0] for _ in range(3)] == [1.0, 2.0, 3.0]
+
+    def test_peek_key(self):
+        heap = MinHeap()
+        heap.push(2.0, "a")
+        heap.push(1.0, "b")
+        assert heap.peek_key() == 1.0
+        assert len(heap) == 2
+
+    def test_iter_drains(self):
+        heap = MinHeap()
+        for key in [4.0, 2.0, 9.0]:
+            heap.push(key, key)
+        assert [key for key, _ in heap] == [2.0, 4.0, 9.0]
+        assert not heap
+
+    def test_ties_preserve_insertion_order(self):
+        heap = MinHeap()
+        heap.push(1.0, "first")
+        heap.push(1.0, "second")
+        assert heap.pop()[1] == "first"
+        assert heap.pop()[1] == "second"
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=100))
+    def test_heap_sort_property(self, keys):
+        heap = MinHeap()
+        for key in keys:
+            heap.push(key, None)
+        drained = [key for key, _ in heap]
+        assert drained == sorted(keys)

@@ -1,0 +1,80 @@
+"""Tests for the RNG plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, derive_seed, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = as_generator(42).normal(size=5)
+        b = as_generator(42).normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).normal(size=5)
+        b = as_generator(2).normal(size=5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_numpy_integer_accepted(self):
+        gen = as_generator(np.int64(7))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            as_generator("not a seed")
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        children = spawn_generators(0, 5)
+        assert len(children) == 5
+
+    def test_children_are_independent(self):
+        children = spawn_generators(0, 2)
+        a = children[0].normal(size=100)
+        b = children[1].normal(size=100)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.5
+
+    def test_deterministic_from_int_seed(self):
+        first = [g.normal() for g in spawn_generators(9, 3)]
+        second = [g.normal() for g in spawn_generators(9, 3)]
+        np.testing.assert_array_equal(first, second)
+
+    def test_zero_count(self):
+        assert spawn_generators(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(1, -1)
+
+    def test_from_generator(self):
+        parent = np.random.default_rng(3)
+        children = spawn_generators(parent, 4)
+        assert len(children) == 4
+
+
+class TestDeriveSeed:
+    def test_none_passthrough(self):
+        assert derive_seed(None, 5) is None
+
+    def test_deterministic(self):
+        assert derive_seed(10, 3) == derive_seed(10, 3)
+
+    def test_salt_changes_result(self):
+        assert derive_seed(10, 1) != derive_seed(10, 2)
+
+    def test_from_generator_draws(self):
+        gen = np.random.default_rng(0)
+        seed = derive_seed(gen, 0)
+        assert isinstance(seed, int)

@@ -1,0 +1,34 @@
+"""Tests for the timing helpers."""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.timing import Timer, time_call
+
+
+def test_timer_measures_elapsed():
+    with Timer() as timer:
+        time.sleep(0.01)
+    assert timer.elapsed_ms >= 5.0
+
+
+def test_timer_resets_between_uses():
+    timer = Timer()
+    with timer:
+        pass
+    first = timer.elapsed_ms
+    with timer:
+        time.sleep(0.005)
+    assert timer.elapsed_ms >= first
+
+
+def test_time_call_returns_result_and_duration():
+    result, elapsed = time_call(sum, range(100))
+    assert result == 4950
+    assert elapsed >= 0.0
+
+
+def test_time_call_passes_kwargs():
+    result, _ = time_call(sorted, [3, 1, 2], reverse=True)
+    assert result == [3, 2, 1]

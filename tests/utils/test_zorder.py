@@ -1,0 +1,93 @@
+"""Tests for Z-order (Morton) encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.zorder import interleave_bits, zorder_values
+
+
+class TestInterleaveBits:
+    def test_two_dim_example(self):
+        # x=0b10, y=0b01 with 2 bits -> z = x1 y1 x0 y0 = 1 0 0 1 = 9
+        assert interleave_bits([0b10, 0b01], bits=2) == 0b1001
+
+    def test_single_dimension_is_identity(self):
+        for value in [0, 1, 7, 255]:
+            assert interleave_bits([value], bits=8) == value
+
+    def test_zero(self):
+        assert interleave_bits([0, 0, 0], bits=4) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            interleave_bits([-1, 0], bits=2)
+
+    def test_bits_positive(self):
+        with pytest.raises(ValueError):
+            interleave_bits([1], bits=0)
+
+    @given(
+        st.lists(st.integers(0, 2**10 - 1), min_size=1, max_size=4),
+        st.lists(st.integers(0, 2**10 - 1), min_size=1, max_size=4),
+    )
+    @settings(max_examples=50)
+    def test_injective_for_equal_lengths(self, a, b):
+        size = min(len(a), len(b))
+        a, b = a[:size], b[:size]
+        za = interleave_bits(a, bits=10)
+        zb = interleave_bits(b, bits=10)
+        if a != b:
+            assert za != zb
+        else:
+            assert za == zb
+
+    @given(st.lists(st.integers(0, 255), min_size=2, max_size=2))
+    @settings(max_examples=30)
+    def test_monotone_on_diagonal(self, coords):
+        """Equal coordinates sort by magnitude (prefix property)."""
+        x = coords[0]
+        z_small = interleave_bits([x, x], bits=9)
+        z_large = interleave_bits([x + 1, x + 1], bits=9)
+        assert z_large > z_small
+
+
+class TestZorderValues:
+    def test_shapes_and_types(self):
+        grid = np.array([[0, 1], [3, 2], [-1, 5]], dtype=np.int64)
+        values = zorder_values(grid)
+        assert len(values) == 3
+        assert all(isinstance(v, int) for v in values)
+
+    def test_negative_coordinates_shifted(self):
+        grid = np.array([[-5, -5], [-4, -5]], dtype=np.int64)
+        values = zorder_values(grid)
+        assert values[0] == 0  # the minimum corner maps to 0
+        assert values[1] > 0
+
+    def test_locality(self):
+        """Neighbouring grid cells get nearer z-values than distant ones,
+        on average (the property LSB-trees exploit)."""
+        side = 16
+        grid = np.array([[x, y] for x in range(side) for y in range(side)], dtype=np.int64)
+        values = np.array(zorder_values(grid), dtype=np.float64)
+        z = values.reshape(side, side)
+        neighbour_gap = np.abs(np.diff(z, axis=0)).mean()
+        random_gap = np.abs(z.ravel()[None, :] - z.ravel()[:, None]).mean()
+        assert neighbour_gap < random_gap
+
+    def test_rejects_floats(self):
+        with pytest.raises(ValueError):
+            zorder_values(np.zeros((2, 2)))
+
+    def test_rejects_small_bits(self):
+        grid = np.array([[0, 0], [0, 100]], dtype=np.int64)
+        with pytest.raises(ValueError):
+            zorder_values(grid, bits=3)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            zorder_values(np.array([1, 2, 3]))

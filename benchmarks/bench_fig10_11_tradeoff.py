@@ -15,15 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    LinearScan,
-    MultiProbeLSH,
-    PMLSH,
-    PMLSHParams,
-    QALSH,
-    RLSH,
-    SRS,
-)
+from repro import PMLSHParams, create_index
 from repro.evaluation import run_query_set
 from repro.evaluation.tables import format_table
 
@@ -36,30 +28,30 @@ def _operating_points(name):
     """Index factories per operating point for one algorithm family."""
     if name == "PM-LSH":
         return [
-            (f"c={c}", lambda data, c=c: PMLSH(data, params=PMLSHParams(c=c), seed=7))
+            (f"c={c}", lambda data, c=c: create_index("pm-lsh", params=PMLSHParams(c=c), seed=7).fit(data))
             for c in C_VALUES
         ]
     if name == "R-LSH":
         return [
-            (f"c={c}", lambda data, c=c: RLSH(data, params=PMLSHParams(c=c), seed=7))
+            (f"c={c}", lambda data, c=c: create_index("r-lsh", params=PMLSHParams(c=c), seed=7).fit(data))
             for c in C_VALUES
         ]
     if name == "SRS":
         return [
-            (f"c={c}", lambda data, c=c: SRS(data, c=c, seed=7)) for c in C_VALUES
+            (f"c={c}", lambda data, c=c: create_index("srs", c=c, seed=7).fit(data)) for c in C_VALUES
         ]
     if name == "QALSH":
         return [
-            (f"c={c}", lambda data, c=c: QALSH(data, c=c, seed=7)) for c in C_VALUES
+            (f"c={c}", lambda data, c=c: create_index("qalsh", c=c, seed=7).fit(data)) for c in C_VALUES
         ]
     if name == "Multi-Probe":
         return [
-            (f"T={t}", lambda data, t=t: MultiProbeLSH(data, num_probes=t, seed=7))
+            (f"T={t}", lambda data, t=t: create_index("multi-probe", num_probes=t, seed=7).fit(data))
             for t in (4, 8, 16, 32, 64)
         ]
     if name == "LScan":
         return [
-            (f"p={p}", lambda data, p=p: LinearScan(data, portion=p, seed=7))
+            (f"p={p}", lambda data, p=p: create_index("lscan", portion=p, seed=7).fit(data))
             for p in (0.2, 0.4, 0.7, 0.9)
         ]
     raise KeyError(name)
@@ -81,7 +73,7 @@ def test_fig10_11_tradeoff(cache, write_result, benchmark):
             for algo in ALGORITHMS:
                 points = []
                 for label, make in _operating_points(algo):
-                    index = make(workload.data).build()
+                    index = make(workload.data)
                     result = run_query_set(index, workload.queries, K, ground_truth)
                     points.append(
                         (result.query_time_ms, result.recall, result.overall_ratio)

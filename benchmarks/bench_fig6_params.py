@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import PMLSH, PMLSHParams
+from repro import PMLSHParams, create_index
 from repro.evaluation import run_query_set
 from repro.evaluation.tables import format_series
 
@@ -32,7 +32,7 @@ def test_fig6_vary_pivots(cache, write_result, benchmark):
         recalls.clear()
         for s in S_VALUES:
             params = PMLSHParams(num_pivots=s)
-            index = PMLSH(workload.data, params=params, seed=7).build()
+            index = create_index("pm-lsh", params=params, seed=7).fit(workload.data)
             result = run_query_set(index, workload.queries, K, ground_truth)
             times.append(result.query_time_ms)
             recalls.append(result.recall)
@@ -68,7 +68,7 @@ def test_fig6_vary_m(cache, write_result, benchmark):
         ratios.clear()
         for m in M_VALUES:
             params = PMLSHParams(m=m, beta_override=fixed_beta)
-            index = PMLSH(workload.data, params=params, seed=7).build()
+            index = create_index("pm-lsh", params=params, seed=7).fit(workload.data)
             result = run_query_set(index, workload.queries, K, ground_truth)
             times.append(result.query_time_ms)
             recalls.append(result.recall)

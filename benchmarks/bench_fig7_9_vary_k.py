@@ -33,7 +33,7 @@ def test_fig7_9_vary_k(cache, write_result, benchmark):
             workload = cache.workload(dataset)
             ground_truth = cache.ground_truth(dataset, k_max=max(K_VALUES))
             indexes = {
-                name: make(workload.data).build() for name, make in factories.items()
+                name: make(workload.data) for name, make in factories.items()
             }
             times = {name: [] for name in factories}
             recalls = {name: [] for name in factories}

@@ -10,7 +10,7 @@ with finer granularity.
 
 from __future__ import annotations
 
-from repro import C2LSH, LSBForest, PMLSH, PMLSHParams, QALSH
+from repro import create_index
 from repro.evaluation import run_query_set
 from repro.evaluation.tables import format_table
 
@@ -21,18 +21,18 @@ def test_re_family(cache, write_result, benchmark):
     workload = cache.workload("Cifar")
     ground_truth = cache.ground_truth("Cifar", k_max=K)
     contenders = {
-        "LSB-Forest (bucket)": LSBForest(workload.data, seed=7),
-        "C2LSH (bucket)": C2LSH(workload.data, seed=7),
-        "QALSH (point-to-bucket)": QALSH(workload.data, seed=7),
-        "PM-LSH (point-to-point)": PMLSH(workload.data, params=PMLSHParams(), seed=7),
+        "LSB-Forest (bucket)": "lsb-forest",
+        "C2LSH (bucket)": "c2lsh",
+        "QALSH (point-to-bucket)": "qalsh",
+        "PM-LSH (point-to-point)": "pm-lsh",
     }
     rows = []
     quality_per_candidate = {}
 
     def run_family():
         rows.clear()
-        for name, index in contenders.items():
-            index.build()
+        for name, registry_name in contenders.items():
+            index = create_index(registry_name, seed=7).fit(workload.data)
             result = run_query_set(index, workload.queries, K, ground_truth)
             candidates = result.extra.get("mean_candidates", float("nan"))
             quality_per_candidate[name] = result.recall / max(candidates, 1.0)

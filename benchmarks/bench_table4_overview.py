@@ -34,7 +34,7 @@ def test_table4_overview(cache, write_result, benchmark):
             workload = cache.workload(dataset)
             ground_truth = cache.ground_truth(dataset, k_max=K)
             for algo_name, make in factories.items():
-                index = make(workload.data).build()
+                index = make(workload.data)
                 result = run_query_set(index, workload.queries, K, ground_truth)
                 measured[(dataset, algo_name)] = result
                 rows.append(

@@ -20,15 +20,7 @@ from typing import Callable, Dict
 import numpy as np
 import pytest
 
-from repro import (
-    LinearScan,
-    MultiProbeLSH,
-    PMLSH,
-    PMLSHParams,
-    QALSH,
-    RLSH,
-    SRS,
-)
+from repro import PMLSHParams, create_index
 from repro.datasets import Workload, load_dataset
 from repro.evaluation import GroundTruth, compute_ground_truth
 
@@ -90,16 +82,24 @@ def cache() -> WorkloadCache:
     return WorkloadCache()
 
 
-#: Factory per §6.1 competitor, keyed by the paper's algorithm name.
+#: Factory per §6.1 competitor, keyed by the paper's algorithm name.  Each
+#: factory constructs through the registry and returns a *fitted* index, so
+#: adding a contender is one (registry name, constructor kwargs) line.
 def algorithm_factories(
     c: float = 1.5, node_capacity: int = 128
 ) -> Dict[str, Callable[[np.ndarray], object]]:
     params = PMLSHParams(c=c, node_capacity=node_capacity)
+    specs: Dict[str, tuple] = {
+        "PM-LSH": ("pm-lsh", {"params": params, "seed": 7}),
+        "SRS": ("srs", {"c": c, "seed": 7}),
+        "QALSH": ("qalsh", {"c": c, "seed": 7}),
+        "Multi-Probe": ("multi-probe", {"seed": 7}),
+        "R-LSH": ("r-lsh", {"params": params, "seed": 7}),
+        "LScan": ("lscan", {"portion": 0.7, "seed": 7}),
+    }
     return {
-        "PM-LSH": lambda data: PMLSH(data, params=params, seed=7),
-        "SRS": lambda data: SRS(data, c=c, seed=7),
-        "QALSH": lambda data: QALSH(data, c=c, seed=7),
-        "Multi-Probe": lambda data: MultiProbeLSH(data, seed=7),
-        "R-LSH": lambda data: RLSH(data, params=params, seed=7),
-        "LScan": lambda data: LinearScan(data, portion=0.7, seed=7),
+        label: (
+            lambda data, name=name, kwargs=kwargs: create_index(name, **kwargs).fit(data)
+        )
+        for label, (name, kwargs) in specs.items()
     }

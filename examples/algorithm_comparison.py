@@ -10,15 +10,7 @@ from __future__ import annotations
 import sys
 import time
 
-from repro import (
-    LinearScan,
-    MultiProbeLSH,
-    PMLSH,
-    PMLSHParams,
-    QALSH,
-    RLSH,
-    SRS,
-)
+from repro import PMLSHParams, create_index
 from repro.datasets import load_dataset
 from repro.evaluation import compute_ground_truth, run_query_set
 from repro.evaluation.tables import format_table
@@ -33,19 +25,22 @@ def main() -> None:
     print(f"workload: {dataset} emulation, {workload.n} x {workload.d}, k={k}")
     ground_truth = compute_ground_truth(workload.data, workload.queries, k_max=k)
 
+    # Every contender is constructed through the registry factory; adding
+    # one is a single (registry name, constructor kwargs) entry.
     algorithms = {
-        "PM-LSH": PMLSH(workload.data, params=PMLSHParams(), seed=7),
-        "SRS": SRS(workload.data, seed=7),
-        "QALSH": QALSH(workload.data, seed=7),
-        "Multi-Probe": MultiProbeLSH(workload.data, seed=7),
-        "R-LSH": RLSH(workload.data, params=PMLSHParams(), seed=7),
-        "LScan": LinearScan(workload.data, portion=0.7, seed=7),
+        "PM-LSH": ("pm-lsh", {"params": PMLSHParams(), "seed": 7}),
+        "SRS": ("srs", {"seed": 7}),
+        "QALSH": ("qalsh", {"seed": 7}),
+        "Multi-Probe": ("multi-probe", {"seed": 7}),
+        "R-LSH": ("r-lsh", {"params": PMLSHParams(), "seed": 7}),
+        "LScan": ("lscan", {"portion": 0.7, "seed": 7}),
     }
 
     rows = []
-    for name, index in algorithms.items():
+    for name, (registry_name, kwargs) in algorithms.items():
+        index = create_index(registry_name, **kwargs)
         start = time.perf_counter()
-        index.build()
+        index.fit(workload.data)
         build_s = time.perf_counter() - start
         result = run_query_set(index, workload.queries, k, ground_truth)
         rows.append(

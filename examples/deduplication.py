@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import PMLSH, PMLSHParams
+from repro import PMLSHParams, create_index
 from repro.datasets.synthetic import gaussian_mixture
 
 
@@ -30,7 +30,7 @@ def main() -> None:
     data = np.vstack([corpus, duplicates])
     print(f"corpus: {corpus.shape[0]} items + {duplicates.shape[0]} planted near-duplicates")
 
-    index = PMLSH(data, params=PMLSHParams(c=1.5), seed=11).build()
+    index = create_index("pm-lsh", params=PMLSHParams(c=1.5), seed=11).fit(data)
 
     # Distance threshold separating "duplicate" from "merely similar":
     # planted noise has norm ~0.01*sqrt(96) ~ 0.1; within-cluster distances

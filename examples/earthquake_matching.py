@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import PMLSH, PMLSHParams
+from repro import PMLSHParams, create_index
 
 
 WINDOW = 128
@@ -65,7 +65,7 @@ def main() -> None:
     features, starts = window_features(archive)
     print(f"archive: {archive.size} samples -> {features.shape[0]} windows of {WINDOW}")
 
-    index = PMLSH(features, params=PMLSHParams(c=1.5), seed=2).build()
+    index = create_index("pm-lsh", params=PMLSHParams(c=1.5), seed=2).fit(features)
 
     # Fresh recordings of each event, with new noise and scaling.
     print("\nmatching fresh event recordings against the archive:")

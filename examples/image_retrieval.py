@@ -15,7 +15,7 @@ import time
 
 import numpy as np
 
-from repro import ExactKNN, PMLSH, SRS
+from repro import create_index
 from repro.datasets import load_dataset
 from repro.evaluation.metrics import overall_ratio, recall
 
@@ -26,13 +26,13 @@ def main() -> None:
     data, queries = workload.data, workload.queries
     print(f"catalogue: {data.shape[0]} images x {data.shape[1]}-d descriptors")
 
-    exact = ExactKNN(data).build()
+    exact = create_index("exact").fit(data)
     print("\nbuilding indexes ...")
     start = time.perf_counter()
-    pmlsh = PMLSH(data, seed=9).build()
+    pmlsh = create_index("pm-lsh", seed=9).fit(data)
     print(f"  PM-LSH build: {time.perf_counter() - start:6.2f}s")
     start = time.perf_counter()
-    srs = SRS(data, seed=9).build()
+    srs = create_index("srs", seed=9).fit(data)
     print(f"  SRS build:    {time.perf_counter() - start:6.2f}s")
 
     k = 20

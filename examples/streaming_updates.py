@@ -6,7 +6,7 @@ The key operational requirement is *dynamic updates*: the index must
 absorb new items without a rebuild and make them immediately queryable.
 
 This example starts from a seed corpus, then alternates between ingesting
-batches with ``PMLSH.extend`` and answering (c, k)-ANN queries, verifying
+batches with ``index.add`` and answering (c, k)-ANN queries, verifying
 after each batch that (a) freshly ingested items are findable and (b)
 quality over the whole collection stays high.
 
@@ -19,7 +19,7 @@ import time
 
 import numpy as np
 
-from repro import ExactKNN, PMLSH, PMLSHParams
+from repro import create_index
 from repro.datasets.synthetic import gaussian_mixture
 from repro.evaluation.metrics import recall
 
@@ -32,19 +32,19 @@ def main() -> None:
     seed_corpus, stream = full[:3000], full[3000:]
     batches = np.array_split(stream, 6)
 
-    index = PMLSH(seed_corpus, params=PMLSHParams(), seed=1).build()
+    index = create_index("pm-lsh", seed=1).fit(seed_corpus)
     print(f"seed index: {index.n} items")
 
     for batch_number, batch in enumerate(batches, start=1):
         start = time.perf_counter()
-        new_ids = index.extend(batch)
+        new_ids = index.add(batch)
         ingest_ms = (time.perf_counter() - start) * 1e3
         # (a) fresh items answer immediately.
         probe = batch[0]
         hit = index.query(probe, k=1)
         fresh_found = int(hit.ids[0]) == int(new_ids[0])
         # (b) quality over everything indexed so far.
-        exact = ExactKNN(index.data).build()
+        exact = create_index("exact").fit(index.data)
         sample = rng.integers(0, index.n, size=10)
         recalls = []
         for row in sample:

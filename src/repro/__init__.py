@@ -6,6 +6,8 @@ A from-scratch Python reproduction of Zheng et al., PVLDB 13(5), 2020
 
 * :class:`~repro.core.pmlsh.PMLSH` — the paper's index (Algorithms 1–2);
 * every baseline it is evaluated against (:mod:`repro.baselines`);
+* a central registry (:mod:`repro.registry`) so any algorithm can be
+  constructed by name through :func:`create_index`;
 * the substrates: PM-tree (:mod:`repro.pmtree`), R-tree
   (:mod:`repro.rtree`), B+-tree (:mod:`repro.bptree`);
 * synthetic dataset emulations and hardness statistics
@@ -15,17 +17,32 @@ A from-scratch Python reproduction of Zheng et al., PVLDB 13(5), 2020
 
 Quickstart
 ----------
+Every index follows the same fit/add/search lifecycle and is reachable
+through the factory:
+
 >>> import numpy as np
->>> from repro import PMLSH
+>>> import repro
 >>> data = np.random.default_rng(0).normal(size=(2000, 128))
->>> index = PMLSH(data, seed=42).build()
->>> result = index.query(data[7] + 0.01, k=10)
->>> result.ids.shape
-(10,)
+>>> index = repro.create_index("pm-lsh", seed=42).fit(data)
+>>> batch = index.search(data[:5] + 0.01, k=10)   # (Q, d) -> BatchResult
+>>> batch.ids.shape
+(5, 10)
+>>> single = index.query(data[7] + 0.01, k=10)    # one vector
+>>> len(single)
+10
+>>> index.add(np.random.default_rng(1).normal(size=(10, 128)))  # grow
+array([2000, 2001, 2002, 2003, 2004, 2005, 2006, 2007, 2008, 2009])
+>>> sorted(repro.available_indexes())[:3]
+['c2lsh', 'e2lsh', 'exact']
+
+The pre-1.x style — ``PMLSH(data, seed=42).build()`` then ``query()`` —
+still works but emits a ``DeprecationWarning``; see ``CHANGES.md`` for
+the deprecation policy.
 """
 
 from repro.baselines import (
     ANNIndex,
+    BatchResult,
     C2LSH,
     E2LSH,
     ExactKNN,
@@ -46,12 +63,19 @@ from repro.core import (
 )
 from repro.datasets import load_dataset
 from repro.pmtree import PMTree
+from repro.registry import (
+    available_indexes,
+    create_index,
+    get_index_class,
+    register_index,
+)
 from repro.rtree import RTree
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ANNIndex",
+    "BatchResult",
     "C2LSH",
     "E2LSH",
     "ExactKNN",
@@ -69,6 +93,10 @@ __all__ = [
     "RTree",
     "SRS",
     "__version__",
+    "available_indexes",
+    "create_index",
+    "get_index_class",
     "load_dataset",
+    "register_index",
     "solve_parameters",
 ]

@@ -21,7 +21,7 @@ treats them uniformly:
   radius-enlarging method §3.1 describes.
 """
 
-from repro.baselines.base import ANNIndex, QueryResult
+from repro.baselines.base import ANNIndex, BatchResult, QueryResult
 from repro.baselines.c2lsh import C2LSH
 from repro.baselines.e2lsh import E2LSH
 from repro.baselines.exact import ExactKNN
@@ -34,6 +34,7 @@ from repro.baselines.srs import SRS
 
 __all__ = [
     "ANNIndex",
+    "BatchResult",
     "C2LSH",
     "E2LSH",
     "ExactKNN",

@@ -1,10 +1,30 @@
-"""The common interface every ANN algorithm in this library implements."""
+"""The common interface every ANN algorithm in this library implements.
+
+Lifecycle (faiss/sklearn-style)
+-------------------------------
+An index is constructed from *parameters only*, then bound to data:
+
+>>> index = SomeIndex(seed=0)          # no data yet
+>>> index.fit(data)                    # build over an (n, d) matrix
+>>> batch = index.search(queries, k)   # (Q, d) -> BatchResult
+>>> index.add(new_points)              # dynamic growth
+
+``query(q, k)`` remains the single-query primitive; ``search`` is the
+first-class batch entry point (implementations may vectorise it).
+
+Legacy shim
+-----------
+The original API — ``SomeIndex(data, ...).build()`` followed by
+``query()`` — keeps working during the transition but emits a
+``DeprecationWarning`` (message prefix ``"legacy ANNIndex API"``).
+"""
 
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -47,47 +67,244 @@ class QueryResult:
         return cls(ids=ids, distances=distances, stats=stats or {})
 
 
-class ANNIndex(abc.ABC):
-    """Abstract (c, k)-ANN index over a fixed dataset.
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one batched ``search(queries, k)`` call.
 
-    Implementations receive the dataset at construction and become
-    queryable after :meth:`build`.  ``query`` returns the approximate k
-    nearest neighbours by *original-space* distance.
+    ``ids`` and ``distances`` are ``(Q, k)`` matrices, row i answering
+    query i.  Rows where an algorithm returned fewer than k neighbours are
+    right-padded with id ``-1`` and distance ``inf`` (so the matrices stay
+    rectangular); ``self[i]`` strips the padding again.
+
+    ``stats`` aggregates the per-query diagnostic dictionaries: every key
+    appearing in any query's stats is averaged over the queries that
+    reported it, and ``"queries"`` records Q.  The raw dictionaries remain
+    available in ``per_query_stats``.
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    stats: Dict[str, float] = field(default_factory=dict)
+    per_query_stats: Tuple[Dict[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        ids = np.asarray(self.ids, dtype=np.int64)
+        distances = np.asarray(self.distances, dtype=np.float64)
+        if ids.shape != distances.shape or ids.ndim != 2:
+            raise ValueError(
+                f"ids and distances must be matching 2-D arrays, got {ids.shape} / {distances.shape}"
+            )
+        object.__setattr__(self, "ids", ids)
+        object.__setattr__(self, "distances", distances)
+
+    @property
+    def num_queries(self) -> int:
+        return int(self.ids.shape[0])
+
+    @property
+    def k(self) -> int:
+        return int(self.ids.shape[1])
+
+    def __len__(self) -> int:
+        return self.num_queries
+
+    def __getitem__(self, index: int) -> QueryResult:
+        """The i-th query's result, with padding stripped."""
+        row_ids = self.ids[index]  # raises IndexError for out-of-range index
+        valid = row_ids >= 0
+        position = index if index >= 0 else self.num_queries + index
+        stats = (
+            dict(self.per_query_stats[position])
+            if position < len(self.per_query_stats)
+            else {}
+        )
+        return QueryResult(
+            ids=row_ids[valid], distances=self.distances[index][valid], stats=stats
+        )
+
+    @classmethod
+    def from_queries(cls, results: List[QueryResult], k: int) -> "BatchResult":
+        """Stack per-query results into one padded batch."""
+        num_queries = len(results)
+        ids = np.full((num_queries, k), -1, dtype=np.int64)
+        distances = np.full((num_queries, k), np.inf, dtype=np.float64)
+        for i, result in enumerate(results):
+            count = min(len(result), k)
+            ids[i, :count] = result.ids[:count]
+            distances[i, :count] = result.distances[:count]
+        per_query = tuple(dict(result.stats) for result in results)
+        return cls(
+            ids=ids,
+            distances=distances,
+            stats=aggregate_stats(per_query),
+            per_query_stats=per_query,
+        )
+
+
+def aggregate_stats(per_query: Tuple[Dict[str, float], ...]) -> Dict[str, float]:
+    """Mean of every per-query stat key, plus the query count."""
+    aggregated: Dict[str, float] = {"queries": float(len(per_query))}
+    keys = {key for stats in per_query for key in stats}
+    for key in sorted(keys):
+        values = [stats[key] for stats in per_query if key in stats]
+        if values:
+            aggregated[key] = float(np.mean(values))
+    return aggregated
+
+
+class ANNIndex(abc.ABC):
+    """Abstract (c, k)-ANN index with a fit/add/search lifecycle.
+
+    Implementations are constructed from parameters only and bound to a
+    dataset by :meth:`fit`; :meth:`search` answers a whole query matrix,
+    :meth:`query` a single vector, both by *original-space* distance.
+    :meth:`add` grows the indexed set dynamically.
+
+    Subclasses implement :meth:`_fit` (build the structures over
+    ``self.data``) and :meth:`query`; they may override :meth:`_search`
+    with a vectorised batch path and :meth:`_add` with an incremental
+    update path (the default re-fits over the concatenated dataset).
     """
 
     #: Human-readable algorithm name (used in result tables).
     name: str = "ANNIndex"
 
-    def __init__(self, data: np.ndarray) -> None:
+    def __init__(self, data: np.ndarray | None = None) -> None:
+        self.data: Optional[np.ndarray] = None
+        self._built = False
+        if data is not None:
+            warnings.warn(
+                f"legacy ANNIndex API: passing data to {type(self).__name__}(...) is "
+                "deprecated; construct from parameters and call fit(data)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            self._set_data(data)
+
+    # ------------------------------------------------------------------
+    # data binding
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_data(data: np.ndarray) -> np.ndarray:
         data = np.ascontiguousarray(np.asarray(data, dtype=np.float64))
         if data.ndim != 2 or data.shape[0] == 0:
             raise ValueError(f"data must be a non-empty 2-D array, got shape {data.shape}")
-        self.data = data
-        self._built = False
+        return data
+
+    def _set_data(self, data: np.ndarray) -> None:
+        self.data = self._check_data(data)
 
     @property
     def n(self) -> int:
+        if self.data is None:
+            raise RuntimeError(f"{self.name}: no dataset bound; call fit(data) first")
         return self.data.shape[0]
 
     @property
     def d(self) -> int:
+        if self.data is None:
+            raise RuntimeError(f"{self.name}: no dataset bound; call fit(data) first")
         return self.data.shape[1]
 
     @property
     def is_built(self) -> bool:
         return self._built
 
-    @abc.abstractmethod
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def fit(self, data: np.ndarray) -> "ANNIndex":
+        """Bind *data* and build the index; returns self for chaining.
+
+        Calling ``fit`` again re-builds over the new dataset.
+        """
+        self._set_data(data)
+        self._built = False
+        self._fit()
+        self._built = True
+        return self
+
+    def _fit(self) -> None:
+        """Build the index structures over ``self.data`` (subclass hook)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} implements neither _fit() nor a legacy build()"
+        )
+
     def build(self) -> "ANNIndex":
-        """Construct the index; returns self for chaining."""
+        """Deprecated: build over the dataset staged at construction.
+
+        Retained so ``SomeIndex(data).build()`` keeps working; new code
+        should call :meth:`fit`.
+        """
+        warnings.warn(
+            "legacy ANNIndex API: build() is deprecated; use fit(data)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if self.data is None:
+            raise RuntimeError(
+                f"{self.name}: no dataset staged at construction; call fit(data)"
+            )
+        self._built = False
+        self._fit()
+        self._built = True
+        return self
+
+    def add(self, points: np.ndarray) -> np.ndarray:
+        """Add *points* to a fitted index; returns the ids assigned to them.
+
+        The default implementation re-fits over the concatenated dataset —
+        always correct, and it re-derives every n-dependent quantity
+        (candidate budgets, hash counts) for the grown cardinality.
+        Algorithms with a cheaper incremental path override :meth:`_add`.
+        """
+        self._require_built()
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.ndim != 2 or points.shape[1] != self.d:
+            raise ValueError(
+                f"new points must have dimension {self.d}, got shape {points.shape}"
+            )
+        if points.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        return self._add(points)
+
+    def _add(self, points: np.ndarray) -> np.ndarray:
+        start = self.n
+        self._set_data(np.vstack([self.data, points]))
+        self._fit()
+        return np.arange(start, self.n, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
 
     @abc.abstractmethod
     def query(self, q: np.ndarray, k: int) -> QueryResult:
-        """Approximate k nearest neighbours of *q*."""
+        """Approximate k nearest neighbours of the single vector *q*."""
+
+    def search(self, queries: np.ndarray, k: int) -> BatchResult:
+        """Approximate k nearest neighbours of every row of *queries*.
+
+        Accepts a ``(Q, d)`` matrix (or one ``(d,)`` vector, treated as
+        Q = 1) and returns a :class:`BatchResult`.  Row order matches the
+        input; results are identical to calling :meth:`query` per row.
+        """
+        self._require_built()
+        queries = self._validate_queries(queries, k)
+        return self._search(queries, k)
+
+    def _search(self, queries: np.ndarray, k: int) -> BatchResult:
+        return BatchResult.from_queries([self.query(row, k) for row in queries], k=k)
+
+    # ------------------------------------------------------------------
+    # validation helpers
+    # ------------------------------------------------------------------
 
     def _require_built(self) -> None:
         if not self._built:
-            raise RuntimeError(f"{self.name}: call build() before query()")
+            raise RuntimeError(f"{self.name}: call fit(data) before querying")
 
     def _validate_query(self, q: np.ndarray, k: int) -> np.ndarray:
         q = np.asarray(q, dtype=np.float64)
@@ -96,3 +313,17 @@ class ANNIndex(abc.ABC):
         if not 1 <= k <= self.n:
             raise ValueError(f"k must be in [1, {self.n}], got {k}")
         return q
+
+    def _validate_queries(self, queries: np.ndarray, k: int) -> np.ndarray:
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        if queries.ndim != 2 or queries.shape[1] != self.d:
+            raise ValueError(
+                f"queries must have shape (Q, {self.d}), got {queries.shape}"
+            )
+        if queries.shape[0] == 0:
+            raise ValueError("queries must contain at least one row")
+        if not 1 <= k <= self.n:
+            raise ValueError(f"k must be in [1, {self.n}], got {k}")
+        return queries

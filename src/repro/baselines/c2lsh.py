@@ -31,6 +31,7 @@ import numpy as np
 from repro.baselines.base import ANNIndex, QueryResult
 from repro.core.hashing import collision_probability
 from repro.datasets.distance import point_to_points_distances
+from repro.registry import register_index
 from repro.utils.rng import RandomState, as_generator
 
 
@@ -59,6 +60,7 @@ def derive_parameters(
     return int(m), float(alpha)
 
 
+@register_index("c2lsh")
 class C2LSH(ANNIndex):
     """Collision-counting LSH over bucket-aligned virtual rehashing."""
 
@@ -66,7 +68,7 @@ class C2LSH(ANNIndex):
 
     def __init__(
         self,
-        data: np.ndarray,
+        data: np.ndarray | None = None,
         c: float = 1.5,
         w: float = 1.0,
         delta: float = 1.0 / math.e,
@@ -81,10 +83,14 @@ class C2LSH(ANNIndex):
         self.c = float(c)
         self.w = float(w)
         self.delta = float(delta)
-        self.beta = min(0.5, false_positive_base / self.n)
+        self.false_positive_base = float(false_positive_base)
         self._rng = as_generator(seed)
-        self.m, self.alpha = derive_parameters(self.n, self.c, self.w, self.delta, self.beta)
-        self.collision_threshold = max(1, math.ceil(self.alpha * self.m))
+        # β, m, α and the collision threshold depend on n; derived in _fit()
+        # (and re-derived whenever add()'s re-fit grows the dataset).
+        self.beta: float | None = None
+        self.m: int | None = None
+        self.alpha: float | None = None
+        self.collision_threshold: int | None = None
         # Raw shifted projections a_i·o + b_i, sorted per hash function.
         self._sorted_raw: np.ndarray | None = None  # (m, n)
         self._sorted_ids: np.ndarray | None = None  # (m, n)
@@ -92,7 +98,10 @@ class C2LSH(ANNIndex):
         self._offsets: np.ndarray | None = None  # (m,)
         self._unit_width: float = 1.0
 
-    def build(self) -> "C2LSH":
+    def _fit(self) -> None:
+        self.beta = min(0.5, self.false_positive_base / self.n)
+        self.m, self.alpha = derive_parameters(self.n, self.c, self.w, self.delta, self.beta)
+        self.collision_threshold = max(1, math.ceil(self.alpha * self.m))
         self._query_directions = self._rng.normal(size=(self.m, self.d))
         raw = self.data @ self._query_directions.T  # (n, m), before offsets
         # The paper's radius-1 is meaningless on unnormalised data: scale
@@ -105,8 +114,6 @@ class C2LSH(ANNIndex):
         order = np.argsort(shifted, axis=0, kind="stable")
         self._sorted_ids = order.T.copy()
         self._sorted_raw = np.take_along_axis(shifted, order, axis=0).T.copy()
-        self._built = True
-        return self
 
     def query(self, q: np.ndarray, k: int) -> QueryResult:
         self._require_built()

@@ -19,9 +19,11 @@ import numpy as np
 from repro.baselines.base import ANNIndex, QueryResult
 from repro.core.hashing import LSHFunction
 from repro.datasets.distance import point_to_points_distances
+from repro.registry import register_index
 from repro.utils.rng import RandomState, as_generator, spawn_generators
 
 
+@register_index("e2lsh", "basic-lsh")
 class E2LSH(ANNIndex):
     """The basic LSH scheme: L tables × m concatenated bucketed hashes."""
 
@@ -29,7 +31,7 @@ class E2LSH(ANNIndex):
 
     def __init__(
         self,
-        data: np.ndarray,
+        data: np.ndarray | None = None,
         num_tables: int = 8,
         m: int = 8,
         w: float = 4.0,
@@ -50,7 +52,7 @@ class E2LSH(ANNIndex):
         self._functions: List[LSHFunction] = []
         self._tables: List[Dict[tuple, List[int]]] = []
 
-    def build(self) -> "E2LSH":
+    def _fit(self) -> None:
         self._functions = [
             LSHFunction(self.d, self.m, w=self.w, seed=child)
             for child in spawn_generators(self._rng, self.num_tables)
@@ -62,8 +64,6 @@ class E2LSH(ANNIndex):
             for point_id, row in enumerate(buckets):
                 table.setdefault(tuple(int(b) for b in row), []).append(point_id)
             self._tables.append(table)
-        self._built = True
-        return self
 
     # ------------------------------------------------------------------
     # (r, c)-BC query

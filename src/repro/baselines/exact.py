@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.baselines.base import ANNIndex, QueryResult
+from repro.baselines.base import ANNIndex, BatchResult, QueryResult, aggregate_stats
 from repro.datasets.distance import chunked_knn
+from repro.registry import register_index
 
 
+@register_index("exact", "brute-force")
 class ExactKNN(ANNIndex):
     """Exact k nearest neighbours by blocked brute force.
 
@@ -18,9 +22,8 @@ class ExactKNN(ANNIndex):
 
     name = "Exact"
 
-    def build(self) -> "ExactKNN":
-        self._built = True
-        return self
+    def _fit(self) -> None:
+        pass  # brute force needs no structures beyond the data itself
 
     def query(self, q: np.ndarray, k: int) -> QueryResult:
         self._require_built()
@@ -28,8 +31,24 @@ class ExactKNN(ANNIndex):
         ids, dists = chunked_knn(q[None, :], self.data, k)
         return QueryResult(ids=ids[0], distances=dists[0], stats={"candidates": float(self.n)})
 
+    def _search(self, queries: np.ndarray, k: int) -> BatchResult:
+        """Vectorised multi-query path (blocked brute force over the batch)."""
+        ids, dists = chunked_knn(queries, self.data, k)
+        per_query = tuple({"candidates": float(self.n)} for _ in range(ids.shape[0]))
+        return BatchResult(
+            ids=ids,
+            distances=dists,
+            stats=aggregate_stats(per_query),
+            per_query_stats=per_query,
+        )
+
     def query_batch(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        """Vectorised multi-query path used for ground-truth caching."""
+        """Deprecated: raw ``(ids, distances)`` form of :meth:`search`."""
+        warnings.warn(
+            "legacy ANNIndex API: query_batch() is deprecated; use search()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._require_built()
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         if queries.shape[1] != self.d:

@@ -24,10 +24,12 @@ from repro.baselines.base import ANNIndex, QueryResult
 from repro.bptree.tree import BPlusTree
 from repro.core.hashing import LSHFunction
 from repro.datasets.distance import point_to_points_distances
+from repro.registry import register_index
 from repro.utils.rng import RandomState, as_generator, spawn_generators
 from repro.utils.zorder import interleave_bits, zorder_values
 
 
+@register_index("lsb-forest", "lsb")
 class LSBForest(ANNIndex):
     """A forest of LSB-trees.
 
@@ -49,7 +51,7 @@ class LSBForest(ANNIndex):
 
     def __init__(
         self,
-        data: np.ndarray,
+        data: np.ndarray | None = None,
         num_trees: int = 4,
         m: int = 8,
         w: float | None = None,
@@ -67,6 +69,7 @@ class LSBForest(ANNIndex):
         self.num_trees = num_trees
         self.m = m
         self.w = None if w is None else float(w)
+        self._w_explicit = w is not None
         self.budget_fraction = float(budget_fraction)
         self.bptree_order = bptree_order
         self._rng = as_generator(seed)
@@ -82,8 +85,10 @@ class LSBForest(ANNIndex):
         spreads = (sample @ directions.T).std(axis=0)
         return max(2.0 * float(np.median(spreads)), 1e-12)
 
-    def build(self) -> "LSBForest":
-        if self.w is None:
+    def _fit(self) -> None:
+        # Recalibrate on every fit unless the caller pinned w: a re-fit may
+        # bind a dataset at a different scale than the one w was tuned to.
+        if not self._w_explicit:
             self.w = self._calibrated_width()
         self._functions = [
             LSHFunction(self.d, self.m, w=self.w, seed=child)
@@ -103,8 +108,6 @@ class LSBForest(ANNIndex):
             )
             self._grid_mins.append(grid_min)
             self._bits.append(bits)
-        self._built = True
-        return self
 
     def _query_zvalue(self, tree_index: int, q: np.ndarray) -> int:
         # Shift by the same per-dimension minimum used at build time (NOT

@@ -13,16 +13,21 @@ import numpy as np
 
 from repro.baselines.base import ANNIndex, QueryResult
 from repro.datasets.distance import point_to_points_distances
+from repro.registry import register_index
 from repro.utils.rng import RandomState, as_generator
 
 
+@register_index("lscan", "linear-scan")
 class LinearScan(ANNIndex):
     """Scan a random ``portion`` of the points for every query."""
 
     name = "LScan"
 
     def __init__(
-        self, data: np.ndarray, portion: float = 0.7, seed: RandomState = None
+        self,
+        data: np.ndarray | None = None,
+        portion: float = 0.7,
+        seed: RandomState = None,
     ) -> None:
         super().__init__(data)
         if not 0.0 < portion <= 1.0:
@@ -31,11 +36,9 @@ class LinearScan(ANNIndex):
         self._rng = as_generator(seed)
         self._subset: np.ndarray | None = None
 
-    def build(self) -> "LinearScan":
+    def _fit(self) -> None:
         size = max(1, int(round(self.portion * self.n)))
         self._subset = np.sort(self._rng.choice(self.n, size=size, replace=False))
-        self._built = True
-        return self
 
     def query(self, q: np.ndarray, k: int) -> QueryResult:
         self._require_built()

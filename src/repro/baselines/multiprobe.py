@@ -21,10 +21,12 @@ import numpy as np
 from repro.baselines.base import ANNIndex, QueryResult
 from repro.core.hashing import LSHFunction
 from repro.datasets.distance import point_to_points_distances
+from repro.registry import register_index
 from repro.utils.heap import MinHeap
 from repro.utils.rng import RandomState, as_generator, spawn_generators
 
 
+@register_index("multi-probe", "mplsh")
 class MultiProbeLSH(ANNIndex):
     """Multi-Probe LSH over L tables of m bucketed hashes each.
 
@@ -48,7 +50,7 @@ class MultiProbeLSH(ANNIndex):
 
     def __init__(
         self,
-        data: np.ndarray,
+        data: np.ndarray | None = None,
         num_tables: int = 4,
         m: int = 10,
         w: float | None = None,
@@ -71,6 +73,7 @@ class MultiProbeLSH(ANNIndex):
         self.num_tables = num_tables
         self.m = m
         self.w = None if w is None else float(w)
+        self._w_explicit = w is not None
         self.width_scale = float(width_scale)
         self.num_probes = num_probes
         self.max_candidates_fraction = max_candidates_fraction
@@ -89,8 +92,10 @@ class MultiProbeLSH(ANNIndex):
         spreads = (sample @ directions.T).std(axis=0)
         return max(self.width_scale * float(np.median(spreads)), 1e-12)
 
-    def build(self) -> "MultiProbeLSH":
-        if self.w is None:
+    def _fit(self) -> None:
+        # Recalibrate on every fit unless the caller pinned w: a re-fit may
+        # bind a dataset at a different scale than the one w was tuned to.
+        if not self._w_explicit:
             self.w = self._calibrated_width()
         self._functions = [
             LSHFunction(self.d, self.m, w=self.w, seed=child)
@@ -103,8 +108,6 @@ class MultiProbeLSH(ANNIndex):
             for point_id, row in enumerate(buckets):
                 table.setdefault(tuple(int(b) for b in row), []).append(point_id)
             self._tables.append(table)
-        self._built = True
-        return self
 
     # ------------------------------------------------------------------
     # query-directed probing sequence

@@ -42,6 +42,7 @@ from repro.baselines.base import ANNIndex, QueryResult
 from repro.bptree.tree import BPlusTree
 from repro.core.hashing import GaussianProjection
 from repro.datasets.distance import point_to_points_distances
+from repro.registry import register_index
 from repro.utils.rng import RandomState, as_generator
 
 
@@ -91,6 +92,7 @@ def derive_parameters(n: int, c: float, delta: float, beta: float) -> Tuple[int,
     return int(m), float(alpha), float(w)
 
 
+@register_index("qalsh")
 class QALSH(ANNIndex):
     """Query-aware LSH with virtual rehashing and collision counting."""
 
@@ -98,7 +100,7 @@ class QALSH(ANNIndex):
 
     def __init__(
         self,
-        data: np.ndarray,
+        data: np.ndarray | None = None,
         c: float = 1.5,
         delta: float = 1.0 / math.e,
         false_positive_base: float = 100.0,
@@ -113,13 +115,18 @@ class QALSH(ANNIndex):
             raise ValueError(f"unknown backend {backend!r}; use 'array' or 'bptree'")
         self.c = float(c)
         self.delta = float(delta)
-        # β = 100/n in the paper; clamp for tiny test datasets.
-        self.beta = min(0.5, false_positive_base / self.n)
+        self.false_positive_base = float(false_positive_base)
         self.backend = backend
         self.bptree_order = bptree_order
         self._rng = as_generator(seed)
-        self.m, self.alpha, self.w = derive_parameters(self.n, self.c, self.delta, self.beta)
-        self.collision_threshold = max(1, math.ceil(self.alpha * self.m))
+        # β, m, α and the collision threshold depend on n, so they are
+        # derived in _fit() (and re-derived whenever the dataset grows
+        # through add()'s re-fit).
+        self.beta: float | None = None
+        self.m: int | None = None
+        self.alpha: float | None = None
+        self.w: float | None = None
+        self.collision_threshold: int | None = None
         self.projection: GaussianProjection | None = None
         self.projections: np.ndarray | None = None
         self._trees: List[BPlusTree] = []
@@ -127,7 +134,11 @@ class QALSH(ANNIndex):
         self._sorted_ids: np.ndarray | None = None  # (m, n)
         self._projection_spread: float = 1.0
 
-    def build(self) -> "QALSH":
+    def _fit(self) -> None:
+        # β = 100/n in the paper; clamp for tiny test datasets.
+        self.beta = min(0.5, self.false_positive_base / self.n)
+        self.m, self.alpha, self.w = derive_parameters(self.n, self.c, self.delta, self.beta)
+        self.collision_threshold = max(1, math.ceil(self.alpha * self.m))
         self.projection = GaussianProjection(self.d, self.m, seed=self._rng)
         self.projections = self.projection.project(self.data)  # (n, m)
         # Dataset-level projection scale, used to seed the virtual-rehashing
@@ -149,8 +160,6 @@ class QALSH(ANNIndex):
             order = np.argsort(self.projections, axis=0, kind="stable")  # (n, m)
             self._sorted_ids = order.T.copy()  # (m, n)
             self._sorted_keys = np.take_along_axis(self.projections, order, axis=0).T.copy()
-        self._built = True
-        return self
 
     # ------------------------------------------------------------------
     # query: virtual rehashing + collision counting

@@ -21,10 +21,12 @@ from repro.core.hashing import GaussianProjection
 from repro.core.params import PMLSHParams
 from repro.core.radius import select_initial_radius
 from repro.datasets.distance import point_to_points_distances, sample_distance_distribution
+from repro.registry import register_index
 from repro.rtree.tree import RTree
 from repro.utils.rng import RandomState, as_generator
 
 
+@register_index("r-lsh")
 class RLSH(ANNIndex):
     """PM-LSH with the PM-tree swapped for an R-tree."""
 
@@ -32,7 +34,7 @@ class RLSH(ANNIndex):
 
     def __init__(
         self,
-        data: np.ndarray,
+        data: np.ndarray | None = None,
         params: PMLSHParams | None = None,
         seed: RandomState = None,
     ) -> None:
@@ -52,7 +54,7 @@ class RLSH(ANNIndex):
         self.tree: RTree | None = None
         self.distance_distribution = None
 
-    def build(self) -> "RLSH":
+    def _fit(self) -> None:
         params = self.params
         self.projection = GaussianProjection(self.d, params.m, seed=self._rng)
         self.projected = self.projection.project(self.data)
@@ -62,8 +64,6 @@ class RLSH(ANNIndex):
             num_pairs=min(params.radius_sample_pairs, max(1000, 10 * self.n)),
             seed=self._rng,
         )
-        self._built = True
-        return self
 
     def query(self, q: np.ndarray, k: int) -> QueryResult:
         self._require_built()

@@ -28,11 +28,13 @@ from scipy import stats
 
 from repro.baselines.base import ANNIndex, QueryResult
 from repro.core.hashing import GaussianProjection
+from repro.registry import register_index
 from repro.rtree.tree import RTree
 from repro.utils.heap import BoundedMaxHeap
 from repro.utils.rng import RandomState, as_generator
 
 
+@register_index("srs")
 class SRS(ANNIndex):
     """SRS with an R-tree over the m-dimensional projected space.
 
@@ -53,7 +55,7 @@ class SRS(ANNIndex):
 
     def __init__(
         self,
-        data: np.ndarray,
+        data: np.ndarray | None = None,
         m: int = 15,
         c: float = 1.5,
         early_stop_threshold: float = 0.8107,
@@ -80,12 +82,10 @@ class SRS(ANNIndex):
         self.projected: np.ndarray | None = None
         self.tree: RTree | None = None
 
-    def build(self) -> "SRS":
+    def _fit(self) -> None:
         self.projection = GaussianProjection(self.d, self.m, seed=self._rng)
         self.projected = self.projection.project(self.data)
         self.tree = RTree.build(self.projected, capacity=self.rtree_capacity, method="str")
-        self._built = True
-        return self
 
     def query(self, q: np.ndarray, k: int) -> QueryResult:
         self._require_built()

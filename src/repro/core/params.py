@@ -55,6 +55,10 @@ class PMLSHParams:
             raise ValueError(f"radius_shrink must be in (0, 1], got {self.radius_shrink}")
         if self.build_method not in ("bulk", "insert"):
             raise ValueError(f"unknown build_method {self.build_method!r}")
+        if self.pivot_method not in ("maxsep", "random", "variance"):
+            raise ValueError(f"unknown pivot_method {self.pivot_method!r}")
+        if self.split_promotion not in ("mm_rad", "random"):
+            raise ValueError(f"unknown split_promotion {self.split_promotion!r}")
         if self.max_iterations <= 0:
             raise ValueError(f"max_iterations must be positive, got {self.max_iterations}")
         if self.beta_override is not None and not 0.0 < self.beta_override < 1.0:

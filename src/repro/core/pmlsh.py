@@ -14,32 +14,34 @@ Query pipeline (Fig. 2's three components):
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
 from typing import List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.baselines.base import ANNIndex, QueryResult
+from repro.baselines.base import ANNIndex, BatchResult, QueryResult
 from repro.core.estimation import SolvedParameters, solve_parameters
 from repro.core.hashing import GaussianProjection
 from repro.core.params import PMLSHParams
 from repro.core.radius import select_initial_radius
 from repro.datasets.distance import (
     DistanceDistribution,
+    pairwise_distances,
     point_to_points_distances,
     sample_distance_distribution,
 )
 from repro.pmtree.tree import PMTree
+from repro.registry import register_index
 from repro.utils.rng import RandomState, as_generator
 
 
+@register_index("pm-lsh")
 class PMLSH(ANNIndex):
     """The PM-LSH index (the paper's primary contribution).
 
     Parameters
     ----------
-    data:
-        ``(n, d)`` dataset in the original space.
     params:
         Tunables; see :class:`~repro.core.params.PMLSHParams`.
     seed:
@@ -51,17 +53,20 @@ class PMLSH(ANNIndex):
     >>> from repro import PMLSH
     >>> rng = np.random.default_rng(0)
     >>> data = rng.normal(size=(1000, 64))
-    >>> index = PMLSH(data, seed=0).build()
+    >>> index = PMLSH(seed=0).fit(data)
     >>> result = index.query(data[0] + 0.01, k=5)
     >>> len(result)
     5
+    >>> batch = index.search(data[:8] + 0.01, k=5)
+    >>> batch.ids.shape
+    (8, 5)
     """
 
     name = "PM-LSH"
 
     def __init__(
         self,
-        data: np.ndarray,
+        data: np.ndarray | None = None,
         params: PMLSHParams | None = None,
         seed: RandomState = None,
     ) -> None:
@@ -85,7 +90,7 @@ class PMLSH(ANNIndex):
     # construction
     # ------------------------------------------------------------------
 
-    def build(self) -> "PMLSH":
+    def _fit(self) -> None:
         """Project the dataset, build the PM-tree, estimate F(x)."""
         params = self.params
         self.projection = GaussianProjection(self.d, params.m, seed=self._rng)
@@ -109,8 +114,14 @@ class PMLSH(ANNIndex):
             num_pairs=min(params.radius_sample_pairs, max(1000, 10 * self.n)),
             seed=self._rng,
         )
-        self._built = True
-        return self
+
+    def candidate_budget(self, k: int) -> int:
+        """Algorithm 2's verification cap ⌈βn⌉ + k at the *current* n.
+
+        Evaluated per query so the budget tracks dataset growth through
+        :meth:`add`.
+        """
+        return int(np.ceil(self.solved.beta * self.n)) + k
 
     # ------------------------------------------------------------------
     # Algorithm 1: the (r, c)-BC query
@@ -131,7 +142,7 @@ class PMLSH(ANNIndex):
         if r <= 0:
             raise ValueError(f"radius r must be positive, got {r}")
         projected_query = self.projection.project(q)
-        budget = int(np.ceil(self.solved.beta * self.n)) + 1
+        budget = self.candidate_budget(1)
         candidates = self.tree.range_query(
             projected_query, self.solved.t * r, limit=budget, exclude=exclude
         )
@@ -152,20 +163,56 @@ class PMLSH(ANNIndex):
     # Algorithm 2: the (c, k)-ANN query
     # ------------------------------------------------------------------
 
-    def query(self, q: np.ndarray, k: int) -> QueryResult:
-        """Algorithm 2: the (c, k)-ANN query via radius enlargement."""
-        self._require_built()
-        q = self._validate_query(q, k)
-        params = self.params
-        projected_query = self.projection.project(q)
-        budget = int(np.ceil(self.solved.beta * self.n)) + k
-        r = select_initial_radius(
+    def _initial_radius(self, k: int) -> float:
+        return select_initial_radius(
             self.distance_distribution,
             n=self.n,
             beta=self.solved.beta,
             k=k,
-            shrink=params.radius_shrink,
+            shrink=self.params.radius_shrink,
         )
+
+    def query(self, q: np.ndarray, k: int) -> QueryResult:
+        """Algorithm 2: the (c, k)-ANN query via radius enlargement."""
+        self._require_built()
+        q = self._validate_query(q, k)
+        projected_query = self.projection.project(q)
+
+        def fetch(radius: float, limit: int, seen: Set[int]) -> np.ndarray:
+            matches = self.tree.range_query(
+                projected_query, radius, limit=limit, exclude=seen
+            )
+            return np.asarray([pid for pid, _ in matches], dtype=np.int64)
+
+        return self._probe(
+            q,
+            k,
+            budget=self.candidate_budget(k),
+            initial_radius=self._initial_radius(k),
+            fetch=fetch,
+        )
+
+    def _probe(
+        self,
+        q: np.ndarray,
+        k: int,
+        budget: int,
+        initial_radius: float,
+        fetch,
+        scratch: np.ndarray | None = None,
+    ) -> QueryResult:
+        """The radius-enlarging probe loop shared by query() and search().
+
+        ``fetch(radius, limit, seen)`` supplies the next batch of candidate
+        ids — the closest unseen points whose *projected* distance is within
+        ``radius``, capped at ``limit`` and sorted ascending.  The
+        single-query path walks the PM-tree; the batch path reads a sorted
+        projected-distance row.  Both produce the same candidate set (it is
+        defined by projected distances alone, not by tree shape), so the
+        two paths answer identically.
+        """
+        params = self.params
+        r = initial_radius
         seen: Set[int] = set()
         collected: List[Tuple[int, float]] = []  # (id, true distance)
         rounds = 0
@@ -174,15 +221,9 @@ class PMLSH(ANNIndex):
             # Termination test 1 (line 4): k verified points within c·r.
             if self._count_within(collected, params.c * r) >= k:
                 break
-            new_candidates = self.tree.range_query(
-                projected_query,
-                self.solved.t * r,
-                limit=max(0, budget - len(seen)),
-                exclude=seen,
-            )
-            if new_candidates:
-                ids = np.asarray([pid for pid, _ in new_candidates], dtype=np.int64)
-                true_dists = point_to_points_distances(q, self.data[ids])
+            ids = fetch(self.solved.t * r, max(0, budget - len(seen)), seen)
+            if ids.size:
+                true_dists = self._true_distances(q, ids, scratch)
                 for pid, dist in zip(ids, true_dists):
                     seen.add(int(pid))
                     collected.append((int(pid), float(dist)))
@@ -203,22 +244,101 @@ class PMLSH(ANNIndex):
             stats=stats,
         )
 
+    def _true_distances(
+        self, q: np.ndarray, ids: np.ndarray, scratch: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Original-space distances q -> data[ids], through *scratch* when a
+        large enough verification buffer is supplied (the batch hot path
+        reuses one buffer across all queries instead of allocating a fresh
+        difference matrix per round)."""
+        rows = self.data[ids]
+        if scratch is not None and rows.shape[0] <= scratch.shape[0]:
+            buffer = scratch[: rows.shape[0]]
+            np.subtract(rows, q, out=buffer)
+            return np.sqrt(np.einsum("ij,ij->i", buffer, buffer))
+        return point_to_points_distances(q, rows)
+
     @staticmethod
     def _count_within(collected: List[Tuple[int, float]], threshold: float) -> int:
         return sum(1 for _, dist in collected if dist <= threshold)
 
-    def query_batch(self, queries: np.ndarray, k: int) -> List[QueryResult]:
-        """Answer one (c, k)-ANN query per row of *queries*.
+    # ------------------------------------------------------------------
+    # batch search (the vectorised hot path)
+    # ------------------------------------------------------------------
 
-        A convenience wrapper over :meth:`query`; results are independent,
-        so the list order matches the input rows.
+    #: Cap on the entries of one (query block × n) projected-distance
+    #: matrix, bounding the batch path's temporary memory to ~64 MB.
+    _BATCH_BLOCK_ENTRIES = 8_000_000
+
+    def _search(self, queries: np.ndarray, k: int) -> BatchResult:
+        """Batched Algorithm 2 over a flat scan of the projected space.
+
+        Per-batch (not per-query) work replaces the per-query tree walks:
+
+        * all Q queries are projected in **one GEMM** against the direction
+          matrix instead of Q separate vector products;
+        * projected distances to the whole dataset are computed as one
+          blocked ``(Q, n)`` GEMM; each query's radius-enlarging rounds
+          then read successive prefixes of its sorted distance row — the
+          *same* candidate set the PM-tree's ``range_query`` produces
+          (closest unseen points inside the projected ball, ascending),
+          because that set is defined by projected distances alone;
+        * the initial radius r_min — a quantile of the shared F(x) sample,
+          identical for every query at fixed (n, β, k) — is solved once;
+        * one candidate-verification buffer is reused across every query's
+          probe rounds.
+
+        Results are exactly those of a per-query :meth:`query` loop.
         """
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        if queries.shape[1] != self.d:
-            raise ValueError(
-                f"queries must have dimension {self.d}, got {queries.shape[1]}"
+        budget = self.candidate_budget(k)
+        initial_radius = self._initial_radius(k)
+        projected = np.atleast_2d(self.projection.project(queries))  # one GEMM
+        scratch = np.empty((min(budget, self.n), self.d), dtype=np.float64)
+        results: List[QueryResult] = []
+        block = max(1, self._BATCH_BLOCK_ENTRIES // max(self.n, 1))
+        for start in range(0, queries.shape[0], block):
+            proj_dists = pairwise_distances(
+                projected[start : start + block], self.projected
             )
-        return [self.query(row, k) for row in queries]
+            for row, q in enumerate(queries[start : start + block]):
+                # The probe loop never consumes more than `budget` ids, so
+                # only the budget smallest projected distances need a full
+                # sort: O(n + B log B) instead of O(n log n) per query.
+                head = min(budget, self.n)
+                if head < self.n:
+                    part = np.argpartition(proj_dists[row], head - 1)[:head]
+                    order = part[np.argsort(proj_dists[row][part], kind="stable")]
+                else:
+                    order = np.argsort(proj_dists[row], kind="stable")
+                sorted_dists = proj_dists[row][order]
+                cursor = 0
+
+                def fetch(radius: float, limit: int, seen: Set[int]) -> np.ndarray:
+                    # `seen` is always exactly the sorted prefix consumed so
+                    # far, so the next candidates are the following slice.
+                    nonlocal cursor
+                    if limit <= 0:
+                        return np.empty(0, dtype=np.int64)
+                    within = int(np.searchsorted(sorted_dists, radius, side="right"))
+                    take = min(max(0, within - cursor), limit)
+                    ids = order[cursor : cursor + take].astype(np.int64)
+                    cursor += take
+                    return ids
+
+                results.append(
+                    self._probe(q, k, budget, initial_radius, fetch, scratch)
+                )
+        return BatchResult.from_queries(results, k=k)
+
+    def query_batch(self, queries: np.ndarray, k: int) -> List[QueryResult]:
+        """Deprecated: per-row list form of :meth:`search`."""
+        warnings.warn(
+            "legacy ANNIndex API: query_batch() is deprecated; use search()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        batch = self.search(queries, k)
+        return [batch[i] for i in range(len(batch))]
 
     # ------------------------------------------------------------------
     # persistence
@@ -260,7 +380,8 @@ class PMLSH(ANNIndex):
             samples = archive["distance_samples"]
             params_json = bytes(archive["params_json"]).decode("utf-8")
         params = PMLSHParams(**json.loads(params_json))
-        index = cls(data, params=params, seed=0)
+        index = cls(params=params, seed=0)
+        index._set_data(data)
         index.projection = GaussianProjection.from_directions(directions)
         index.projected = index.projection.project(index.data)
         index.tree = PMTree.build(
@@ -268,6 +389,7 @@ class PMLSH(ANNIndex):
             num_pivots=pivots.shape[0],
             capacity=params.node_capacity,
             method=params.build_method,
+            pivot_method=params.pivot_method,
             split_promotion=params.split_promotion,
             split_partition=params.split_partition,
             use_rings=params.use_rings,
@@ -279,27 +401,32 @@ class PMLSH(ANNIndex):
         index._built = True
         return index
 
-    def extend(self, new_points: np.ndarray) -> np.ndarray:
-        """Add *new_points* to the index dynamically.
+    # ------------------------------------------------------------------
+    # dynamic growth
+    # ------------------------------------------------------------------
 
-        New rows are projected with the existing hash functions and
-        inserted into the PM-tree through the ordinary insertion path; the
+    def _add(self, new_points: np.ndarray) -> np.ndarray:
+        """Incremental growth: project with the existing hash functions and
+        insert into the PM-tree through the ordinary insertion path; the
         r_min distance distribution keeps serving (it drifts only as much
-        as the data distribution does, which HV ≈ 1 keeps small).  Returns
-        the ids assigned to the new rows — subsequent queries can return
-        them immediately.
-        """
-        self._require_built()
-        new_points = np.atleast_2d(np.asarray(new_points, dtype=np.float64))
-        if new_points.shape[1] != self.d:
-            raise ValueError(
-                f"new points have dimension {new_points.shape[1]}, expected {self.d}"
-            )
+        as the data distribution does, which HV ≈ 1 keeps small).  Every
+        n-dependent quantity (the ⌈βn⌉ + k candidate budget, r_min's target
+        mass) is evaluated per query from the grown ``self.n``, so queries
+        stay consistent after growth."""
         projected_new = self.projection.project(new_points)
         new_ids = self.tree.append_points(projected_new)
-        self.data = np.ascontiguousarray(np.vstack([self.data, new_points]))
+        self._set_data(np.vstack([self.data, new_points]))
         self.projected = self.tree.points
         return new_ids
+
+    def extend(self, new_points: np.ndarray) -> np.ndarray:
+        """Deprecated: use :meth:`add`."""
+        warnings.warn(
+            "legacy ANNIndex API: extend() is deprecated; use add()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.add(new_points)
 
     # ------------------------------------------------------------------
     # diagnostics

@@ -10,7 +10,12 @@
 """
 
 from repro.evaluation.ground_truth import GroundTruth, compute_ground_truth
-from repro.evaluation.harness import AlgorithmResult, evaluate_index, run_query_set
+from repro.evaluation.harness import (
+    AlgorithmResult,
+    evaluate_algorithm,
+    evaluate_index,
+    run_query_set,
+)
 from repro.evaluation.metrics import overall_ratio, recall
 from repro.evaluation.tables import format_series, format_table
 
@@ -18,6 +23,7 @@ __all__ = [
     "AlgorithmResult",
     "GroundTruth",
     "compute_ground_truth",
+    "evaluate_algorithm",
     "evaluate_index",
     "format_series",
     "format_table",

@@ -77,6 +77,7 @@ class PMTree:
         self.capacity = capacity
         self.split_promotion = split_promotion
         self.split_partition = split_partition
+        self.pivot_method = pivot_method
         self.use_rings = use_rings
         self.use_parent_filter = use_parent_filter
         self._rng = as_generator(seed)

@@ -1,0 +1,105 @@
+"""Central registry of ANN index implementations.
+
+Every algorithm registers itself under a canonical name (and optional
+aliases) with :func:`register_index`; :func:`create_index` is the factory
+the harness, benchmarks and examples construct indexes through:
+
+>>> import repro
+>>> index = repro.create_index("pm-lsh", seed=42)
+>>> index.fit(data).search(queries, k=10)          # doctest: +SKIP
+
+Name lookup is forgiving: case, spaces, dashes and underscores are
+ignored, so ``"PM-LSH"``, ``"pm_lsh"`` and ``"pmlsh"`` all resolve to the
+same class.  Registering a new algorithm is one decorator line::
+
+    @register_index("my-lsh")
+    class MyLSH(ANNIndex):
+        ...
+
+after which ``create_index("my-lsh", **params)`` and every factory-driven
+driver pick it up with no further wiring.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Type
+
+#: normalised name -> implementation class (includes aliases).
+_REGISTRY: Dict[str, type] = {}
+#: canonical registration name -> implementation class (for listings).
+_CANONICAL: Dict[str, type] = {}
+
+
+def _normalize(name: str) -> str:
+    if not isinstance(name, str):
+        raise TypeError(f"index name must be a string, got {type(name).__name__}")
+    normalized = re.sub(r"[\s_\-]+", "", name.strip().lower())
+    if not normalized:
+        raise ValueError(f"index name must be non-empty, got {name!r}")
+    return normalized
+
+
+def register_index(name: str, *aliases: str):
+    """Class decorator registering an :class:`ANNIndex` under *name*.
+
+    The canonical *name* appears in :func:`available_indexes`; *aliases*
+    resolve through :func:`create_index` but are not listed.  Registering
+    a different class under an already-taken name raises ``ValueError``
+    (re-registering the same class is a no-op, so module reloads stay
+    harmless).
+    """
+
+    keys = {key: _normalize(key) for key in (name, *aliases)}
+
+    def decorator(cls: type) -> type:
+        for key, normalized in keys.items():
+            existing = _REGISTRY.get(normalized)
+            if existing is not None and existing is not cls:
+                raise ValueError(
+                    f"index name {key!r} is already registered to {existing.__name__}"
+                )
+            _REGISTRY[normalized] = cls
+        cls.registry_name = name
+        _CANONICAL[name] = cls
+        return cls
+
+    return decorator
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in algorithm modules so their decorators run.
+
+    Lazy so that ``repro.registry`` itself stays import-cycle-free: the
+    algorithm modules import :func:`register_index` from here at import
+    time, while this function only runs on first lookup.
+    """
+    import repro.baselines  # noqa: F401  (registers the nine baselines)
+    import repro.core.pmlsh  # noqa: F401  (registers PM-LSH)
+
+
+def get_index_class(name: str) -> type:
+    """Resolve *name* to the registered implementation class."""
+    _ensure_builtins()
+    normalized = _normalize(name)
+    try:
+        return _REGISTRY[normalized]
+    except KeyError:
+        known = ", ".join(sorted(_CANONICAL))
+        raise KeyError(f"unknown index {name!r}; registered indexes: {known}") from None
+
+
+def create_index(name: str, **params):
+    """Construct the index registered under *name* with **params.
+
+    Parameters are passed straight to the implementation's constructor
+    (e.g. ``create_index("pm-lsh", params=PMLSHParams(c=2.0), seed=7)``);
+    the returned index is unfitted — call ``fit(data)`` next.
+    """
+    return get_index_class(name)(**params)
+
+
+def available_indexes() -> List[str]:
+    """Canonical names of every registered algorithm, sorted."""
+    _ensure_builtins()
+    return sorted(_CANONICAL)

@@ -1,0 +1,150 @@
+"""Tests for first-class batch queries: search() and BatchResult.
+
+The central contract: for every algorithm, ``search(Q, k)`` returns
+exactly the ids/distances of a per-query ``query()`` loop — including
+PM-LSH, whose batch path replaces the per-query tree walks with one
+blocked projected-space GEMM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PMLSH, PMLSHParams, create_index
+from repro.baselines.base import BatchResult, QueryResult
+
+
+def _assert_batch_equals_loop(index, queries, k):
+    batch = index.search(queries, k)
+    assert batch.ids.shape == (queries.shape[0], k)
+    assert batch.distances.shape == (queries.shape[0], k)
+    for i, q in enumerate(queries):
+        single = index.query(q, k)
+        valid = batch.ids[i] >= 0
+        np.testing.assert_array_equal(batch.ids[i][valid], single.ids)
+        # rtol covers the one-row-vs-blocked GEMM rounding in the exact
+        # oracle; every candidate-verifying algorithm matches bit for bit.
+        np.testing.assert_allclose(
+            batch.distances[i][valid], single.distances, rtol=1e-9
+        )
+
+
+class TestSearchEqualsQueryLoop:
+    def test_pmlsh_batch_identical_to_loop(self, small_clustered):
+        index = PMLSH(params=PMLSHParams(node_capacity=32), seed=3).fit(
+            small_clustered[:500]
+        )
+        _assert_batch_equals_loop(index, small_clustered[:30] + 0.01, k=10)
+
+    def test_pmlsh_batch_stats_identical_to_loop(self, small_clustered):
+        index = PMLSH(seed=3).fit(small_clustered[:400])
+        queries = small_clustered[:10] + 0.01
+        batch = index.search(queries, k=5)
+        for i, q in enumerate(queries):
+            assert batch.per_query_stats[i] == index.query(q, 5).stats
+
+    def test_pmlsh_batch_blocking_boundary(self, small_clustered, monkeypatch):
+        """Blocked and unblocked projected-distance computation agree."""
+        index = PMLSH(seed=3).fit(small_clustered[:300])
+        queries = small_clustered[:9] + 0.01
+        full = index.search(queries, k=5)
+        monkeypatch.setattr(PMLSH, "_BATCH_BLOCK_ENTRIES", 2 * index.n)
+        blocked = index.search(queries, k=5)
+        np.testing.assert_array_equal(full.ids, blocked.ids)
+        np.testing.assert_allclose(full.distances, blocked.distances, rtol=1e-12)
+
+    @pytest.mark.parametrize("name", ["srs", "qalsh", "exact", "lscan"])
+    def test_baselines_batch_identical_to_loop(self, name, small_clustered):
+        kwargs = {} if name == "exact" else {"seed": 3}
+        index = create_index(name, **kwargs).fit(small_clustered[:400])
+        _assert_batch_equals_loop(index, small_clustered[:15] + 0.01, k=8)
+
+    def test_single_vector_promoted_to_batch(self, tiny_uniform):
+        index = create_index("exact").fit(tiny_uniform)
+        batch = index.search(tiny_uniform[0], k=4)
+        assert batch.ids.shape == (1, 4)
+        assert int(batch.ids[0, 0]) == 0
+
+    def test_dimension_mismatch_rejected(self, tiny_uniform):
+        index = create_index("exact").fit(tiny_uniform)
+        with pytest.raises(ValueError):
+            index.search(np.zeros((3, tiny_uniform.shape[1] + 1)), k=2)
+
+    def test_invalid_k_rejected(self, tiny_uniform):
+        index = create_index("exact").fit(tiny_uniform)
+        with pytest.raises(ValueError):
+            index.search(tiny_uniform[:2], k=0)
+        with pytest.raises(ValueError):
+            index.search(tiny_uniform[:2], k=tiny_uniform.shape[0] + 1)
+
+
+class TestBatchResult:
+    def test_from_queries_pads_short_rows(self):
+        full = QueryResult(ids=np.array([4, 2]), distances=np.array([0.1, 0.2]))
+        short = QueryResult(ids=np.array([7]), distances=np.array([0.3]))
+        batch = BatchResult.from_queries([full, short], k=2)
+        np.testing.assert_array_equal(batch.ids, [[4, 2], [7, -1]])
+        assert batch.distances[1, 1] == np.inf
+        # Indexing strips the padding again.
+        assert len(batch[1]) == 1
+        assert int(batch[1].ids[0]) == 7
+
+    def test_aggregated_stats(self):
+        a = QueryResult(np.array([1]), np.array([0.1]), stats={"candidates": 10.0})
+        b = QueryResult(np.array([2]), np.array([0.2]), stats={"candidates": 30.0})
+        batch = BatchResult.from_queries([a, b], k=1)
+        assert batch.stats["queries"] == 2.0
+        assert batch.stats["candidates"] == 20.0
+        assert batch.per_query_stats == ({"candidates": 10.0}, {"candidates": 30.0})
+
+    def test_len_and_k(self):
+        batch = BatchResult(ids=np.zeros((3, 4)), distances=np.zeros((3, 4)))
+        assert len(batch) == 3
+        assert batch.num_queries == 3
+        assert batch.k == 4
+
+    def test_negative_index(self):
+        a = QueryResult(np.array([1]), np.array([0.1]), stats={"rounds": 1.0})
+        b = QueryResult(np.array([2]), np.array([0.2]), stats={"rounds": 2.0})
+        batch = BatchResult.from_queries([a, b], k=1)
+        assert int(batch[-1].ids[0]) == 2
+        assert batch[-1].stats == {"rounds": 2.0}
+        # Directly-constructed results carry no per-query stats; negative
+        # indexing must still work.
+        bare = BatchResult(ids=np.zeros((2, 1)), distances=np.zeros((2, 1)))
+        assert bare[-1].stats == {}
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BatchResult(ids=np.zeros((2, 3)), distances=np.zeros((2, 4)))
+        with pytest.raises(ValueError):
+            BatchResult(ids=np.zeros(3), distances=np.zeros(3))
+
+
+class TestHarnessBatchMode:
+    def test_batch_and_loop_agree_on_metrics(self, small_clustered):
+        from repro.evaluation import compute_ground_truth, run_query_set
+
+        data = small_clustered[:400]
+        queries = small_clustered[:10] + 0.01
+        gt = compute_ground_truth(data, queries, k_max=5)
+        index = PMLSH(seed=1).fit(data)
+        looped = run_query_set(index, queries, 5, gt)
+        batched = run_query_set(index, queries, 5, gt, batch=True)
+        assert batched.recall == pytest.approx(looped.recall)
+        assert batched.overall_ratio == pytest.approx(looped.overall_ratio)
+        assert batched.per_query_time_ms.shape == (10,)
+
+    def test_evaluate_algorithm_by_name(self, small_clustered):
+        from repro.evaluation import evaluate_algorithm
+
+        data = small_clustered[:300]
+        queries = small_clustered[:6] + 0.01
+        result = evaluate_algorithm(
+            "exact", data, queries, k=4, dataset_name="toy", batch=True
+        )
+        assert result.algorithm == "Exact"
+        assert result.dataset == "toy"
+        assert result.recall == pytest.approx(1.0)
+        assert result.overall_ratio == pytest.approx(1.0)

@@ -1,0 +1,163 @@
+"""Tests for the fit/add/search lifecycle and the legacy deprecation shim."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import E2LSH, LinearScan, PMLSH, PMLSHParams, QALSH, create_index
+from repro.baselines.qalsh import derive_parameters
+
+
+class TestFit:
+    def test_fit_returns_self_and_builds(self, tiny_uniform):
+        index = PMLSH(seed=0)
+        assert not index.is_built
+        assert index.fit(tiny_uniform) is index
+        assert index.is_built
+        assert index.n == tiny_uniform.shape[0]
+
+    def test_properties_raise_before_fit(self):
+        index = PMLSH(seed=0)
+        with pytest.raises(RuntimeError):
+            index.n
+        with pytest.raises(RuntimeError):
+            index.d
+
+    def test_query_before_fit_raises(self, tiny_uniform):
+        index = PMLSH(seed=0)
+        with pytest.raises(RuntimeError):
+            index.query(tiny_uniform[0], 1)
+        with pytest.raises(RuntimeError):
+            index.search(tiny_uniform[:2], 1)
+
+    def test_refit_recalibrates_bucket_width(self, tiny_uniform):
+        """Width-calibrating algorithms must re-tune w when fit() rebinds a
+        dataset at a different scale (an explicit w stays pinned)."""
+        from repro import MultiProbeLSH
+
+        index = MultiProbeLSH(seed=0).fit(tiny_uniform)
+        w_small = index.w
+        index.fit(tiny_uniform * 1000.0)
+        assert index.w > 100.0 * w_small
+        pinned = MultiProbeLSH(w=12.0, seed=0).fit(tiny_uniform)
+        pinned.fit(tiny_uniform * 1000.0)
+        assert pinned.w == 12.0
+
+    def test_refit_rebinds_dataset(self, tiny_uniform, small_gaussian):
+        index = LinearScan(portion=1.0, seed=0).fit(tiny_uniform)
+        assert index.n == tiny_uniform.shape[0]
+        index.fit(small_gaussian)
+        assert index.n == small_gaussian.shape[0]
+        result = index.query(small_gaussian[3], k=1)
+        assert int(result.ids[0]) == 3
+
+    def test_bad_data_rejected(self):
+        with pytest.raises(ValueError):
+            PMLSH(seed=0).fit(np.zeros(5))
+        with pytest.raises(ValueError):
+            PMLSH(seed=0).fit(np.empty((0, 3)))
+
+
+class TestAdd:
+    def test_add_before_fit_raises(self, tiny_uniform):
+        with pytest.raises(RuntimeError):
+            PMLSH(seed=0).add(tiny_uniform)
+
+    def test_add_dimension_check(self, tiny_uniform):
+        index = PMLSH(seed=0).fit(tiny_uniform)
+        with pytest.raises(ValueError):
+            index.add(np.zeros((2, 3)))
+
+    def test_add_empty_is_noop(self, tiny_uniform):
+        index = PMLSH(seed=0).fit(tiny_uniform)
+        ids = index.add(np.empty((0, tiny_uniform.shape[1])))
+        assert ids.size == 0
+        assert index.n == tiny_uniform.shape[0]
+
+    def test_pmlsh_add_incremental(self, small_clustered):
+        base, extra = small_clustered[:600], small_clustered[600:650]
+        index = PMLSH(params=PMLSHParams(node_capacity=32), seed=0).fit(base)
+        new_ids = index.add(extra)
+        assert list(new_ids) == list(range(600, 650))
+        assert index.n == 650
+        hit = index.query(extra[7], k=1)
+        assert int(hit.ids[0]) == int(new_ids[7])
+
+    def test_default_add_refits(self, small_clustered):
+        """Algorithms without an incremental path re-fit over the grown set
+        and the new rows become findable."""
+        base, extra = small_clustered[:300], small_clustered[300:320]
+        index = E2LSH(w=30.0, seed=3).fit(base)
+        new_ids = index.add(extra)
+        assert list(new_ids) == list(range(300, 320))
+        hit = index.query(extra[0], k=1)
+        assert int(hit.ids[0]) == 300
+        assert hit.distances[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_qalsh_rederives_n_dependent_parameters(self, small_clustered):
+        """β = 100/n and the m/α pair must track growth (the βn + k budget
+        consistency the add() contract promises)."""
+        base, extra = small_clustered[:300], small_clustered[300:]
+        index = QALSH(seed=0).fit(base)
+        assert index.beta == pytest.approx(min(0.5, 100.0 / 300))
+        index.add(extra)
+        n = small_clustered.shape[0]
+        assert index.n == n
+        assert index.beta == pytest.approx(min(0.5, 100.0 / n))
+        expected_m, expected_alpha, _ = derive_parameters(
+            n, index.c, index.delta, index.beta
+        )
+        assert index.m == expected_m
+        assert index.alpha == pytest.approx(expected_alpha)
+        result = index.query(small_clustered[0], k=5)
+        assert len(result) == 5
+
+
+class TestLegacyShim:
+    def test_ctor_data_warns_and_stages(self, tiny_uniform):
+        with pytest.warns(DeprecationWarning, match="legacy ANNIndex API"):
+            index = PMLSH(tiny_uniform, seed=0)
+        assert index.n == tiny_uniform.shape[0]
+        assert not index.is_built
+
+    def test_build_warns_and_answers(self, tiny_uniform):
+        with pytest.warns(DeprecationWarning, match="legacy ANNIndex API"):
+            index = PMLSH(tiny_uniform, seed=0).build()
+        result = index.query(tiny_uniform[0] + 0.001, k=2)
+        assert len(result) == 2
+
+    def test_legacy_equals_new_style(self, tiny_uniform):
+        with pytest.warns(DeprecationWarning):
+            legacy = PMLSH(tiny_uniform, seed=5).build()
+        fresh = PMLSH(seed=5).fit(tiny_uniform)
+        q = tiny_uniform[3] + 0.001
+        a, b = legacy.query(q, 5), fresh.query(q, 5)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        np.testing.assert_allclose(a.distances, b.distances, rtol=1e-12)
+
+    def test_build_without_staged_data_raises(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(RuntimeError, match="no dataset staged"):
+                PMLSH(seed=0).build()
+
+    def test_extend_warns_and_delegates_to_add(self, small_clustered):
+        index = PMLSH(seed=0).fit(small_clustered[:200])
+        with pytest.warns(DeprecationWarning, match="extend"):
+            ids = index.extend(small_clustered[200:210])
+        assert list(ids) == list(range(200, 210))
+
+    def test_query_batch_warns_and_matches_search(self, small_clustered):
+        index = PMLSH(seed=0).fit(small_clustered[:200])
+        queries = small_clustered[:5] + 0.01
+        with pytest.warns(DeprecationWarning, match="query_batch"):
+            legacy = index.query_batch(queries, k=4)
+        batch = index.search(queries, k=4)
+        assert len(legacy) == 5
+        for i, result in enumerate(legacy):
+            np.testing.assert_array_equal(result.ids, batch[i].ids)
+
+    def test_factory_index_never_warns(self, tiny_uniform, recwarn):
+        index = create_index("lscan", seed=0).fit(tiny_uniform)
+        index.search(tiny_uniform[:3], k=2)
+        assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]

@@ -1,0 +1,114 @@
+"""Tests for the index registry and the create_index factory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines.base import ANNIndex, QueryResult
+from repro.registry import available_indexes, create_index, get_index_class, register_index
+
+ALL_NAMES = [
+    "c2lsh",
+    "e2lsh",
+    "exact",
+    "lsb-forest",
+    "lscan",
+    "multi-probe",
+    "pm-lsh",
+    "qalsh",
+    "r-lsh",
+    "srs",
+]
+
+#: Constructor kwargs per registry name (exact takes no seed).
+KWARGS = {name: ({} if name == "exact" else {"seed": 3}) for name in ALL_NAMES}
+
+
+class TestListing:
+    def test_all_ten_algorithms_registered(self):
+        assert available_indexes() == ALL_NAMES
+
+    def test_package_level_exports(self):
+        assert repro.available_indexes() == ALL_NAMES
+        assert repro.create_index is create_index
+
+
+class TestResolution:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_create_constructs_ann_index(self, name):
+        index = create_index(name, **KWARGS[name])
+        assert isinstance(index, ANNIndex)
+        assert not index.is_built
+
+    @pytest.mark.parametrize(
+        "variant", ["pm-lsh", "PM-LSH", "pmlsh", "pm_lsh", "  Pm LSH  "]
+    )
+    def test_name_normalisation(self, variant):
+        assert get_index_class(variant) is repro.PMLSH
+
+    def test_aliases_resolve(self):
+        assert get_index_class("lsb") is repro.LSBForest
+        assert get_index_class("brute-force") is repro.ExactKNN
+        assert get_index_class("linear-scan") is repro.LinearScan
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="pm-lsh"):
+            create_index("no-such-index")
+
+    def test_constructor_kwargs_pass_through(self):
+        index = create_index("lscan", portion=0.4, seed=1)
+        assert index.portion == 0.4
+
+    def test_registry_name_attribute(self):
+        assert repro.PMLSH.registry_name == "pm-lsh"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_factory_fit_query_round_trip(self, name, tiny_uniform):
+        """Every registered algorithm is constructible by name and answers
+        queries through the uniform lifecycle."""
+        index = create_index(name, **KWARGS[name]).fit(tiny_uniform)
+        result = index.query(tiny_uniform[0] + 0.001, k=3)
+        assert len(result) == 3
+        batch = index.search(tiny_uniform[:4] + 0.001, k=3)
+        assert batch.ids.shape == (4, 3)
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_index("pm-lsh")
+            class Impostor(ANNIndex):  # pragma: no cover - never instantiated
+                def query(self, q, k):
+                    raise NotImplementedError
+
+    def test_reregistering_same_class_is_noop(self):
+        cls = get_index_class("pm-lsh")
+        register_index("pm-lsh")(cls)
+        assert get_index_class("pm-lsh") is cls
+
+    def test_custom_registration_round_trip(self, tiny_uniform):
+        @register_index("test-dummy-knn")
+        class DummyKNN(ANNIndex):
+            name = "DummyKNN"
+
+            def _fit(self):
+                pass
+
+            def query(self, q, k):
+                q = self._validate_query(q, k)
+                dists = np.linalg.norm(self.data - q, axis=1)
+                order = np.argsort(dists, kind="stable")[:k]
+                return QueryResult(ids=order, distances=dists[order])
+
+        index = create_index("test-dummy-knn").fit(tiny_uniform)
+        result = index.query(tiny_uniform[5], k=1)
+        assert int(result.ids[0]) == 5
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_index("  - ")

@@ -30,9 +30,8 @@ class TestQueryResult:
 class _Dummy(ANNIndex):
     name = "Dummy"
 
-    def build(self):
-        self._built = True
-        return self
+    def _fit(self):
+        pass
 
     def query(self, q, k):
         q = self._validate_query(q, k)
@@ -43,25 +42,55 @@ class _Dummy(ANNIndex):
 
 class TestANNIndex:
     def test_properties(self, tiny_uniform):
-        index = _Dummy(tiny_uniform)
+        index = _Dummy().fit(tiny_uniform)
         assert index.n == tiny_uniform.shape[0]
         assert index.d == tiny_uniform.shape[1]
+        assert index.is_built
+
+    def test_unfitted_index_has_no_shape(self):
+        index = _Dummy()
         assert not index.is_built
+        with pytest.raises(RuntimeError):
+            index.n
 
     def test_rejects_bad_data(self):
         with pytest.raises(ValueError):
-            _Dummy(np.zeros(5))
+            _Dummy().fit(np.zeros(5))
         with pytest.raises(ValueError):
-            _Dummy(np.empty((0, 3)))
+            _Dummy().fit(np.empty((0, 3)))
 
-    def test_require_built(self, tiny_uniform):
-        index = _Dummy(tiny_uniform)
+    def test_require_built(self):
+        index = _Dummy()
         with pytest.raises(RuntimeError):
             index._require_built()
 
     def test_validate_query(self, tiny_uniform):
-        index = _Dummy(tiny_uniform).build()
+        index = _Dummy().fit(tiny_uniform)
         with pytest.raises(ValueError):
             index.query(np.zeros(tiny_uniform.shape[1] + 1), 1)
         with pytest.raises(ValueError):
             index.query(tiny_uniform[0], 0)
+
+    def test_legacy_ctor_and_build_still_work(self, tiny_uniform):
+        with pytest.warns(DeprecationWarning, match="legacy ANNIndex API"):
+            index = _Dummy(tiny_uniform)
+        assert index.n == tiny_uniform.shape[0]
+        assert not index.is_built
+        with pytest.warns(DeprecationWarning, match="legacy ANNIndex API"):
+            index.build()
+        assert index.is_built
+
+    def test_default_search_matches_query(self, tiny_uniform):
+        index = _Dummy().fit(tiny_uniform)
+        queries = tiny_uniform[:6] + 0.001
+        batch = index.search(queries, k=4)
+        for i, q in enumerate(queries):
+            np.testing.assert_array_equal(batch.ids[i], index.query(q, 4).ids)
+
+    def test_default_add_refits(self, tiny_uniform):
+        index = _Dummy().fit(tiny_uniform[:150])
+        new_ids = index.add(tiny_uniform[150:])
+        assert list(new_ids) == list(range(150, tiny_uniform.shape[0]))
+        assert index.n == tiny_uniform.shape[0]
+        hit = index.query(tiny_uniform[160], k=1)
+        assert int(hit.ids[0]) == 160

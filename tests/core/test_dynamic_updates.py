@@ -90,3 +90,38 @@ class TestPMLSHExtend:
         index.extend(small_clustered[200:220])
         expected = index.projection.project(index.data)
         np.testing.assert_allclose(index.projected, expected, rtol=1e-10)
+
+
+class TestBudgetConsistencyAfterGrowth:
+    """Regression tests: n-dependent quantities must track add()."""
+
+    def test_candidate_budget_follows_n(self, small_clustered):
+        index = PMLSH(params=PMLSHParams(node_capacity=32), seed=0).fit(
+            small_clustered[:500]
+        )
+        k = 10
+        before = index.candidate_budget(k)
+        assert before == int(np.ceil(index.solved.beta * 500)) + k
+        index.add(small_clustered[500:])
+        n = small_clustered.shape[0]
+        assert index.n == n
+        assert index.candidate_budget(k) == int(np.ceil(index.solved.beta * n)) + k
+        assert index.candidate_budget(k) > before
+
+    def test_query_respects_grown_budget(self, small_clustered):
+        index = PMLSH(params=PMLSHParams(node_capacity=32), seed=0).fit(
+            small_clustered[:500]
+        )
+        index.add(small_clustered[500:])
+        result = index.query(small_clustered[10] + 0.01, k=10)
+        assert result.stats["candidates"] <= index.candidate_budget(10)
+
+    def test_batch_search_after_add_matches_loop(self, small_clustered):
+        index = PMLSH(params=PMLSHParams(node_capacity=32), seed=0).fit(
+            small_clustered[:600]
+        )
+        index.add(small_clustered[600:])
+        queries = small_clustered[:8] + 0.01
+        batch = index.search(queries, k=5)
+        for i, q in enumerate(queries):
+            np.testing.assert_array_equal(batch.ids[i], index.query(q, 5).ids)

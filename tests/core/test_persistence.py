@@ -60,6 +60,35 @@ class TestSaveLoad:
         assert restored.tree.num_pivots == 3
         assert not restored.tree.use_rings
 
+    def test_pivot_method_survives_load(self, small_clustered, tmp_path):
+        """Regression: load() used to rebuild the tree without passing
+        pivot_method, silently reverting the rebuilt tree's re-selection
+        policy to the default."""
+        params = PMLSHParams(pivot_method="variance", node_capacity=32)
+        original = PMLSH(params=params, seed=2).fit(small_clustered[:300])
+        assert original.tree.pivot_method == "variance"
+        path = str(tmp_path / "variance.npz")
+        original.save(path)
+        restored = PMLSH.load(path)
+        assert restored.params.pivot_method == "variance"
+        assert restored.tree.pivot_method == "variance"
+        np.testing.assert_allclose(restored.tree.pivots, original.tree.pivots)
+
+    def test_loaded_index_supports_add(self, small_clustered, tmp_path):
+        """A restored index keeps the full lifecycle: growth after load
+        answers like growth before save."""
+        base, extra = small_clustered[:300], small_clustered[300:330]
+        original = PMLSH(seed=3).fit(base)
+        path = str(tmp_path / "grow.npz")
+        original.save(path)
+        restored = PMLSH.load(path)
+        original.add(extra)
+        restored.add(extra)
+        q = extra[5] + 0.001
+        a, b = original.query(q, k=10), restored.query(q, k=10)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        np.testing.assert_allclose(a.distances, b.distances, rtol=1e-12)
+
     def test_ball_cover_after_load(self, index, small_clustered, tmp_path):
         path = str(tmp_path / "bc.npz")
         index.save(path)

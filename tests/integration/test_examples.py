@@ -7,6 +7,7 @@ and the presence of headline output, not numbers.
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -14,14 +15,20 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+SRC_DIR = EXAMPLES_DIR.parent / "src"
 
 
 def run_example(name: str, *args: str, timeout: int = 300) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_DIR)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
     assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
     return result.stdout

@@ -1,0 +1,76 @@
+"""Serving simulation: a sharded engine under mixed query/ingest traffic.
+
+The ROADMAP's target scenario — a production service answering query
+batches while new items keep arriving.  This example stands up a 4-shard
+PM-LSH engine through the registry factory, then plays a stream of ticks:
+every tick a batch of queries is answered (fanned out across the shards
+and merged), and every other tick a batch of fresh points is ingested
+with ``add()``, routed round-robin so the shards stay balanced.
+
+After each tick it prints the batch latency, throughput and engine size;
+at the end it dumps the per-shard stats table, showing ntotal, backend
+repr and the last batch's per-shard timings.
+
+Run with:  python examples/serving.py [seed_corpus_size] [ticks]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import create_index
+from repro.datasets.synthetic import gaussian_mixture
+
+
+def main(seed_size: int = 4000, ticks: int = 6) -> None:
+    rng = np.random.default_rng(42)
+    dim, k, batch_queries, ingest_size = 64, 10, 48, 120
+
+    # One pool of clustered vectors: the head seeds the index, the tail
+    # arrives over time as ingest traffic.
+    total = seed_size + ticks * ingest_size
+    pool = gaussian_mixture(total, dim, num_clusters=30, cluster_std=0.8, seed=5)
+    corpus, stream = pool[:seed_size], pool[seed_size:]
+
+    engine = create_index(
+        "sharded",
+        backend="pm-lsh",
+        num_shards=4,
+        router="round-robin",
+        seed=1,
+    ).fit(corpus)
+    print(f"engine up: {engine!r}")
+
+    ingested = 0
+    for tick in range(1, ticks + 1):
+        # Query traffic: perturbed copies of indexed points.
+        base = engine.data[rng.integers(0, engine.ntotal, size=batch_queries)]
+        queries = base + rng.normal(size=(batch_queries, dim)) * 0.05
+        batch = engine.search(queries, k)
+        line = (
+            f"tick {tick}: {batch_queries} queries in "
+            f"{batch.stats['batch_time_ms']:7.1f} ms "
+            f"({batch.stats['batch_qps']:7.1f} QPS), "
+            f"slowest shard {batch.stats['shard_time_ms_max']:6.1f} ms"
+        )
+
+        if tick % 2 == 1:  # interleaved ingest traffic
+            fresh = stream[ingested : ingested + ingest_size]
+            new_ids = engine.add(fresh)
+            ingested += fresh.shape[0]
+            probe = engine.query(fresh[0], k=1)
+            found = int(probe.ids[0]) == int(new_ids[0])
+            line += f" | +{fresh.shape[0]} items (fresh findable: {found})"
+        print(line + f" | ntotal={engine.ntotal}")
+
+    print()
+    print(engine.stats().as_table())
+
+
+if __name__ == "__main__":
+    main(
+        seed_size=int(sys.argv[1]) if len(sys.argv) > 1 else 4000,
+        ticks=int(sys.argv[2]) if len(sys.argv) > 2 else 6,
+    )

@@ -8,6 +8,9 @@ A from-scratch Python reproduction of Zheng et al., PVLDB 13(5), 2020
 * every baseline it is evaluated against (:mod:`repro.baselines`);
 * a central registry (:mod:`repro.registry`) so any algorithm can be
   constructed by name through :func:`create_index`;
+* a sharded parallel query engine (:mod:`repro.engine`) that partitions
+  any registered backend across shards and serves batches through a
+  worker pool — ``create_index("sharded", backend="pm-lsh", ...)``;
 * the substrates: PM-tree (:mod:`repro.pmtree`), R-tree
   (:mod:`repro.rtree`), B+-tree (:mod:`repro.bptree`);
 * synthetic dataset emulations and hardness statistics
@@ -62,6 +65,7 @@ from repro.core import (
     solve_parameters,
 )
 from repro.datasets import load_dataset
+from repro.engine import EngineStats, ShardedIndex
 from repro.pmtree import PMTree
 from repro.registry import (
     available_indexes,
@@ -78,6 +82,7 @@ __all__ = [
     "BatchResult",
     "C2LSH",
     "E2LSH",
+    "EngineStats",
     "ExactKNN",
     "GaussianProjection",
     "LSBForest",
@@ -92,6 +97,7 @@ __all__ = [
     "RLSH",
     "RTree",
     "SRS",
+    "ShardedIndex",
     "__version__",
     "available_indexes",
     "create_index",

@@ -208,8 +208,19 @@ class ANNIndex(abc.ABC):
         return self.data.shape[1]
 
     @property
+    def ntotal(self) -> int:
+        """Number of indexed vectors (faiss-style); 0 before ``fit``."""
+        return 0 if self.data is None else int(self.data.shape[0])
+
+    @property
     def is_built(self) -> bool:
         return self._built
+
+    def __repr__(self) -> str:
+        if self.data is None:
+            return f"{type(self).__name__}(unfitted)"
+        state = "built" if self._built else "unbuilt"
+        return f"{type(self).__name__}(d={self.d}, ntotal={self.ntotal}, {state})"
 
     # ------------------------------------------------------------------
     # lifecycle

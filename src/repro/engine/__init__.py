@@ -1,0 +1,33 @@
+"""Sharded parallel query engine: a multi-worker serving layer over the
+unified index API.
+
+* :mod:`repro.engine.sharded` — :class:`ShardedIndex`, the data-partitioned
+  engine (registered as ``"sharded"`` in the index registry);
+* :mod:`repro.engine.router` — shard routing policies for ``add()``;
+* :mod:`repro.engine.merge` — vectorised per-shard top-k merging;
+* :mod:`repro.engine.stats` — per-shard and engine-level serving stats.
+"""
+
+from repro.engine.merge import merge_shard_results, translate_ids
+from repro.engine.router import (
+    LeastLoadedRouter,
+    ROUTERS,
+    RoundRobinRouter,
+    ShardRouter,
+    make_router,
+)
+from repro.engine.sharded import ShardedIndex
+from repro.engine.stats import EngineStats, ShardStats
+
+__all__ = [
+    "EngineStats",
+    "LeastLoadedRouter",
+    "ROUTERS",
+    "RoundRobinRouter",
+    "ShardRouter",
+    "ShardStats",
+    "ShardedIndex",
+    "make_router",
+    "merge_shard_results",
+    "translate_ids",
+]

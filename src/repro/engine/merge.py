@@ -1,0 +1,100 @@
+"""Merging per-shard top-k answers into one global :class:`BatchResult`.
+
+Every shard answers a query batch in its *local* id space; the engine owns
+one int64 map per shard translating local ids to global ids.  The merge is
+fully vectorised: translate, concatenate along the k axis, then lexsort
+each row by ``(distance, global id)`` and keep the k best columns.
+
+Sorting secondarily by global id makes the merged order deterministic even
+under exact distance ties, which keeps sharded results reproducible across
+worker counts (completion order of the shard futures never matters).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import BatchResult, aggregate_stats
+
+#: Per-query stat keys that are *counters* and therefore sum across shards;
+#: every other shared key is averaged (e.g. ``final_radius``, ``rounds``).
+_SUMMED_STATS = frozenset({"candidates", "distance_computations", "verified"})
+
+
+def translate_ids(local_ids: np.ndarray, id_map: np.ndarray) -> np.ndarray:
+    """Map local shard ids to global ids, preserving ``-1`` padding."""
+    local_ids = np.asarray(local_ids, dtype=np.int64)
+    valid = local_ids >= 0
+    safe = np.where(valid, local_ids, 0)
+    return np.where(valid, id_map[safe], np.int64(-1))
+
+
+def merge_per_query_stats(
+    shard_stats: Sequence[Tuple[Dict[str, float], ...]],
+) -> Tuple[Dict[str, float], ...]:
+    """Combine per-query stat dicts across shards (sum counters, mean rest)."""
+    if not shard_stats:
+        return ()
+    num_queries = max((len(stats) for stats in shard_stats), default=0)
+    merged: List[Dict[str, float]] = []
+    for i in range(num_queries):
+        rows = [stats[i] for stats in shard_stats if i < len(stats)]
+        keys = {key for row in rows for key in row}
+        combined: Dict[str, float] = {}
+        for key in keys:
+            values = [row[key] for row in rows if key in row]
+            combined[key] = float(
+                np.sum(values) if key in _SUMMED_STATS else np.mean(values)
+            )
+        merged.append(combined)
+    return tuple(merged)
+
+
+def merge_shard_results(
+    shard_batches: Sequence[BatchResult],
+    id_maps: Sequence[np.ndarray],
+    k: int,
+) -> BatchResult:
+    """Fuse per-shard :class:`BatchResult`s into the global top-k.
+
+    *id_maps[s]* translates shard *s*'s local ids to global ids.  Rows with
+    fewer than k merged neighbours keep the standard ``(-1, inf)`` padding.
+    """
+    if len(shard_batches) != len(id_maps):
+        raise ValueError(
+            f"got {len(shard_batches)} shard results but {len(id_maps)} id maps"
+        )
+    if not shard_batches:
+        raise ValueError("need at least one shard result to merge")
+    num_queries = shard_batches[0].num_queries
+    for batch in shard_batches:
+        if batch.num_queries != num_queries:
+            raise ValueError("shard results answer different query counts")
+
+    gid_blocks = [
+        translate_ids(batch.ids, np.asarray(id_map, dtype=np.int64))
+        for batch, id_map in zip(shard_batches, id_maps)
+    ]
+    dist_blocks = [
+        np.where(batch.ids >= 0, batch.distances, np.inf) for batch in shard_batches
+    ]
+    all_gids = np.concatenate(gid_blocks, axis=1)
+    all_dists = np.concatenate(dist_blocks, axis=1)
+
+    # Row-wise lexsort: primary key distance, secondary key global id, so
+    # ties (and the all-padding tail at +inf) order deterministically.
+    order = np.lexsort((all_gids, all_dists), axis=1)[:, :k]
+    ids = np.take_along_axis(all_gids, order, axis=1)
+    distances = np.take_along_axis(all_dists, order, axis=1)
+    # Padding that survived the cut must present the canonical (-1, inf).
+    distances = np.where(ids >= 0, distances, np.inf)
+
+    per_query = merge_per_query_stats([batch.per_query_stats for batch in shard_batches])
+    return BatchResult(
+        ids=ids,
+        distances=distances,
+        stats=aggregate_stats(per_query),
+        per_query_stats=per_query,
+    )

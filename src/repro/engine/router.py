@@ -1,0 +1,94 @@
+"""Shard routing policies for the serving engine.
+
+A router decides which shard absorbs each incoming point.  Two policies
+ship with the engine:
+
+* ``round-robin`` — points cycle through the shards in order.  The cursor
+  persists across :meth:`ShardedIndex.add` calls, so a stream of
+  single-point adds stays perfectly balanced and global ids remain a
+  continuation of the striped ``fit`` partition.
+* ``least-loaded`` — each point goes to the currently smallest shard
+  (counting earlier points of the same batch), which rebalances a skewed
+  engine, e.g. after shards were fitted over uneven partitions.
+
+Routers are stateful objects created through :func:`make_router`; adding a
+policy is one subclass plus one entry in :data:`ROUTERS`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Sequence, Type
+
+import numpy as np
+
+
+class ShardRouter(abc.ABC):
+    """Assigns incoming points to shards."""
+
+    #: Registry name of the policy (set on subclasses).
+    policy: str = "abstract"
+
+    @abc.abstractmethod
+    def route(self, num_points: int, loads: Sequence[int]) -> np.ndarray:
+        """Shard index for each of *num_points* new points.
+
+        *loads* holds the current point count of every shard; the returned
+        ``(num_points,)`` int64 array maps each new point to a shard in
+        ``range(len(loads))``.
+        """
+
+    def reset(self, loads: Sequence[int]) -> None:
+        """Re-initialise any internal state after a (re-)fit."""
+
+
+class RoundRobinRouter(ShardRouter):
+    """Cycle through shards; the cursor survives across calls."""
+
+    policy = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def reset(self, loads: Sequence[int]) -> None:
+        # Continue the stripe where fit() left off: after a striped split of
+        # n points over S shards, the next point belongs on shard n mod S.
+        self._cursor = int(sum(loads)) % max(1, len(loads))
+
+    def route(self, num_points: int, loads: Sequence[int]) -> np.ndarray:
+        num_shards = len(loads)
+        assignment = (self._cursor + np.arange(num_points, dtype=np.int64)) % num_shards
+        self._cursor = int((self._cursor + num_points) % num_shards)
+        return assignment
+
+
+class LeastLoadedRouter(ShardRouter):
+    """Send every point to the smallest shard at the moment it arrives."""
+
+    policy = "least-loaded"
+
+    def route(self, num_points: int, loads: Sequence[int]) -> np.ndarray:
+        running = np.asarray(loads, dtype=np.int64).copy()
+        assignment = np.empty(num_points, dtype=np.int64)
+        for i in range(num_points):
+            target = int(np.argmin(running))  # ties -> lowest shard index
+            assignment[i] = target
+            running[target] += 1
+        return assignment
+
+
+ROUTERS: Dict[str, Type[ShardRouter]] = {
+    RoundRobinRouter.policy: RoundRobinRouter,
+    LeastLoadedRouter.policy: LeastLoadedRouter,
+}
+
+
+def make_router(policy: str | ShardRouter) -> ShardRouter:
+    """Resolve a policy name (or pass through a router instance)."""
+    if isinstance(policy, ShardRouter):
+        return policy
+    try:
+        return ROUTERS[policy]()
+    except KeyError:
+        known = ", ".join(sorted(ROUTERS))
+        raise ValueError(f"unknown router policy {policy!r}; known policies: {known}") from None

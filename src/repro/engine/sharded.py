@@ -1,0 +1,368 @@
+"""ShardedIndex: a multi-worker serving layer over the unified index API.
+
+The engine partitions the dataset across S shards, each an independent
+registry-constructed :class:`~repro.baselines.base.ANNIndex` (PM-LSH by
+default, but any registered algorithm works as a backend).  A query batch
+fans out to every shard — through a thread pool when more than one worker
+is configured; NumPy's GEMM-heavy shard searches drop the GIL, so shards
+genuinely overlap on multi-core hosts — and the per-shard top-k answers
+are merged into one global :class:`BatchResult` through a stable
+global → (shard, local) id mapping.
+
+The engine is itself an :class:`ANNIndex`, registered as ``"sharded"``:
+
+>>> import repro
+>>> engine = repro.create_index("sharded", backend="pm-lsh", num_shards=4)
+>>> engine.fit(data).search(queries, k=10)            # doctest: +SKIP
+
+so the evaluation harness, the benchmarks and the examples drive it with
+no special-casing.  ``add()`` routes new points to shards round-robin (or
+to the least-loaded shard), exercising each backend's n-dependent
+parameter re-derivation, while global ids stay append-only and stable.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import ANNIndex, BatchResult, QueryResult
+from repro.engine.merge import merge_shard_results
+from repro.engine.router import ShardRouter, make_router
+from repro.engine.stats import EngineStats, ShardStats
+from repro.registry import get_index_class, register_index
+from repro.utils.rng import RandomState, spawn_generators
+
+
+def _resolve_backend(backend: str | type) -> type:
+    """Accept a registry name or an ANNIndex subclass."""
+    if isinstance(backend, str):
+        return get_index_class(backend)
+    if isinstance(backend, type) and issubclass(backend, ANNIndex):
+        return backend
+    raise TypeError(
+        f"backend must be a registry name or an ANNIndex subclass, got {backend!r}"
+    )
+
+
+@register_index("sharded", "engine", "sharded-index")
+class ShardedIndex(ANNIndex):
+    """Data-partitioned serving engine over any registered backend.
+
+    Parameters
+    ----------
+    backend:
+        Registry name (e.g. ``"pm-lsh"``, ``"exact"``) or ``ANNIndex``
+        subclass used for every shard.
+    num_shards:
+        Number of data partitions S; ``fit`` stripes the dataset over them
+        (row i lands on shard i mod S), so cluster structure spreads evenly.
+    num_workers:
+        Thread-pool width for the per-shard fan-out.  Defaults to
+        ``min(num_shards, cpu_count)``; 1 runs shards serially in the
+        calling thread.
+    router:
+        ``"round-robin"`` (default) or ``"least-loaded"`` — the
+        :meth:`add` routing policy (see :mod:`repro.engine.router`).
+    backend_params:
+        Keyword arguments forwarded to every shard's constructor.  A
+        ``"seed"`` entry here takes the master-seed role below (it is
+        never passed through verbatim — shards must stay decorrelated).
+    seed:
+        Master seed; each shard receives an independent sub-seed derived
+        from it (when the backend accepts one), so a fixed engine seed
+        fixes every shard.
+
+    Notes
+    -----
+    Thread safety: the parallelism lives *inside* ``search`` (one batch
+    fans out across the worker pool).  The engine object itself follows
+    the same contract as every other :class:`ANNIndex`: one caller thread
+    at a time — serve concurrent clients by batching their queries, not
+    by sharing the engine across caller threads.
+    """
+
+    name = "ShardedIndex"
+
+    def __init__(
+        self,
+        data: np.ndarray | None = None,
+        *,
+        backend: str | type = "pm-lsh",
+        num_shards: int = 4,
+        num_workers: int | None = None,
+        router: str | ShardRouter = "round-robin",
+        backend_params: Mapping[str, Any] | None = None,
+        seed: RandomState = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if num_workers is not None and num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self._backend_cls = _resolve_backend(backend)
+        self._backend_name = getattr(
+            self._backend_cls, "registry_name", self._backend_cls.__name__
+        )
+        self.num_shards = int(num_shards)
+        self.num_workers = int(
+            num_workers
+            if num_workers is not None
+            else max(1, min(self.num_shards, os.cpu_count() or 1))
+        )
+        self._backend_params: Dict[str, Any] = dict(backend_params or {})
+        self._seed = seed
+        self._router = make_router(router)
+        self.name = f"Sharded[{self._backend_name}x{self.num_shards}]"
+
+        self._shards: List[ANNIndex] = []
+        #: per shard: local id -> global id (append-only after fit).
+        self._id_maps: List[np.ndarray] = []
+        #: per global id: owning shard / local id within it (append-only).
+        self._global_shard = np.empty(0, dtype=np.int64)
+        self._global_local = np.empty(0, dtype=np.int64)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._reset_counters()
+        super().__init__(data)  # legacy ctor-data shim lives in the base
+
+    def _reset_counters(self) -> None:
+        self._batches_served = 0
+        self._queries_served = 0
+        self._points_added = 0
+        self._search_time_ms = 0.0
+        self._last_batch_ms = 0.0
+        self._last_batch_queries = 0
+        self._last_shard_ms: List[float] = [0.0] * self.num_shards
+        self._last_shard_candidates: List[float] = [float("nan")] * self.num_shards
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _make_shard(self, shard_seed: RandomState) -> ANNIndex:
+        params = dict(self._backend_params)
+        params.pop("seed", None)  # only derived sub-seeds reach the shards
+        accepts_seed = "seed" in inspect.signature(self._backend_cls.__init__).parameters
+        if accepts_seed:
+            params["seed"] = shard_seed
+        return self._backend_cls(**params)
+
+    def fit(self, data: np.ndarray) -> "ShardedIndex":
+        # Validate shardability BEFORE the base class rebinds self.data, so
+        # a rejected refit leaves a healthy engine fully untouched.
+        if self._check_data(data).shape[0] < self.num_shards:
+            raise ValueError(
+                f"cannot stripe {np.asarray(data).shape[0]} points over "
+                f"{self.num_shards} shards; every shard needs at least one point"
+            )
+        super().fit(data)
+        return self
+
+    def _fit(self) -> None:
+        """Stripe the dataset over S shards and fit each backend."""
+        n = self.n
+        if n < self.num_shards:  # reachable via the legacy ctor-data path
+            raise ValueError(
+                f"cannot stripe {n} points over {self.num_shards} shards; "
+                "every shard needs at least one point"
+            )
+        # Independent per-shard sub-streams from the master seed (a "seed"
+        # in backend_params plays that role instead): a fixed seed fixes
+        # every shard, and shards stay decorrelated.
+        master = (
+            self._backend_params["seed"]
+            if "seed" in self._backend_params
+            else self._seed
+        )
+        shard_rngs = spawn_generators(master, self.num_shards)
+        self._shards = []
+        self._id_maps = []
+        for s in range(self.num_shards):
+            global_ids = np.arange(s, n, self.num_shards, dtype=np.int64)
+            shard = self._make_shard(shard_rngs[s])
+            shard.fit(self.data[global_ids])
+            self._shards.append(shard)
+            self._id_maps.append(global_ids)
+        self._global_shard = np.arange(n, dtype=np.int64) % self.num_shards
+        self._global_local = np.arange(n, dtype=np.int64) // self.num_shards
+        self._router.reset([shard.ntotal for shard in self._shards])
+        self._reset_counters()
+
+    # ------------------------------------------------------------------
+    # id mapping
+    # ------------------------------------------------------------------
+
+    def locate(self, global_id: int) -> Tuple[int, int]:
+        """Map a global id to its ``(shard, local id)`` home."""
+        self._require_built()
+        gid = int(global_id)
+        if not 0 <= gid < self.n:
+            raise IndexError(f"global id {gid} out of range [0, {self.n})")
+        return int(self._global_shard[gid]), int(self._global_local[gid])
+
+    @property
+    def shards(self) -> Tuple[ANNIndex, ...]:
+        """The backend indexes, one per shard (read-only view)."""
+        return tuple(self._shards)
+
+    @property
+    def shard_sizes(self) -> Tuple[int, ...]:
+        return tuple(shard.ntotal for shard in self._shards)
+
+    # ------------------------------------------------------------------
+    # dynamic growth
+    # ------------------------------------------------------------------
+
+    def _add(self, points: np.ndarray) -> np.ndarray:
+        """Route new points to shards; global ids stay append-only.
+
+        The engine keeps the global ``self.data`` view alongside the
+        per-shard copies (the ANNIndex contract: ``n``/``d``/``data`` are
+        defined by it, and the harness reads it) at the cost of one extra
+        dataset copy and an O(ntotal) append per ingest batch — the same
+        asymptotics as every backend's own ``add``.
+        """
+        start = self.n
+        count = points.shape[0]
+        loads = np.asarray([shard.ntotal for shard in self._shards], dtype=np.int64)
+        assignment = self._router.route(count, loads)
+        local_ids = np.empty(count, dtype=np.int64)
+        for s in range(self.num_shards):
+            rows = np.flatnonzero(assignment == s)
+            if rows.size == 0:
+                continue
+            # The shard's own add() re-derives its n-dependent parameters.
+            self._shards[s].add(points[rows])
+            local_ids[rows] = loads[s] + np.arange(rows.size, dtype=np.int64)
+            self._id_maps[s] = np.concatenate([self._id_maps[s], start + rows])
+        self._global_shard = np.concatenate(
+            [self._global_shard, assignment.astype(np.int64)]
+        )
+        self._global_local = np.concatenate([self._global_local, local_ids])
+        self._set_data(np.vstack([self.data, points]))
+        self._points_added += count
+        return np.arange(start, start + count, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+
+    def query(self, q: np.ndarray, k: int) -> QueryResult:
+        """Single-query path: a one-row batch through the same fan-out."""
+        self._require_built()
+        q = self._validate_query(q, k)
+        return self._search(q[None, :], k)[0]
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=min(self.num_workers, self.num_shards),
+                thread_name_prefix="repro-shard",
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; the index stays usable —
+        the pool is recreated on the next parallel search)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __del__(self) -> None:  # best-effort cleanup; never raises
+        try:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False)
+        except Exception:
+            pass
+
+    def _search(self, queries: np.ndarray, k: int) -> BatchResult:
+        """Fan the batch out to every shard, then merge the local top-k."""
+        wall_start = time.perf_counter()
+
+        def shard_job(shard: ANNIndex) -> Tuple[BatchResult, float]:
+            start = time.perf_counter()
+            result = shard.search(queries, min(k, shard.ntotal))
+            return result, (time.perf_counter() - start) * 1e3
+
+        if min(self.num_workers, self.num_shards) > 1:
+            outcomes = list(self._pool().map(shard_job, self._shards))
+        else:
+            outcomes = [shard_job(shard) for shard in self._shards]
+        shard_batches = [batch for batch, _ in outcomes]
+        shard_ms = [elapsed for _, elapsed in outcomes]
+
+        merge_start = time.perf_counter()
+        merged = merge_shard_results(shard_batches, self._id_maps, k)
+        merge_ms = (time.perf_counter() - merge_start) * 1e3
+        wall_ms = (time.perf_counter() - wall_start) * 1e3
+
+        num_queries = queries.shape[0]
+        self._batches_served += 1
+        self._queries_served += num_queries
+        self._search_time_ms += wall_ms
+        self._last_batch_ms = wall_ms
+        self._last_batch_queries = num_queries
+        self._last_shard_ms = list(shard_ms)
+        self._last_shard_candidates = [
+            float(batch.stats.get("candidates", float("nan")))
+            for batch in shard_batches
+        ]
+
+        merged.stats.update(
+            {
+                "num_shards": float(self.num_shards),
+                "num_workers": float(min(self.num_workers, self.num_shards)),
+                "shard_time_ms_max": float(np.max(shard_ms)),
+                "shard_time_ms_mean": float(np.mean(shard_ms)),
+                "merge_time_ms": merge_ms,
+                "batch_time_ms": wall_ms,
+                "batch_qps": num_queries / (wall_ms / 1e3) if wall_ms > 0 else 0.0,
+            }
+        )
+        return merged
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> EngineStats:
+        """Current serving statistics (per-shard table + lifetime QPS)."""
+        self._require_built()
+        shard_stats = tuple(
+            ShardStats(
+                shard=s,
+                backend=self._backend_name,
+                ntotal=shard.ntotal,
+                repr=repr(shard),
+                search_ms=self._last_shard_ms[s],
+                mean_candidates=self._last_shard_candidates[s],
+            )
+            for s, shard in enumerate(self._shards)
+        )
+        return EngineStats(
+            num_shards=self.num_shards,
+            num_workers=min(self.num_workers, self.num_shards),
+            router=self._router.policy,
+            ntotal=self.ntotal,
+            batches_served=self._batches_served,
+            queries_served=self._queries_served,
+            points_added=self._points_added,
+            search_time_ms=self._search_time_ms,
+            last_batch_ms=self._last_batch_ms,
+            last_batch_queries=self._last_batch_queries,
+            shards=shard_stats,
+        )
+
+    def __repr__(self) -> str:
+        base = (
+            f"{type(self).__name__}(backend={self._backend_name!r}, "
+            f"shards={self.num_shards}, workers={self.num_workers}"
+        )
+        if self.data is None:
+            return base + ", unfitted)"
+        state = "built" if self._built else "unbuilt"
+        return base + f", d={self.d}, ntotal={self.ntotal}, {state})"

@@ -1,0 +1,101 @@
+"""Serving statistics for the sharded engine.
+
+The engine keeps two levels of diagnostics:
+
+* :class:`ShardStats` — one per shard: backend repr, ``ntotal``, and the
+  wall time / candidate work of the shard's part of the last batch;
+* :class:`EngineStats` — the aggregate: lifetime query and batch counters,
+  throughput (QPS) over the serving window, and the shard table.
+
+``EngineStats.as_table()`` renders the per-shard view in the same
+monospace style the benchmark layer uses, so examples and benches can
+print engine state with one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.evaluation.tables import format_table
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Snapshot of one shard's contribution to the engine."""
+
+    shard: int
+    backend: str
+    ntotal: int
+    repr: str
+    search_ms: float = 0.0  # wall time of this shard in the last batch
+    mean_candidates: float = float("nan")  # last batch, per query
+
+    def as_row(self) -> List[object]:
+        return [
+            self.shard,
+            self.backend,
+            self.ntotal,
+            self.search_ms,
+            self.mean_candidates,
+            self.repr,
+        ]
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Aggregate serving statistics of a :class:`ShardedIndex`."""
+
+    num_shards: int
+    num_workers: int
+    router: str
+    ntotal: int
+    batches_served: int
+    queries_served: int
+    points_added: int
+    search_time_ms: float  # cumulative wall time across served batches
+    last_batch_ms: float
+    last_batch_queries: int
+    shards: Tuple[ShardStats, ...] = field(default_factory=tuple)
+
+    @property
+    def qps(self) -> float:
+        """Lifetime throughput: queries served per second of search wall time."""
+        if self.search_time_ms <= 0.0:
+            return 0.0
+        return self.queries_served / (self.search_time_ms / 1e3)
+
+    @property
+    def last_batch_qps(self) -> float:
+        if self.last_batch_ms <= 0.0:
+            return 0.0
+        return self.last_batch_queries / (self.last_batch_ms / 1e3)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat numeric form, convenient for result tables and logging."""
+        return {
+            "num_shards": float(self.num_shards),
+            "num_workers": float(self.num_workers),
+            "ntotal": float(self.ntotal),
+            "batches_served": float(self.batches_served),
+            "queries_served": float(self.queries_served),
+            "points_added": float(self.points_added),
+            "search_time_ms": float(self.search_time_ms),
+            "qps": float(self.qps),
+        }
+
+    def as_table(self) -> str:
+        """Monospace per-shard table plus an aggregate footer line."""
+        rows = [shard.as_row() for shard in self.shards]
+        note = (
+            f"workers={self.num_workers} router={self.router} "
+            f"ntotal={self.ntotal} batches={self.batches_served} "
+            f"queries={self.queries_served} added={self.points_added} "
+            f"lifetime QPS={self.qps:.1f}"
+        )
+        return format_table(
+            f"Engine stats ({self.num_shards} shards)",
+            ["Shard", "Backend", "ntotal", "Last ms", "Cand/query", "Index"],
+            rows,
+            note=note,
+        )

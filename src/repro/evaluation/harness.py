@@ -36,10 +36,12 @@ class AlgorithmResult:
     extra: Dict[str, float] = field(default_factory=dict)
 
     def as_row(self) -> str:
+        ntotal = self.extra.get("ntotal")
+        suffix = f" n={int(ntotal)}" if ntotal is not None else ""
         return (
             f"{self.algorithm:<12} {self.dataset:<8} k={self.k:<4} "
             f"time={self.query_time_ms:8.2f}ms ratio={self.overall_ratio:.4f} "
-            f"recall={self.recall:.4f}"
+            f"recall={self.recall:.4f}{suffix}"
         )
 
 
@@ -101,7 +103,7 @@ def run_query_set(
 
     finite = np.isfinite(ratios)
     mean_ratio = float(ratios[finite].mean()) if np.any(finite) else float("inf")
-    extra: Dict[str, float] = {}
+    extra: Dict[str, float] = {"ntotal": float(index.ntotal)}
     if candidate_counts:
         extra["mean_candidates"] = float(np.mean(candidate_counts))
     return AlgorithmResult(

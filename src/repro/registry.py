@@ -22,6 +22,7 @@ driver pick it up with no further wiring.
 
 from __future__ import annotations
 
+import difflib
 import re
 from typing import Dict, List, Type
 
@@ -76,6 +77,17 @@ def _ensure_builtins() -> None:
     """
     import repro.baselines  # noqa: F401  (registers the nine baselines)
     import repro.core.pmlsh  # noqa: F401  (registers PM-LSH)
+    import repro.engine  # noqa: F401  (registers the sharded serving engine)
+
+
+def _suggestions(normalized: str, limit: int = 3) -> List[str]:
+    """Close registered names (canonical spelling) for a failed lookup."""
+    display = {key: cls.registry_name for key, cls in _REGISTRY.items()}
+    close = difflib.get_close_matches(normalized, display, n=limit, cutoff=0.6)
+    seen: Dict[str, None] = {}
+    for key in close:
+        seen.setdefault(display[key])
+    return list(seen)
 
 
 def get_index_class(name: str) -> type:
@@ -86,7 +98,11 @@ def get_index_class(name: str) -> type:
         return _REGISTRY[normalized]
     except KeyError:
         known = ", ".join(sorted(_CANONICAL))
-        raise KeyError(f"unknown index {name!r}; registered indexes: {known}") from None
+        close = _suggestions(normalized)
+        hint = f" Did you mean {', '.join(map(repr, close))}?" if close else ""
+        raise KeyError(
+            f"unknown index {name!r}.{hint} Registered indexes: {known}"
+        ) from None
 
 
 def create_index(name: str, **params):

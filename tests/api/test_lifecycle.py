@@ -59,6 +59,26 @@ class TestFit:
             PMLSH(seed=0).fit(np.empty((0, 3)))
 
 
+class TestIntrospection:
+    """faiss-style ntotal / __repr__ on every index."""
+
+    def test_ntotal_zero_before_fit(self):
+        assert PMLSH(seed=0).ntotal == 0
+
+    def test_ntotal_tracks_fit_and_add(self, tiny_uniform):
+        index = PMLSH(seed=0).fit(tiny_uniform)
+        assert index.ntotal == tiny_uniform.shape[0]
+        index.add(tiny_uniform[:7])
+        assert index.ntotal == tiny_uniform.shape[0] + 7
+
+    def test_repr_unfitted(self):
+        assert repr(PMLSH(seed=0)) == "PMLSH(unfitted)"
+
+    def test_repr_fitted(self, tiny_uniform):
+        index = LinearScan(portion=1.0, seed=0).fit(tiny_uniform)
+        assert repr(index) == "LinearScan(d=8, ntotal=200, built)"
+
+
 class TestAdd:
     def test_add_before_fit_raises(self, tiny_uniform):
         with pytest.raises(RuntimeError):

@@ -19,6 +19,7 @@ ALL_NAMES = [
     "pm-lsh",
     "qalsh",
     "r-lsh",
+    "sharded",
     "srs",
 ]
 
@@ -27,7 +28,7 @@ KWARGS = {name: ({} if name == "exact" else {"seed": 3}) for name in ALL_NAMES}
 
 
 class TestListing:
-    def test_all_ten_algorithms_registered(self):
+    def test_all_algorithms_registered(self):
         assert available_indexes() == ALL_NAMES
 
     def test_package_level_exports(self):
@@ -52,10 +53,22 @@ class TestResolution:
         assert get_index_class("lsb") is repro.LSBForest
         assert get_index_class("brute-force") is repro.ExactKNN
         assert get_index_class("linear-scan") is repro.LinearScan
+        assert get_index_class("engine") is repro.ShardedIndex
 
     def test_unknown_name_lists_known(self):
         with pytest.raises(KeyError, match="pm-lsh"):
             create_index("no-such-index")
+
+    def test_unknown_name_suggests_close_match(self):
+        with pytest.raises(KeyError, match="Did you mean 'pm-lsh'"):
+            create_index("pmlshh")
+        with pytest.raises(KeyError, match="Did you mean 'sharded'"):
+            create_index("shard")
+
+    def test_unknown_name_without_close_match_has_no_hint(self):
+        with pytest.raises(KeyError) as excinfo:
+            create_index("zzzzzzzz")
+        assert "Did you mean" not in str(excinfo.value)
 
     def test_constructor_kwargs_pass_through(self):
         index = create_index("lscan", portion=0.4, seed=1)

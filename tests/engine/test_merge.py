@@ -1,0 +1,94 @@
+"""Tests for the per-shard top-k merge (id translation, padding, ties)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import BatchResult, QueryResult
+from repro.engine.merge import merge_per_query_stats, merge_shard_results, translate_ids
+
+
+def batch_of(rows, k, stats=None):
+    """Build a BatchResult from per-query (ids, distances) pairs."""
+    results = [
+        QueryResult(
+            ids=np.asarray(ids, dtype=np.int64),
+            distances=np.asarray(dists, dtype=np.float64),
+            stats=(stats or {}),
+        )
+        for ids, dists in rows
+    ]
+    return BatchResult.from_queries(results, k=k)
+
+
+class TestTranslateIds:
+    def test_maps_through_id_map(self):
+        id_map = np.asarray([10, 20, 30], dtype=np.int64)
+        local = np.asarray([[2, 0], [1, 2]], dtype=np.int64)
+        np.testing.assert_array_equal(
+            translate_ids(local, id_map), [[30, 10], [20, 30]]
+        )
+
+    def test_preserves_padding(self):
+        id_map = np.asarray([10, 20], dtype=np.int64)
+        local = np.asarray([[1, -1]], dtype=np.int64)
+        np.testing.assert_array_equal(translate_ids(local, id_map), [[20, -1]])
+
+
+class TestMerge:
+    def test_global_top_k_across_shards(self):
+        shard_a = batch_of([[(0, 1), (0.1, 0.5)]], k=2)
+        shard_b = batch_of([[(1, 0), (0.2, 0.3)]], k=2)
+        merged = merge_shard_results(
+            [shard_a, shard_b],
+            [np.asarray([100, 101]), np.asarray([200, 201])],
+            k=3,
+        )
+        np.testing.assert_array_equal(merged.ids, [[100, 201, 200]])
+        np.testing.assert_allclose(merged.distances, [[0.1, 0.2, 0.3]])
+
+    def test_padding_sorts_last_and_stays_canonical(self):
+        shard_a = batch_of([[(0,), (0.4,)]], k=3)  # only 1 of 3 found
+        shard_b = batch_of([[(0,), (0.1,)]], k=3)
+        merged = merge_shard_results(
+            [shard_a, shard_b], [np.asarray([7]), np.asarray([9])], k=3
+        )
+        np.testing.assert_array_equal(merged.ids, [[9, 7, -1]])
+        assert merged.distances[0, 2] == np.inf
+
+    def test_ties_break_by_global_id(self):
+        shard_a = batch_of([[(0,), (0.5,)]], k=1)
+        shard_b = batch_of([[(0,), (0.5,)]], k=1)
+        merged = merge_shard_results(
+            [shard_b, shard_a], [np.asarray([42]), np.asarray([3])], k=2
+        )
+        np.testing.assert_array_equal(merged.ids, [[3, 42]])
+
+    def test_mismatched_inputs_rejected(self):
+        batch = batch_of([[(0,), (0.5,)]], k=1)
+        with pytest.raises(ValueError, match="id maps"):
+            merge_shard_results([batch], [np.asarray([1]), np.asarray([2])], k=1)
+        with pytest.raises(ValueError, match="at least one shard"):
+            merge_shard_results([], [], k=1)
+        two_queries = batch_of([[(0,), (0.5,)], [(0,), (0.5,)]], k=1)
+        with pytest.raises(ValueError, match="query counts"):
+            merge_shard_results(
+                [batch, two_queries], [np.asarray([1]), np.asarray([2])], k=1
+            )
+
+
+class TestStatMerging:
+    def test_counters_sum_and_rest_average(self):
+        merged = merge_per_query_stats(
+            [
+                ({"candidates": 10.0, "rounds": 2.0},),
+                ({"candidates": 30.0, "rounds": 4.0},),
+            ]
+        )
+        assert merged[0]["candidates"] == 40.0
+        assert merged[0]["rounds"] == 3.0
+
+    def test_missing_keys_tolerated(self):
+        merged = merge_per_query_stats([({"candidates": 5.0},), ({},)])
+        assert merged[0]["candidates"] == 5.0

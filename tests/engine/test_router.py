@@ -1,0 +1,74 @@
+"""Tests for the shard routing policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.router import (
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    ShardRouter,
+    make_router,
+)
+
+
+class TestRoundRobin:
+    def test_cycles_through_shards(self):
+        router = RoundRobinRouter()
+        assignment = router.route(7, loads=[0, 0, 0])
+        np.testing.assert_array_equal(assignment, [0, 1, 2, 0, 1, 2, 0])
+
+    def test_cursor_persists_across_calls(self):
+        router = RoundRobinRouter()
+        router.route(2, loads=[0, 0, 0])
+        assignment = router.route(3, loads=[0, 0, 0])
+        np.testing.assert_array_equal(assignment, [2, 0, 1])
+
+    def test_reset_continues_the_fit_stripe(self):
+        """After striping 10 points over 4 shards, point 10 belongs on
+        shard 10 mod 4 = 2."""
+        router = RoundRobinRouter()
+        router.reset(loads=[3, 3, 2, 2])
+        assignment = router.route(2, loads=[3, 3, 2, 2])
+        np.testing.assert_array_equal(assignment, [2, 3])
+
+
+class TestLeastLoaded:
+    def test_fills_smallest_first(self):
+        router = LeastLoadedRouter()
+        assignment = router.route(4, loads=[5, 1, 3])
+        # loads evolve [5,1,3] -> [5,2,3] -> [5,3,3] -> [5,4,3] (ties -> lowest)
+        np.testing.assert_array_equal(assignment, [1, 1, 1, 2])
+
+    def test_counts_points_within_batch(self):
+        router = LeastLoadedRouter()
+        assignment = router.route(6, loads=[0, 0])
+        np.testing.assert_array_equal(np.bincount(assignment), [3, 3])
+
+    def test_ties_break_to_lowest_shard(self):
+        router = LeastLoadedRouter()
+        assert router.route(1, loads=[2, 2, 2])[0] == 0
+
+
+class TestMakeRouter:
+    def test_by_name(self):
+        assert isinstance(make_router("round-robin"), RoundRobinRouter)
+        assert isinstance(make_router("least-loaded"), LeastLoadedRouter)
+
+    def test_instance_passthrough(self):
+        router = RoundRobinRouter()
+        assert make_router(router) is router
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError, match="unknown router policy"):
+            make_router("hash-ring")
+
+    def test_custom_router_is_a_shard_router(self):
+        class Constant(ShardRouter):
+            policy = "constant"
+
+            def route(self, num_points, loads):
+                return np.zeros(num_points, dtype=np.int64)
+
+        assert make_router(Constant()).route(2, [0, 0]).tolist() == [0, 0]

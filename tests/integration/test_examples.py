@@ -52,3 +52,11 @@ def test_algorithm_comparison_runs():
 def test_deduplication_runs():
     output = run_example("deduplication.py")
     assert "planted duplicates found" in output
+
+
+@pytest.mark.slow
+def test_serving_runs():
+    output = run_example("serving.py", "600", "4")
+    assert "QPS" in output
+    assert "fresh findable: True" in output
+    assert "Engine stats (4 shards)" in output

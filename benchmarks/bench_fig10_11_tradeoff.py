@@ -13,7 +13,6 @@ dominates (highest recall / lowest ratio at comparable time budgets).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import PMLSHParams, create_index
 from repro.evaluation import run_query_set

@@ -20,7 +20,6 @@ from repro.core.hashing import GaussianProjection
 from repro.evaluation.metrics import overall_ratio, recall
 from repro.evaluation.tables import format_series
 
-from conftest import bench_queries
 
 K_EXACT = 100
 T_VALUES = [100, 200, 400, 600, 800, 1000, 1400, 2000]

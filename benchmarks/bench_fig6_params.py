@@ -11,7 +11,6 @@ Two sweeps, as in §6.2's "Parameter Study on PM-LSH":
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import PMLSHParams, create_index
 from repro.evaluation import run_query_set

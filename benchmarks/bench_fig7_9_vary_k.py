@@ -11,7 +11,6 @@ Reproduced shapes (§6.2, "Effect of k"):
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.evaluation import run_query_set
 from repro.evaluation.tables import format_series

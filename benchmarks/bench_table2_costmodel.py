@@ -15,13 +15,10 @@ counters on the same range queries, validating the model against reality
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.hashing import GaussianProjection
 from repro.costmodel import (
     compare_trees,
-    pm_tree_computation_cost,
-    r_tree_computation_cost,
     selectivity_radius,
 )
 from repro.datasets import MarginalDistribution, sample_distance_distribution

@@ -70,6 +70,25 @@ def main() -> None:
     print(f"\n(r, c)-BC query at r={radius:.3f}: "
           + (f"point {hit[0]} at {hit[1]:.4f}" if hit else "empty"))
 
+    # 7. Range queries: everything within r of each query, as a ragged
+    #    CSR RangeResult.  The native PM-LSH path holds the (r, c)-ball
+    #    contract on a budgeted candidate set instead of a full scan.
+    ragged = index.range_search(queries[:5], r=radius * 4)
+    print(f"\nrange search at r={radius * 4:.2f}: "
+          f"per-query match counts {ragged.counts.tolist()} "
+          f"({ragged.stats['candidates']:.0f} candidates/query vs n={index.n})")
+
+    # 8. Per-query runtime knobs ride on the spec layer: cap this call's
+    #    candidate budget without touching the index configuration.
+    knobbed = index.run(queries[:5], repro.Knn(k=10, budget=200))
+    print(f"budget-capped search: {knobbed.stats['candidates']:.0f} "
+          f"candidates/query (default {batch.stats['candidates']:.0f})")
+
+    # 9. Closest-pair search: the m tightest pairs of the indexed set via
+    #    PM-LSH's projected-space self-join.
+    pairs = index.closest_pairs(3)
+    print("closest pairs:", [(i, j, round(d, 4)) for i, j, d in pairs])
+
 
 if __name__ == "__main__":
     main()

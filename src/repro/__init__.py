@@ -2,15 +2,22 @@
 approximate nearest-neighbour search.
 
 A from-scratch Python reproduction of Zheng et al., PVLDB 13(5), 2020
-(DOI 10.14778/3377369.3377374).  The package provides:
+(DOI 10.14778/3377369.3377374), extended with the VLDBJ journal
+version's workloads.  The package provides:
 
 * :class:`~repro.core.pmlsh.PMLSH` — the paper's index (Algorithms 1–2);
 * every baseline it is evaluated against (:mod:`repro.baselines`);
 * a central registry (:mod:`repro.registry`) so any algorithm can be
-  constructed by name through :func:`create_index`;
+  constructed by name through :func:`create_index`, and a unified
+  persistence entry (:func:`load_index`);
+* a polymorphic query model (:mod:`repro.queries`): ``run(queries, spec)``
+  answers kNN (:class:`Knn`) and ragged (r, c)-ball range queries
+  (:class:`Range`) with per-query runtime knobs, and
+  ``closest_pairs(m)`` answers closest-pair search — on every backend;
 * a sharded parallel query engine (:mod:`repro.engine`) that partitions
-  any registered backend across shards and serves batches through a
-  worker pool — ``create_index("sharded", backend="pm-lsh", ...)``;
+  any registered backend across shards and serves kNN / range /
+  closest-pair through a worker pool —
+  ``create_index("sharded", backend="pm-lsh", ...)``;
 * the substrates: PM-tree (:mod:`repro.pmtree`), R-tree
   (:mod:`repro.rtree`), B+-tree (:mod:`repro.bptree`);
 * synthetic dataset emulations and hardness statistics
@@ -30,6 +37,12 @@ through the factory:
 >>> batch = index.search(data[:5] + 0.01, k=10)   # (Q, d) -> BatchResult
 >>> batch.ids.shape
 (5, 10)
+>>> ragged = index.range_search(data[:5] + 0.01, r=5.0)  # -> RangeResult
+>>> len(ragged)
+5
+>>> pairs = index.closest_pairs(3)                # -> ClosestPairResult
+>>> len(pairs)
+3
 >>> single = index.query(data[7] + 0.01, k=10)    # one vector
 >>> len(single)
 10
@@ -38,9 +51,11 @@ array([2000, 2001, 2002, 2003, 2004, 2005, 2006, 2007, 2008, 2009])
 >>> sorted(repro.available_indexes())[:3]
 ['c2lsh', 'e2lsh', 'exact']
 
-The pre-1.x style — ``PMLSH(data, seed=42).build()`` then ``query()`` —
-still works but emits a ``DeprecationWarning``; see ``CHANGES.md`` for
-the deprecation policy.
+``run(queries, spec)`` is the general entry point behind the sugar:
+``Knn(k, budget=..., c=...)`` and ``Range(r, c=..., budget=...)`` carry
+per-query runtime knobs.  The pre-2.0 legacy style —
+``SomeIndex(data).build()``, ``query_batch()``, ``extend()`` — has been
+removed; see ``CHANGES.md``.
 """
 
 from repro.baselines import (
@@ -66,7 +81,15 @@ from repro.core import (
 )
 from repro.datasets import load_dataset
 from repro.engine import EngineStats, ShardedIndex
+from repro.persistence import load_index
 from repro.pmtree import PMTree
+from repro.queries import (
+    ClosestPairResult,
+    Knn,
+    QuerySpec,
+    Range,
+    RangeResult,
+)
 from repro.registry import (
     available_indexes,
     create_index,
@@ -75,16 +98,18 @@ from repro.registry import (
 )
 from repro.rtree import RTree
 
-__version__ = "1.1.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "ANNIndex",
     "BatchResult",
     "C2LSH",
+    "ClosestPairResult",
     "E2LSH",
     "EngineStats",
     "ExactKNN",
     "GaussianProjection",
+    "Knn",
     "LSBForest",
     "LSHFunction",
     "LinearScan",
@@ -94,8 +119,11 @@ __all__ = [
     "PMTree",
     "QALSH",
     "QueryResult",
+    "QuerySpec",
     "RLSH",
     "RTree",
+    "Range",
+    "RangeResult",
     "SRS",
     "ShardedIndex",
     "__version__",
@@ -103,6 +131,7 @@ __all__ = [
     "create_index",
     "get_index_class",
     "load_dataset",
+    "load_index",
     "register_index",
     "solve_parameters",
 ]

@@ -9,24 +9,37 @@ An index is constructed from *parameters only*, then bound to data:
 >>> batch = index.search(queries, k)   # (Q, d) -> BatchResult
 >>> index.add(new_points)              # dynamic growth
 
-``query(q, k)`` remains the single-query primitive; ``search`` is the
-first-class batch entry point (implementations may vectorise it).
-
-Legacy shim
+Query model
 -----------
-The original API — ``SomeIndex(data, ...).build()`` followed by
-``query()`` — keeps working during the transition but emits a
-``DeprecationWarning`` (message prefix ``"legacy ANNIndex API"``).
+``run(queries, spec)`` is the polymorphic entry point: the spec —
+:class:`~repro.queries.Knn` or :class:`~repro.queries.Range` — selects
+the query type and carries per-call runtime knobs (candidate ``budget``,
+approximation ratio ``c``).  ``search(queries, k)`` is sugar for
+``run(queries, Knn(k))``, ``range_search(queries, r)`` for
+``run(queries, Range(r))``, and ``closest_pairs(m)`` answers closest-pair
+search over the indexed set.  Every index answers every query type: the
+base class supplies exact brute-force fallbacks for range and
+closest-pair search, and algorithms with a native sublinear path
+(PM-LSH) override them.
 """
 
 from __future__ import annotations
 
 import abc
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+
+from repro.queries import (
+    ClosestPairResult,
+    Knn,
+    QuerySpec,
+    Range,
+    RangeResult,
+    as_query_spec,
+    sort_pairs,
+)
 
 
 @dataclass(frozen=True)
@@ -60,8 +73,12 @@ class QueryResult:
     def from_pairs(
         cls, pairs: List[Tuple[int, float]], stats: Dict[str, float] | None = None
     ) -> "QueryResult":
-        """Build from ``(id, distance)`` pairs, sorting by distance."""
-        pairs = sorted(pairs, key=lambda pair: pair[1])
+        """Build from ``(id, distance)`` pairs, sorting by ``(distance, id)``.
+
+        The secondary id key matches the sharded engine's merge order, so
+        single-index and merged results agree even on tied distances.
+        """
+        pairs = sorted(pairs, key=lambda pair: (pair[1], pair[0]))
         ids = np.asarray([p[0] for p in pairs], dtype=np.int64)
         distances = np.asarray([p[1] for p in pairs], dtype=np.float64)
         return cls(ids=ids, distances=distances, stats=stats or {})
@@ -156,30 +173,39 @@ class ANNIndex(abc.ABC):
     """Abstract (c, k)-ANN index with a fit/add/search lifecycle.
 
     Implementations are constructed from parameters only and bound to a
-    dataset by :meth:`fit`; :meth:`search` answers a whole query matrix,
-    :meth:`query` a single vector, both by *original-space* distance.
-    :meth:`add` grows the indexed set dynamically.
+    dataset by :meth:`fit`; :meth:`run` answers a whole query matrix under
+    any :class:`~repro.queries.QuerySpec`, :meth:`query` a single vector,
+    both by *original-space* distance.  :meth:`add` grows the indexed set
+    dynamically.
 
     Subclasses implement :meth:`_fit` (build the structures over
-    ``self.data``) and :meth:`query`; they may override :meth:`_search`
-    with a vectorised batch path and :meth:`_add` with an incremental
-    update path (the default re-fits over the concatenated dataset).
+    ``self.data``) and :meth:`query`; they may override :meth:`_run_knn`
+    with a vectorised batch path, :meth:`_run_range` /
+    :meth:`_closest_pairs` with native sublinear paths (the defaults are
+    exact brute force), and :meth:`_add` with an incremental update path
+    (the default re-fits over the concatenated dataset).
     """
 
     #: Human-readable algorithm name (used in result tables).
     name: str = "ANNIndex"
 
-    def __init__(self, data: np.ndarray | None = None) -> None:
+    #: Whether :meth:`_run_knn` / :meth:`_run_range` honour the spec's
+    #: ``budget``/``c`` knobs.  Indexes that leave these False still answer
+    #: overridden specs, but the result stats carry ``overrides_ignored``
+    #: so callers can tell.
+    _honours_knn_overrides: bool = False
+    _honours_range_overrides: bool = False
+
+    #: Cap on the entries of one block × n × d difference tensor inside the
+    #: brute-force range / closest-pair fallbacks (~32 MB of float64).
+    _FALLBACK_BLOCK_ENTRIES = 4_000_000
+
+    def _fallback_block_rows(self) -> int:
+        return max(1, self._FALLBACK_BLOCK_ENTRIES // max(1, self.n * self.d))
+
+    def __init__(self) -> None:
         self.data: Optional[np.ndarray] = None
         self._built = False
-        if data is not None:
-            warnings.warn(
-                f"legacy ANNIndex API: passing data to {type(self).__name__}(...) is "
-                "deprecated; construct from parameters and call fit(data)",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            self._set_data(data)
 
     # ------------------------------------------------------------------
     # data binding
@@ -237,31 +263,9 @@ class ANNIndex(abc.ABC):
         self._built = True
         return self
 
+    @abc.abstractmethod
     def _fit(self) -> None:
         """Build the index structures over ``self.data`` (subclass hook)."""
-        raise NotImplementedError(
-            f"{type(self).__name__} implements neither _fit() nor a legacy build()"
-        )
-
-    def build(self) -> "ANNIndex":
-        """Deprecated: build over the dataset staged at construction.
-
-        Retained so ``SomeIndex(data).build()`` keeps working; new code
-        should call :meth:`fit`.
-        """
-        warnings.warn(
-            "legacy ANNIndex API: build() is deprecated; use fit(data)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if self.data is None:
-            raise RuntimeError(
-                f"{self.name}: no dataset staged at construction; call fit(data)"
-            )
-        self._built = False
-        self._fit()
-        self._built = True
-        return self
 
     def add(self, points: np.ndarray) -> np.ndarray:
         """Add *points* to a fitted index; returns the ids assigned to them.
@@ -295,19 +299,161 @@ class ANNIndex(abc.ABC):
     def query(self, q: np.ndarray, k: int) -> QueryResult:
         """Approximate k nearest neighbours of the single vector *q*."""
 
+    def run(self, queries: np.ndarray, spec: QuerySpec | int):
+        """Answer every row of *queries* under *spec* (the polymorphic entry).
+
+        Accepts a ``(Q, d)`` matrix (or one ``(d,)`` vector, treated as
+        Q = 1).  A :class:`~repro.queries.Knn` spec (or a bare int k)
+        returns a :class:`BatchResult`; a :class:`~repro.queries.Range`
+        spec returns a ragged :class:`~repro.queries.RangeResult`.  Specs
+        may carry per-call runtime knobs — indexes that cannot honour a
+        knob answer the plain query and set ``overrides_ignored`` in the
+        result stats.
+        """
+        spec = as_query_spec(spec)
+        self._require_built()
+        if isinstance(spec, Knn):
+            queries = self._validate_queries(queries, spec.k)
+            result = self._run_knn(queries, spec)
+            if spec.has_overrides and not self._honours_knn_overrides:
+                result.stats["overrides_ignored"] = 1.0
+            return result
+        if isinstance(spec, Range):
+            queries = self._validate_range_queries(queries)
+            result = self._run_range(queries, spec)
+            if spec.has_overrides and not self._honours_range_overrides:
+                result.stats["overrides_ignored"] = 1.0
+            return result
+        raise TypeError(f"{self.name}: unsupported query spec {spec!r}")
+
     def search(self, queries: np.ndarray, k: int) -> BatchResult:
         """Approximate k nearest neighbours of every row of *queries*.
 
-        Accepts a ``(Q, d)`` matrix (or one ``(d,)`` vector, treated as
-        Q = 1) and returns a :class:`BatchResult`.  Row order matches the
-        input; results are identical to calling :meth:`query` per row.
+        Sugar for ``run(queries, Knn(k))``; results are identical to
+        calling :meth:`query` per row.
+        """
+        return self.run(queries, Knn(k=int(k)))
+
+    def range_search(
+        self,
+        queries: np.ndarray,
+        r: float,
+        *,
+        c: float | None = None,
+        budget: int | None = None,
+    ) -> RangeResult:
+        """All points within distance *r* of every query row (ragged).
+
+        Sugar for ``run(queries, Range(r, c=c, budget=budget))``.  The
+        exact fallback returns precisely B(q, r); native LSH paths answer
+        with the (r, c)-ball guarantee — high recall on B(q, r), admitted
+        points bounded by B(q, c·r).
+        """
+        return self.run(queries, Range(r=r, c=c, budget=budget))
+
+    def closest_pairs(self, m: int = 1, *, budget: int | None = None) -> ClosestPairResult:
+        """The m closest pairs of indexed points, sorted by ``(distance, i, j)``.
+
+        The base implementation is an exact blocked self-join over the
+        dataset; sublinear native paths (PM-LSH's projected-space
+        self-join) override :meth:`_closest_pairs`.  ``budget`` caps the
+        number of candidate pairs a native path may verify.
         """
         self._require_built()
-        queries = self._validate_queries(queries, k)
-        return self._search(queries, k)
+        m = int(m)
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        if self.n < 2:
+            raise ValueError(f"{self.name}: need at least 2 indexed points, have {self.n}")
+        max_pairs = self.n * (self.n - 1) // 2
+        return self._closest_pairs(min(m, max_pairs), budget=budget)
 
-    def _search(self, queries: np.ndarray, k: int) -> BatchResult:
-        return BatchResult.from_queries([self.query(row, k) for row in queries], k=k)
+    # -- subclass hooks -------------------------------------------------
+
+    def _run_knn(self, queries: np.ndarray, spec: Knn) -> BatchResult:
+        """Default kNN batch path: a per-row :meth:`query` loop."""
+        return BatchResult.from_queries(
+            [self.query(row, spec.k) for row in queries], k=spec.k
+        )
+
+    def _run_range(self, queries: np.ndarray, spec: Range) -> RangeResult:
+        """Exact fallback: blocked brute-force scan of the whole dataset.
+
+        Ignores the spec's ``c``/``budget`` knobs — an exact answer
+        trivially satisfies any (r, c) contract.  Matches are sorted by
+        ``(distance, id)`` per query.  Distances come from the row-wise
+        kernel, whose floats are independent of how the dataset is
+        partitioned — the property behind sharded/single byte-equality.
+        """
+        from repro.datasets.distance import pairwise_distances_rowwise
+
+        block_rows = self._fallback_block_rows()
+        lims = [0]
+        id_chunks: List[np.ndarray] = []
+        dist_chunks: List[np.ndarray] = []
+        per_query: List[Dict[str, float]] = []
+        for start in range(0, queries.shape[0], block_rows):
+            block = queries[start : start + block_rows]
+            dists = pairwise_distances_rowwise(block, self.data)
+            for row in range(block.shape[0]):
+                inside = np.flatnonzero(dists[row] <= spec.r)
+                row_dists = dists[row][inside]
+                order = np.lexsort((inside, row_dists))
+                id_chunks.append(inside[order].astype(np.int64))
+                dist_chunks.append(row_dists[order])
+                lims.append(lims[-1] + inside.size)
+                per_query.append(
+                    {"candidates": float(self.n), "returned": float(inside.size)}
+                )
+        return RangeResult(
+            lims=np.asarray(lims, dtype=np.int64),
+            ids=np.concatenate(id_chunks) if id_chunks else np.empty(0, dtype=np.int64),
+            distances=(
+                np.concatenate(dist_chunks)
+                if dist_chunks
+                else np.empty(0, dtype=np.float64)
+            ),
+            stats=aggregate_stats(tuple(per_query)),
+            per_query_stats=tuple(per_query),
+        )
+
+    def _closest_pairs(self, m: int, budget: int | None = None) -> ClosestPairResult:
+        """Exact fallback: blocked brute-force self-join (upper triangle).
+
+        ``budget`` is ignored — every pair is examined.  Keeps a running
+        top-m across blocks so memory stays bounded; the row-wise distance
+        kernel keeps the floats partition-independent.
+        """
+        from repro.datasets.distance import pairwise_distances_rowwise
+
+        block_rows = self._fallback_block_rows()
+        best_pairs = np.empty((0, 2), dtype=np.int64)
+        best_dists = np.empty(0, dtype=np.float64)
+        for start in range(0, self.n, block_rows):
+            stop = min(start + block_rows, self.n)
+            dists = pairwise_distances_rowwise(self.data[start:stop], self.data)
+            rows, cols = np.nonzero(
+                np.arange(self.n)[None, :] > np.arange(start, stop)[:, None]
+            )
+            flat = dists[rows, cols]
+            # Per-block pre-cut: only pairs at or below the block's m-th
+            # smallest distance can affect the running top-m.  Keeping ALL
+            # ties at that value (not an arbitrary argpartition subset)
+            # preserves the deterministic (distance, i, j) boundary cut.
+            if flat.size > m:
+                kth = np.partition(flat, m - 1)[m - 1]
+                keep = flat <= kth
+                rows, cols, flat = rows[keep], cols[keep], flat[keep]
+            block_pairs = np.column_stack([rows + start, cols]).astype(np.int64)
+            best_pairs = np.concatenate([best_pairs, block_pairs])
+            best_dists = np.concatenate([best_dists, flat])
+            best_pairs, best_dists = sort_pairs(best_pairs, best_dists, m)
+        pair_count = self.n * (self.n - 1) // 2
+        return ClosestPairResult(
+            pairs=best_pairs,
+            distances=best_dists,
+            stats={"candidate_pairs": float(pair_count), "verified": float(pair_count)},
+        )
 
     # ------------------------------------------------------------------
     # validation helpers
@@ -326,6 +472,12 @@ class ANNIndex(abc.ABC):
         return q
 
     def _validate_queries(self, queries: np.ndarray, k: int) -> np.ndarray:
+        queries = self._validate_range_queries(queries)
+        if not 1 <= k <= self.n:
+            raise ValueError(f"k must be in [1, {self.n}], got {k}")
+        return queries
+
+    def _validate_range_queries(self, queries: np.ndarray) -> np.ndarray:
         queries = np.asarray(queries, dtype=np.float64)
         if queries.ndim == 1:
             queries = queries[None, :]
@@ -335,6 +487,4 @@ class ANNIndex(abc.ABC):
             )
         if queries.shape[0] == 0:
             raise ValueError("queries must contain at least one row")
-        if not 1 <= k <= self.n:
-            raise ValueError(f"k must be in [1, {self.n}], got {k}")
         return queries

@@ -68,14 +68,14 @@ class C2LSH(ANNIndex):
 
     def __init__(
         self,
-        data: np.ndarray | None = None,
+        *,
         c: float = 1.5,
         w: float = 1.0,
         delta: float = 1.0 / math.e,
         false_positive_base: float = 100.0,
         seed: RandomState = None,
     ) -> None:
-        super().__init__(data)
+        super().__init__()
         if c <= 1.0:
             raise ValueError(f"approximation ratio c must exceed 1, got {c}")
         if w <= 0:

@@ -31,14 +31,14 @@ class E2LSH(ANNIndex):
 
     def __init__(
         self,
-        data: np.ndarray | None = None,
+        *,
         num_tables: int = 8,
         m: int = 8,
         w: float = 4.0,
         probe_cap_per_table: int = 3,
         seed: RandomState = None,
     ) -> None:
-        super().__init__(data)
+        super().__init__()
         if num_tables <= 0:
             raise ValueError(f"num_tables must be positive, got {num_tables}")
         if probe_cap_per_table <= 0:

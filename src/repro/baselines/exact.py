@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import warnings
-
 import numpy as np
 
 from repro.baselines.base import ANNIndex, BatchResult, QueryResult, aggregate_stats
 from repro.datasets.distance import chunked_knn
+from repro.queries import Knn
 from repro.registry import register_index
 
 
@@ -17,7 +16,9 @@ class ExactKNN(ANNIndex):
 
     Not a competitor in the paper's tables; the harness uses it to compute
     the exact kNN sets that recall (Eq. 12) and overall ratio (Eq. 11)
-    are defined against.
+    are defined against.  Its inherited range / closest-pair fallbacks are
+    likewise exact, so it doubles as the ground-truth reference for every
+    query type.
     """
 
     name = "Exact"
@@ -31,9 +32,9 @@ class ExactKNN(ANNIndex):
         ids, dists = chunked_knn(q[None, :], self.data, k)
         return QueryResult(ids=ids[0], distances=dists[0], stats={"candidates": float(self.n)})
 
-    def _search(self, queries: np.ndarray, k: int) -> BatchResult:
+    def _run_knn(self, queries: np.ndarray, spec: Knn) -> BatchResult:
         """Vectorised multi-query path (blocked brute force over the batch)."""
-        ids, dists = chunked_knn(queries, self.data, k)
+        ids, dists = chunked_knn(queries, self.data, spec.k)
         per_query = tuple({"candidates": float(self.n)} for _ in range(ids.shape[0]))
         return BatchResult(
             ids=ids,
@@ -42,15 +43,21 @@ class ExactKNN(ANNIndex):
             per_query_stats=per_query,
         )
 
-    def query_batch(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        """Deprecated: raw ``(ids, distances)`` form of :meth:`search`."""
-        warnings.warn(
-            "legacy ANNIndex API: query_batch() is deprecated; use search()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Persist to ``.npz``: the dataset plus the registry name, so
+        :func:`repro.load_index` can dispatch back to this class."""
         self._require_built()
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        if queries.shape[1] != self.d:
-            raise ValueError(f"queries must have dimension {self.d}, got {queries.shape[1]}")
-        return chunked_knn(queries, self.data, k)
+        np.savez_compressed(
+            path, data=self.data, registry_name=np.asarray(self.registry_name)
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "ExactKNN":
+        """Restore an index persisted with :meth:`save`."""
+        with np.load(path) as archive:
+            data = archive["data"]
+        return cls().fit(data)

@@ -51,7 +51,7 @@ class LSBForest(ANNIndex):
 
     def __init__(
         self,
-        data: np.ndarray | None = None,
+        *,
         num_trees: int = 4,
         m: int = 8,
         w: float | None = None,
@@ -59,7 +59,7 @@ class LSBForest(ANNIndex):
         bptree_order: int = 64,
         seed: RandomState = None,
     ) -> None:
-        super().__init__(data)
+        super().__init__()
         if num_trees <= 0:
             raise ValueError(f"num_trees must be positive, got {num_trees}")
         if w is not None and w <= 0:

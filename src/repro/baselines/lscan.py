@@ -25,11 +25,11 @@ class LinearScan(ANNIndex):
 
     def __init__(
         self,
-        data: np.ndarray | None = None,
+        *,
         portion: float = 0.7,
         seed: RandomState = None,
     ) -> None:
-        super().__init__(data)
+        super().__init__()
         if not 0.0 < portion <= 1.0:
             raise ValueError(f"portion must be in (0, 1], got {portion}")
         self.portion = float(portion)

@@ -50,7 +50,7 @@ class MultiProbeLSH(ANNIndex):
 
     def __init__(
         self,
-        data: np.ndarray | None = None,
+        *,
         num_tables: int = 4,
         m: int = 10,
         w: float | None = None,
@@ -59,7 +59,7 @@ class MultiProbeLSH(ANNIndex):
         max_candidates_fraction: float = 0.12,
         seed: RandomState = None,
     ) -> None:
-        super().__init__(data)
+        super().__init__()
         if num_tables <= 0 or num_probes <= 0:
             raise ValueError("num_tables and num_probes must be positive")
         if w is not None and w <= 0:

@@ -100,7 +100,7 @@ class QALSH(ANNIndex):
 
     def __init__(
         self,
-        data: np.ndarray | None = None,
+        *,
         c: float = 1.5,
         delta: float = 1.0 / math.e,
         false_positive_base: float = 100.0,
@@ -108,7 +108,7 @@ class QALSH(ANNIndex):
         bptree_order: int = 64,
         seed: RandomState = None,
     ) -> None:
-        super().__init__(data)
+        super().__init__()
         if c <= 1.0:
             raise ValueError(f"approximation ratio c must exceed 1, got {c}")
         if backend not in ("array", "bptree"):

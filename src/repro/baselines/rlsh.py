@@ -34,11 +34,11 @@ class RLSH(ANNIndex):
 
     def __init__(
         self,
-        data: np.ndarray | None = None,
+        *,
         params: PMLSHParams | None = None,
         seed: RandomState = None,
     ) -> None:
-        super().__init__(data)
+        super().__init__()
         self.params = params or PMLSHParams()
         self._rng = as_generator(seed)
         self.solved = solve_parameters(

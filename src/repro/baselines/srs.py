@@ -55,7 +55,7 @@ class SRS(ANNIndex):
 
     def __init__(
         self,
-        data: np.ndarray | None = None,
+        *,
         m: int = 15,
         c: float = 1.5,
         early_stop_threshold: float = 0.8107,
@@ -63,7 +63,7 @@ class SRS(ANNIndex):
         rtree_capacity: int = 32,
         seed: RandomState = None,
     ) -> None:
-        super().__init__(data)
+        super().__init__()
         if c <= 1.0:
             raise ValueError(f"approximation ratio c must exceed 1, got {c}")
         if not 0.0 < early_stop_threshold < 1.0:

@@ -17,7 +17,7 @@ Design notes
 from __future__ import annotations
 
 import bisect
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 
 class _Leaf:

@@ -10,13 +10,22 @@ Query pipeline (Fig. 2's three components):
    ``r = r_min, c·r_min, c²·r_min, …`` collect candidates, each verified by
    its true distance, until k points within c·r are known or βn + k
    candidates have been inspected.
+
+Beyond (c, k)-ANN the same machinery answers the VLDBJ extension's other
+workloads: :meth:`PMLSH._run_range` routes (r, c)-ball range queries
+through a single projected range probe at radius t·r, and
+:meth:`PMLSH._closest_pairs` finds approximate closest pairs by a
+projected-space self-join (candidate pairs ranked by Lemma 2's distance
+estimate, verified in the original space).  Per-query runtime knobs —
+candidate budget and approximation ratio — arrive through the
+:class:`~repro.queries.QuerySpec` layer; a per-call ``c`` re-solves the
+(t, β) pair through a small cache.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import replace
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -24,14 +33,23 @@ from repro.baselines.base import ANNIndex, BatchResult, QueryResult
 from repro.core.estimation import SolvedParameters, solve_parameters
 from repro.core.hashing import GaussianProjection
 from repro.core.params import PMLSHParams
-from repro.core.radius import select_initial_radius
+from repro.core.radius import range_candidate_budget, select_initial_radius
 from repro.datasets.distance import (
     DistanceDistribution,
+    chunked_knn,
     pairwise_distances,
     point_to_points_distances,
     sample_distance_distribution,
 )
 from repro.pmtree.tree import PMTree
+from repro.queries import (
+    ClosestPairResult,
+    Knn,
+    Range,
+    RangeResult,
+    dedupe_pairs,
+    sort_pairs,
+)
 from repro.registry import register_index
 from repro.utils.rng import RandomState, as_generator
 
@@ -63,28 +81,49 @@ class PMLSH(ANNIndex):
     """
 
     name = "PM-LSH"
+    _honours_knn_overrides = True
+    _honours_range_overrides = True
 
     def __init__(
         self,
-        data: np.ndarray | None = None,
+        *,
         params: PMLSHParams | None = None,
         seed: RandomState = None,
     ) -> None:
-        super().__init__(data)
+        super().__init__()
         self.params = params or PMLSHParams()
         self._rng = as_generator(seed)
         self.projection: Optional[GaussianProjection] = None
         self.projected: Optional[np.ndarray] = None
         self.tree: Optional[PMTree] = None
-        self.solved: SolvedParameters = solve_parameters(
+        self.solved: SolvedParameters = self._solve_for(self.params.c)
+        #: (t, β) re-solved per approximation ratio — per-query ``c``
+        #: overrides hit this cache instead of scipy's χ² solver.
+        self._solved_cache: Dict[float, SolvedParameters] = {
+            self.params.c: self.solved
+        }
+        self.distance_distribution: Optional[DistanceDistribution] = None
+
+    def _solve_for(self, c: float) -> SolvedParameters:
+        solved = solve_parameters(
             m=self.params.m,
-            c=self.params.c,
+            c=c,
             alpha1=self.params.alpha1,
             beta_multiplier=self.params.beta_multiplier,
         )
         if self.params.beta_override is not None:
-            self.solved = replace(self.solved, beta=self.params.beta_override)
-        self.distance_distribution: Optional[DistanceDistribution] = None
+            solved = replace(solved, beta=self.params.beta_override)
+        return solved
+
+    def solved_for(self, c: float | None) -> SolvedParameters:
+        """The (t, β) bundle for approximation ratio *c* (cached; ``None``
+        means the index's own ``params.c``)."""
+        if c is None:
+            return self.solved
+        c = float(c)
+        if c not in self._solved_cache:
+            self._solved_cache[c] = self._solve_for(c)
+        return self._solved_cache[c]
 
     # ------------------------------------------------------------------
     # construction
@@ -115,13 +154,15 @@ class PMLSH(ANNIndex):
             seed=self._rng,
         )
 
-    def candidate_budget(self, k: int) -> int:
+    def candidate_budget(self, k: int, solved: SolvedParameters | None = None) -> int:
         """Algorithm 2's verification cap ⌈βn⌉ + k at the *current* n.
 
         Evaluated per query so the budget tracks dataset growth through
-        :meth:`add`.
+        :meth:`add`; a *solved* bundle from a per-query ``c`` override
+        supplies its own β.
         """
-        return int(np.ceil(self.solved.beta * self.n)) + k
+        beta = (solved or self.solved).beta
+        return int(np.ceil(beta * self.n)) + k
 
     # ------------------------------------------------------------------
     # Algorithm 1: the (r, c)-BC query
@@ -160,14 +201,69 @@ class PMLSH(ANNIndex):
         return None
 
     # ------------------------------------------------------------------
+    # the (r, c)-ball range query
+    # ------------------------------------------------------------------
+
+    def _run_range(self, queries: np.ndarray, spec: Range) -> RangeResult:
+        """(r, c)-ball range search through one projected range probe.
+
+        Algorithm 1's machinery, generalised from "one witness" to "the
+        whole ball" — with the c slack spent on the *probe* rather than
+        on a constant-probability guarantee: candidates are the points
+        whose projected distance is within t·c·r (the PM-tree range
+        query, capped at a budget of ⌈βn⌉ collisions plus the expected
+        ball population n·F(c·r)); each is verified in the original space
+        and reported iff its true distance is at most c·r.  A point at
+        true distance s ≤ r has projected distance s·√(χ²_m), so it
+        collides with probability CDF_{χ²(m)}(t²c²/ (s/r)²) ≥
+        CDF_{χ²(m)}(t²c²) — e.g. ≈ 0.998 at the paper's defaults
+        (m = 15, α1 = 1/e, c = 1.5), which is where the high recall on
+        the exact ball B(q, r) comes from.  Nothing outside B(q, c·r) is
+        ever reported, and the candidate budget keeps the probe sublinear
+        whenever the query ball holds a vanishing fraction of the data.
+        """
+        c = spec.c if spec.c is not None else self.params.c
+        solved = self.solved_for(spec.c)
+        projected = np.atleast_2d(self.projection.project(queries))
+        default_budget = range_candidate_budget(
+            self.distance_distribution, self.n, solved.beta, c * spec.r
+        )
+        budget = spec.budget if spec.budget is not None else default_budget
+        results: List[QueryResult] = []
+        for q, projected_query in zip(queries, projected):
+            candidates = self.tree.range_query(
+                projected_query, solved.t * c * spec.r, limit=budget
+            )
+            stats = {"candidates": float(len(candidates)), "budget": float(budget)}
+            if not candidates:
+                results.append(
+                    QueryResult(
+                        ids=np.empty(0, dtype=np.int64),
+                        distances=np.empty(0, dtype=np.float64),
+                        stats={**stats, "returned": 0.0},
+                    )
+                )
+                continue
+            ids = np.asarray([pid for pid, _ in candidates], dtype=np.int64)
+            true_dists = point_to_points_distances(q, self.data[ids])
+            inside = true_dists <= c * spec.r
+            ids, true_dists = ids[inside], true_dists[inside]
+            order = np.lexsort((ids, true_dists))
+            stats["returned"] = float(ids.size)
+            results.append(
+                QueryResult(ids=ids[order], distances=true_dists[order], stats=stats)
+            )
+        return RangeResult.from_queries(results)
+
+    # ------------------------------------------------------------------
     # Algorithm 2: the (c, k)-ANN query
     # ------------------------------------------------------------------
 
-    def _initial_radius(self, k: int) -> float:
+    def _initial_radius(self, k: int, solved: SolvedParameters | None = None) -> float:
         return select_initial_radius(
             self.distance_distribution,
             n=self.n,
-            beta=self.solved.beta,
+            beta=(solved or self.solved).beta,
             k=k,
             shrink=self.params.radius_shrink,
         )
@@ -200,6 +296,8 @@ class PMLSH(ANNIndex):
         initial_radius: float,
         fetch,
         scratch: np.ndarray | None = None,
+        c: float | None = None,
+        t: float | None = None,
     ) -> QueryResult:
         """The radius-enlarging probe loop shared by query() and search().
 
@@ -209,9 +307,12 @@ class PMLSH(ANNIndex):
         single-query path walks the PM-tree; the batch path reads a sorted
         projected-distance row.  Both produce the same candidate set (it is
         defined by projected distances alone, not by tree shape), so the
-        two paths answer identically.
+        two paths answer identically.  ``c`` and ``t`` default to the
+        index's own tunables; per-query overrides pass theirs in.
         """
         params = self.params
+        c = params.c if c is None else c
+        t = self.solved.t if t is None else t
         r = initial_radius
         seen: Set[int] = set()
         collected: List[Tuple[int, float]] = []  # (id, true distance)
@@ -219,9 +320,9 @@ class PMLSH(ANNIndex):
         for _ in range(params.max_iterations):
             rounds += 1
             # Termination test 1 (line 4): k verified points within c·r.
-            if self._count_within(collected, params.c * r) >= k:
+            if self._count_within(collected, c * r) >= k:
                 break
-            ids = fetch(self.solved.t * r, max(0, budget - len(seen)), seen)
+            ids = fetch(t * r, max(0, budget - len(seen)), seen)
             if ids.size:
                 true_dists = self._true_distances(q, ids, scratch)
                 for pid, dist in zip(ids, true_dists):
@@ -230,8 +331,8 @@ class PMLSH(ANNIndex):
             # Termination test 2 (line 9): candidate budget exhausted.
             if len(seen) >= budget:
                 break
-            r *= params.c
-        collected.sort(key=lambda pair: pair[1])
+            r *= c
+        collected.sort(key=lambda pair: (pair[1], pair[0]))
         top = collected[:k]
         stats = {
             "candidates": float(len(seen)),
@@ -270,7 +371,7 @@ class PMLSH(ANNIndex):
     #: matrix, bounding the batch path's temporary memory to ~64 MB.
     _BATCH_BLOCK_ENTRIES = 8_000_000
 
-    def _search(self, queries: np.ndarray, k: int) -> BatchResult:
+    def _run_knn(self, queries: np.ndarray, spec: Knn) -> BatchResult:
         """Batched Algorithm 2 over a flat scan of the projected space.
 
         Per-batch (not per-query) work replaces the per-query tree walks:
@@ -288,10 +389,18 @@ class PMLSH(ANNIndex):
         * one candidate-verification buffer is reused across every query's
           probe rounds.
 
-        Results are exactly those of a per-query :meth:`query` loop.
+        Results are exactly those of a per-query :meth:`query` loop.  The
+        spec's runtime knobs are honoured here: ``budget`` replaces the
+        ⌈βn⌉ + k cap, and ``c`` swaps in a re-solved (t, β) pair.
         """
-        budget = self.candidate_budget(k)
-        initial_radius = self._initial_radius(k)
+        k = spec.k
+        c = spec.c if spec.c is not None else self.params.c
+        solved = self.solved_for(spec.c)
+        budget = (
+            spec.budget if spec.budget is not None else self.candidate_budget(k, solved)
+        )
+        budget = max(budget, k)  # can't answer k neighbours on fewer candidates
+        initial_radius = self._initial_radius(k, solved)
         projected = np.atleast_2d(self.projection.project(queries))  # one GEMM
         scratch = np.empty((min(budget, self.n), self.d), dtype=np.float64)
         results: List[QueryResult] = []
@@ -326,19 +435,72 @@ class PMLSH(ANNIndex):
                     return ids
 
                 results.append(
-                    self._probe(q, k, budget, initial_radius, fetch, scratch)
+                    self._probe(
+                        q, k, budget, initial_radius, fetch, scratch, c=c, t=solved.t
+                    )
                 )
         return BatchResult.from_queries(results, k=k)
 
-    def query_batch(self, queries: np.ndarray, k: int) -> List[QueryResult]:
-        """Deprecated: per-row list form of :meth:`search`."""
-        warnings.warn(
-            "legacy ANNIndex API: query_batch() is deprecated; use search()",
-            DeprecationWarning,
-            stacklevel=2,
+    # ------------------------------------------------------------------
+    # closest-pair search (projected-space self-join)
+    # ------------------------------------------------------------------
+
+    def _closest_pairs(self, m: int, budget: int | None = None) -> ClosestPairResult:
+        """Approximate m closest pairs via a projected-space self-join.
+
+        Lemma 2 makes the projected distance an unbiased estimator of the
+        original distance, so genuinely close pairs are close in R^m with
+        high probability.  The join:
+
+        1. computes each point's nearest projected neighbours (blocked
+           exact kNN in R^m — an m-dimensional GEMM, cheap next to the
+           d-dimensional original space);
+        2. ranks the deduplicated candidate pairs by projected distance
+           and keeps the ``budget`` best (default ⌈βn⌉ + 16·m — original
+           space verification is O(d) per pair, so the floor is generous);
+        3. verifies the survivors in the original space and returns the m
+           best by ``(distance, i, j)``.
+        """
+        budget = (
+            int(budget)
+            if budget is not None
+            else int(np.ceil(self.solved.beta * self.n)) + 16 * m
         )
-        batch = self.search(queries, k)
-        return [batch[i] for i in range(len(batch))]
+        # Neighbours per point so the candidate pool comfortably covers the
+        # budget cut; every point contributes a few edges, and the n - 1
+        # cap keeps the projected kNN well-defined on tiny datasets.
+        per_point = min(self.n - 1, max(4, int(np.ceil(2.0 * budget / self.n))))
+        neighbor_ids, neighbor_dists = chunked_knn(
+            self.projected, self.projected, per_point + 1
+        )
+        rows = np.repeat(np.arange(self.n, dtype=np.int64), per_point + 1)
+        cols = neighbor_ids.ravel()
+        proj_dists = neighbor_dists.ravel()
+        keep = rows != cols  # drop the self match
+        rows, cols, proj_dists = rows[keep], cols[keep], proj_dists[keep]
+        pairs = np.column_stack([np.minimum(rows, cols), np.maximum(rows, cols)])
+        # Rank by the projected estimate BEFORE deduplication so the kept
+        # occurrence of each pair is also its best-ranked one.
+        order = np.lexsort((pairs[:, 1], pairs[:, 0], proj_dists))
+        pairs, proj_dists = pairs[order], proj_dists[order]
+        pairs, proj_dists = dedupe_pairs(pairs, proj_dists)
+        candidate_count = pairs.shape[0]
+        # Both the lexsort above and dedupe_pairs preserve ascending
+        # projected distance, so the budget cut is a plain prefix.
+        pairs = pairs[:budget]
+        diff = self.data[pairs[:, 0]] - self.data[pairs[:, 1]]
+        true_dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        best_pairs, best_dists = sort_pairs(pairs, true_dists, m)
+        return ClosestPairResult(
+            pairs=best_pairs,
+            distances=best_dists,
+            stats={
+                "candidate_pairs": float(candidate_count),
+                "verified": float(pairs.shape[0]),
+                "budget": float(budget),
+                "neighbors_per_point": float(per_point),
+            },
+        )
 
     # ------------------------------------------------------------------
     # persistence
@@ -347,12 +509,14 @@ class PMLSH(ANNIndex):
     def save(self, path: str) -> None:
         """Persist the index to a ``.npz`` archive (no pickle involved).
 
-        Stored: the dataset, the projection directions, the PM-tree pivots,
-        the F(x) sample behind r_min selection, and the parameter bundle as
-        JSON.  :meth:`load` rebuilds the PM-tree deterministically from
-        those; because Algorithm 2's candidate set (the closest βn + k
-        points inside the projected ball) does not depend on tree shape,
-        the restored index answers every query identically.
+        Stored: the registry name (so :func:`repro.load_index` can
+        dispatch), the dataset, the projection directions, the PM-tree
+        pivots, the F(x) sample behind r_min selection, and the parameter
+        bundle as JSON.  :meth:`load` rebuilds the PM-tree
+        deterministically from those; because Algorithm 2's candidate set
+        (the closest βn + k points inside the projected ball) does not
+        depend on tree shape, the restored index answers every query
+        identically.
         """
         self._require_built()
         import json
@@ -361,6 +525,7 @@ class PMLSH(ANNIndex):
         params_json = json.dumps(asdict(self.params))
         np.savez_compressed(
             path,
+            registry_name=np.asarray(self.registry_name),
             data=self.data,
             directions=self.projection.directions,
             pivots=self.tree.pivots,
@@ -418,15 +583,6 @@ class PMLSH(ANNIndex):
         self._set_data(np.vstack([self.data, new_points]))
         self.projected = self.tree.points
         return new_ids
-
-    def extend(self, new_points: np.ndarray) -> np.ndarray:
-        """Deprecated: use :meth:`add`."""
-        warnings.warn(
-            "legacy ANNIndex API: extend() is deprecated; use add()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.add(new_points)
 
     # ------------------------------------------------------------------
     # diagnostics

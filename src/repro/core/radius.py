@@ -64,6 +64,32 @@ def select_initial_radius(
     return float(radius)
 
 
+def range_candidate_budget(
+    distribution: DistanceDistribution,
+    n: int,
+    beta: float,
+    radius: float,
+) -> int:
+    """Candidate cap for an (r, c)-ball range query.
+
+    A kNN query caps verification at ⌈βn⌉ + k; for a range query the "k"
+    role — the result population — is unknown in advance, so it is
+    estimated from the same F(x) sample that drives r_min selection:
+    expected ball mass ``n·F(radius)`` (with *radius* already including
+    the c slack).  The returned budget is ``⌈βn⌉ + max(1, ⌈n·F(radius)⌉)``
+    — sublinear whenever the query ball holds a vanishing fraction of the
+    dataset, which is the regime range queries are useful in.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not 0.0 < beta < 1.0:
+        raise ValueError(f"beta must be in (0, 1), got {beta}")
+    if radius <= 0.0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    expected = int(np.ceil(n * distribution.cdf(radius)))
+    return int(np.ceil(beta * n)) + max(1, expected)
+
+
 def radius_from_points(
     points: np.ndarray,
     beta: float,

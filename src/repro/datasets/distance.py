@@ -47,6 +47,25 @@ def pairwise_distances(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray
     return np.sqrt(sq)
 
 
+def pairwise_distances_rowwise(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense Euclidean distance matrix via explicit difference tensors.
+
+    Slower than the GEMM expansion in :func:`pairwise_distances` for large
+    inputs, but **bitwise reproducible across row subsets**: every (i, j)
+    entry is reduced from ``a[i] - b[j]`` alone, so distances computed
+    against any subset of *b*'s rows equal the full-matrix floats exactly.
+    The exact range / closest-pair reference paths use this so sharded
+    (per-subset) answers match the single-index answers byte for byte.
+    Callers must block: the temporary holds ``len(a) × len(b) × d`` floats.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ValueError(f"incompatible shapes {a.shape} and {b.shape}")
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
 def chunked_knn(
     queries: np.ndarray, points: np.ndarray, k: int
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -71,9 +90,28 @@ def chunked_knn(
         else:
             part = np.tile(np.arange(n), (block.shape[0], 1))
         part_d = np.take_along_axis(dists, part, axis=1)
+        # (distance, id) order — two stable sorts, id first — so exact
+        # results break ties exactly like the sharded engine's merge.
+        id_order = np.argsort(part, axis=1, kind="stable")
+        part = np.take_along_axis(part, id_order, axis=1)
+        part_d = np.take_along_axis(part_d, id_order, axis=1)
         order = np.argsort(part_d, axis=1, kind="stable")
-        all_ids[start : start + block.shape[0]] = np.take_along_axis(part, order, axis=1)
-        all_dists[start : start + block.shape[0]] = np.take_along_axis(part_d, order, axis=1)
+        block_ids = np.take_along_axis(part, order, axis=1)
+        block_d = np.take_along_axis(part_d, order, axis=1)
+        if k < n:
+            # argpartition picks an ARBITRARY subset among points tied at
+            # the k-th distance; rows where ties straddle the boundary get
+            # a deterministic per-row re-selection (all ties kept, then
+            # the (distance, id) cut) so the k-th rank stays canonical.
+            kth = block_d[:, -1]
+            tied_total = (dists <= kth[:, None]).sum(axis=1)
+            for row in np.flatnonzero(tied_total > k):
+                candidates = np.flatnonzero(dists[row] <= kth[row])
+                row_order = np.lexsort((candidates, dists[row][candidates]))[:k]
+                block_ids[row] = candidates[row_order]
+                block_d[row] = dists[row][candidates[row_order]]
+        all_ids[start : start + block.shape[0]] = block_ids
+        all_dists[start : start + block.shape[0]] = block_d
     return all_ids, all_dists
 
 

@@ -17,12 +17,12 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict
+from typing import Dict
 
 import numpy as np
 
 from repro.datasets.synthetic import clustered_manifold, sample_queries
-from repro.utils.rng import RandomState, as_generator, derive_seed
+from repro.utils.rng import RandomState, derive_seed
 
 #: Default down-scaling divisor applied to the paper's cardinalities.
 DEFAULT_SCALE_DIVISOR = 50

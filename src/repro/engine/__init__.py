@@ -8,7 +8,11 @@ unified index API.
 * :mod:`repro.engine.stats` — per-shard and engine-level serving stats.
 """
 
-from repro.engine.merge import merge_shard_results, translate_ids
+from repro.engine.merge import (
+    merge_shard_range_results,
+    merge_shard_results,
+    translate_ids,
+)
 from repro.engine.router import (
     LeastLoadedRouter,
     ROUTERS,
@@ -28,6 +32,7 @@ __all__ = [
     "ShardStats",
     "ShardedIndex",
     "make_router",
+    "merge_shard_range_results",
     "merge_shard_results",
     "translate_ids",
 ]

@@ -1,9 +1,12 @@
-"""Merging per-shard top-k answers into one global :class:`BatchResult`.
+"""Merging per-shard answers into global results.
 
 Every shard answers a query batch in its *local* id space; the engine owns
-one int64 map per shard translating local ids to global ids.  The merge is
-fully vectorised: translate, concatenate along the k axis, then lexsort
-each row by ``(distance, global id)`` and keep the k best columns.
+one int64 map per shard translating local ids to global ids.  Top-k merges
+(:func:`merge_shard_results`) are fully vectorised: translate, concatenate
+along the k axis, then lexsort each row by ``(distance, global id)`` and
+keep the k best columns.  Ragged range merges
+(:func:`merge_shard_range_results`) concatenate each query's CSR slices
+across shards and re-sort them by the same ``(distance, global id)`` key.
 
 Sorting secondarily by global id makes the merged order deterministic even
 under exact distance ties, which keeps sharded results reproducible across
@@ -17,10 +20,13 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.baselines.base import BatchResult, aggregate_stats
+from repro.queries import RangeResult
 
 #: Per-query stat keys that are *counters* and therefore sum across shards;
 #: every other shared key is averaged (e.g. ``final_radius``, ``rounds``).
-_SUMMED_STATS = frozenset({"candidates", "distance_computations", "verified"})
+_SUMMED_STATS = frozenset(
+    {"candidates", "distance_computations", "verified", "returned"}
+)
 
 
 def translate_ids(local_ids: np.ndarray, id_map: np.ndarray) -> np.ndarray:
@@ -95,6 +101,61 @@ def merge_shard_results(
     return BatchResult(
         ids=ids,
         distances=distances,
+        stats=aggregate_stats(per_query),
+        per_query_stats=per_query,
+    )
+
+
+def merge_shard_range_results(
+    shard_results: Sequence[RangeResult],
+    id_maps: Sequence[np.ndarray],
+) -> RangeResult:
+    """Fuse per-shard ragged :class:`RangeResult`s into the global answer.
+
+    Range answers have no k cut — every shard match survives the merge —
+    so this is a concatenation plus a per-query re-sort by
+    ``(distance, global id)``, vectorised over the whole batch through a
+    query-index column and one lexsort.
+    """
+    if len(shard_results) != len(id_maps):
+        raise ValueError(
+            f"got {len(shard_results)} shard results but {len(id_maps)} id maps"
+        )
+    if not shard_results:
+        raise ValueError("need at least one shard result to merge")
+    num_queries = shard_results[0].num_queries
+    for result in shard_results:
+        if result.num_queries != num_queries:
+            raise ValueError("shard results answer different query counts")
+
+    qidx_blocks: List[np.ndarray] = []
+    gid_blocks: List[np.ndarray] = []
+    dist_blocks: List[np.ndarray] = []
+    for result, id_map in zip(shard_results, id_maps):
+        id_map = np.asarray(id_map, dtype=np.int64)
+        qidx_blocks.append(
+            np.repeat(np.arange(num_queries, dtype=np.int64), result.counts)
+        )
+        gid_blocks.append(id_map[result.ids])
+        dist_blocks.append(result.distances)
+    qidx = np.concatenate(qidx_blocks)
+    gids = np.concatenate(gid_blocks)
+    dists = np.concatenate(dist_blocks)
+    # One batch-wide lexsort: query index first, then (distance, global id).
+    order = np.lexsort((gids, dists, qidx))
+    qidx, gids, dists = qidx[order], gids[order], dists[order]
+    lims = np.searchsorted(qidx, np.arange(num_queries + 1, dtype=np.int64))
+
+    per_query = merge_per_query_stats([result.per_query_stats for result in shard_results])
+    # "returned" is a per-shard count and therefore sums across shards.
+    per_query = tuple(
+        {**stats, "returned": float(lims[i + 1] - lims[i])}
+        for i, stats in enumerate(per_query)
+    )
+    return RangeResult(
+        lims=lims,
+        ids=gids,
+        distances=dists,
         stats=aggregate_stats(per_query),
         per_query_stats=per_query,
     )

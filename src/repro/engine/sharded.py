@@ -5,9 +5,19 @@ registry-constructed :class:`~repro.baselines.base.ANNIndex` (PM-LSH by
 default, but any registered algorithm works as a backend).  A query batch
 fans out to every shard — through a thread pool when more than one worker
 is configured; NumPy's GEMM-heavy shard searches drop the GIL, so shards
-genuinely overlap on multi-core hosts — and the per-shard top-k answers
-are merged into one global :class:`BatchResult` through a stable
-global → (shard, local) id mapping.
+genuinely overlap on multi-core hosts — and the per-shard answers are
+merged into one global result through a stable global → (shard, local)
+id mapping.
+
+All three query types fan out:
+
+* **kNN** — per-shard top-k merged by ``(distance, global id)``;
+* **range** — per-shard ragged :class:`~repro.queries.RangeResult`s
+  concatenated and re-sorted per query (no k cut, every match survives);
+* **closest pair** — intra-shard CP on every shard, then a cross-shard
+  boundary sweep: with δ the m-th best intra-shard pair distance, every
+  cross-shard pair closer than δ is recovered by range-querying each
+  later shard with the earlier shard's points at radius δ.
 
 The engine is itself an :class:`ANNIndex`, registered as ``"sharded"``:
 
@@ -27,16 +37,20 @@ import inspect
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from dataclasses import replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
 from repro.baselines.base import ANNIndex, BatchResult, QueryResult
-from repro.engine.merge import merge_shard_results
+from repro.engine.merge import merge_shard_range_results, merge_shard_results
 from repro.engine.router import ShardRouter, make_router
 from repro.engine.stats import EngineStats, ShardStats
+from repro.queries import ClosestPairResult, Knn, Range, RangeResult, sort_pairs
 from repro.registry import get_index_class, register_index
 from repro.utils.rng import RandomState, spawn_generators
+
+T = TypeVar("T")
 
 
 def _resolve_backend(backend: str | type) -> type:
@@ -80,18 +94,17 @@ class ShardedIndex(ANNIndex):
 
     Notes
     -----
-    Thread safety: the parallelism lives *inside* ``search`` (one batch
-    fans out across the worker pool).  The engine object itself follows
-    the same contract as every other :class:`ANNIndex`: one caller thread
-    at a time — serve concurrent clients by batching their queries, not
-    by sharing the engine across caller threads.
+    Thread safety: the parallelism lives *inside* each query call (one
+    batch fans out across the worker pool).  The engine object itself
+    follows the same contract as every other :class:`ANNIndex`: one
+    caller thread at a time — serve concurrent clients by batching their
+    queries, not by sharing the engine across caller threads.
     """
 
     name = "ShardedIndex"
 
     def __init__(
         self,
-        data: np.ndarray | None = None,
         *,
         backend: str | type = "pm-lsh",
         num_shards: int = 4,
@@ -100,6 +113,7 @@ class ShardedIndex(ANNIndex):
         backend_params: Mapping[str, Any] | None = None,
         seed: RandomState = None,
     ) -> None:
+        super().__init__()
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         if num_workers is not None and num_workers < 1:
@@ -107,6 +121,14 @@ class ShardedIndex(ANNIndex):
         self._backend_cls = _resolve_backend(backend)
         self._backend_name = getattr(
             self._backend_cls, "registry_name", self._backend_cls.__name__
+        )
+        # Per-query runtime knobs are forwarded verbatim to the shards, so
+        # the engine honours them exactly when its backend does.
+        self._honours_knn_overrides = bool(
+            getattr(self._backend_cls, "_honours_knn_overrides", False)
+        )
+        self._honours_range_overrides = bool(
+            getattr(self._backend_cls, "_honours_range_overrides", False)
         )
         self.num_shards = int(num_shards)
         self.num_workers = int(
@@ -127,11 +149,12 @@ class ShardedIndex(ANNIndex):
         self._global_local = np.empty(0, dtype=np.int64)
         self._executor: Optional[ThreadPoolExecutor] = None
         self._reset_counters()
-        super().__init__(data)  # legacy ctor-data shim lives in the base
 
     def _reset_counters(self) -> None:
         self._batches_served = 0
         self._queries_served = 0
+        self._range_queries_served = 0
+        self._closest_pair_calls = 0
         self._points_added = 0
         self._search_time_ms = 0.0
         self._last_batch_ms = 0.0
@@ -165,11 +188,6 @@ class ShardedIndex(ANNIndex):
     def _fit(self) -> None:
         """Stripe the dataset over S shards and fit each backend."""
         n = self.n
-        if n < self.num_shards:  # reachable via the legacy ctor-data path
-            raise ValueError(
-                f"cannot stripe {n} points over {self.num_shards} shards; "
-                "every shard needs at least one point"
-            )
         # Independent per-shard sub-streams from the master seed (a "seed"
         # in backend_params plays that role instead): a fixed seed fixes
         # every shard, and shards stay decorrelated.
@@ -255,7 +273,7 @@ class ShardedIndex(ANNIndex):
         """Single-query path: a one-row batch through the same fan-out."""
         self._require_built()
         q = self._validate_query(q, k)
-        return self._search(q[None, :], k)[0]
+        return self._run_knn(q[None, :], Knn(k=k))[0]
 
     def _pool(self) -> ThreadPoolExecutor:
         if self._executor is None:
@@ -279,28 +297,30 @@ class ShardedIndex(ANNIndex):
         except Exception:
             pass
 
-    def _search(self, queries: np.ndarray, k: int) -> BatchResult:
-        """Fan the batch out to every shard, then merge the local top-k."""
-        wall_start = time.perf_counter()
+    def _fan_out(
+        self, job: Callable[[ANNIndex], T]
+    ) -> Tuple[List[T], List[float]]:
+        """Run *job* on every shard (worker pool when configured), returning
+        per-shard results and wall times in shard order."""
 
-        def shard_job(shard: ANNIndex) -> Tuple[BatchResult, float]:
+        def timed(shard: ANNIndex) -> Tuple[T, float]:
             start = time.perf_counter()
-            result = shard.search(queries, min(k, shard.ntotal))
+            result = job(shard)
             return result, (time.perf_counter() - start) * 1e3
 
         if min(self.num_workers, self.num_shards) > 1:
-            outcomes = list(self._pool().map(shard_job, self._shards))
+            outcomes = list(self._pool().map(timed, self._shards))
         else:
-            outcomes = [shard_job(shard) for shard in self._shards]
-        shard_batches = [batch for batch, _ in outcomes]
-        shard_ms = [elapsed for _, elapsed in outcomes]
+            outcomes = [timed(shard) for shard in self._shards]
+        return [result for result, _ in outcomes], [elapsed for _, elapsed in outcomes]
 
-        merge_start = time.perf_counter()
-        merged = merge_shard_results(shard_batches, self._id_maps, k)
-        merge_ms = (time.perf_counter() - merge_start) * 1e3
-        wall_ms = (time.perf_counter() - wall_start) * 1e3
-
-        num_queries = queries.shape[0]
+    def _record_batch(
+        self,
+        num_queries: int,
+        wall_ms: float,
+        shard_ms: Sequence[float],
+        shard_stats_batches: Sequence,
+    ) -> None:
         self._batches_served += 1
         self._queries_served += num_queries
         self._search_time_ms += wall_ms
@@ -309,9 +329,28 @@ class ShardedIndex(ANNIndex):
         self._last_shard_ms = list(shard_ms)
         self._last_shard_candidates = [
             float(batch.stats.get("candidates", float("nan")))
-            for batch in shard_batches
+            for batch in shard_stats_batches
         ]
 
+    def _run_knn(self, queries: np.ndarray, spec: Knn) -> BatchResult:
+        """Fan the batch out to every shard, then merge the local top-k.
+
+        The spec travels to the shards verbatim apart from k, which is
+        clamped to each shard's cardinality — so per-query runtime knobs
+        (budget, c) apply inside every shard.
+        """
+        wall_start = time.perf_counter()
+        shard_batches, shard_ms = self._fan_out(
+            lambda shard: shard.run(queries, replace(spec, k=min(spec.k, shard.ntotal)))
+        )
+
+        merge_start = time.perf_counter()
+        merged = merge_shard_results(shard_batches, self._id_maps, spec.k)
+        merge_ms = (time.perf_counter() - merge_start) * 1e3
+        wall_ms = (time.perf_counter() - wall_start) * 1e3
+
+        num_queries = queries.shape[0]
+        self._record_batch(num_queries, wall_ms, shard_ms, shard_batches)
         merged.stats.update(
             {
                 "num_shards": float(self.num_shards),
@@ -324,6 +363,146 @@ class ShardedIndex(ANNIndex):
             }
         )
         return merged
+
+    def _run_range(self, queries: np.ndarray, spec: Range) -> RangeResult:
+        """Fan a range batch out to every shard and merge the ragged answers.
+
+        Every shard match survives (there is no k cut), so the merge is a
+        per-query concatenation re-sorted by ``(distance, global id)`` —
+        deterministic across shard and worker counts.
+        """
+        wall_start = time.perf_counter()
+        shard_results, shard_ms = self._fan_out(lambda shard: shard.run(queries, spec))
+
+        merge_start = time.perf_counter()
+        merged = merge_shard_range_results(shard_results, self._id_maps)
+        merge_ms = (time.perf_counter() - merge_start) * 1e3
+        wall_ms = (time.perf_counter() - wall_start) * 1e3
+
+        num_queries = queries.shape[0]
+        self._record_batch(num_queries, wall_ms, shard_ms, shard_results)
+        self._range_queries_served += num_queries
+        merged.stats.update(
+            {
+                "num_shards": float(self.num_shards),
+                "num_workers": float(min(self.num_workers, self.num_shards)),
+                "shard_time_ms_max": float(np.max(shard_ms)),
+                "shard_time_ms_mean": float(np.mean(shard_ms)),
+                "merge_time_ms": merge_ms,
+                "batch_time_ms": wall_ms,
+                "batch_qps": num_queries / (wall_ms / 1e3) if wall_ms > 0 else 0.0,
+            }
+        )
+        return merged
+
+    def _closest_pairs(self, m: int, budget: int | None = None) -> ClosestPairResult:
+        """Distributed closest-pair: intra-shard CP + cross-shard sweep.
+
+        1. Every shard answers its own m closest pairs (parallel fan-out);
+           translated to global ids these are the intra-shard candidates.
+        2. Let δ be the m-th best intra-shard distance.  Any global
+           top-m pair not seen yet must *cross* shards and be closer than
+           δ, so for every shard pair (s, t), s < t, shard t is
+           range-queried with shard s's points at radius δ — recovering
+           exactly the cross-shard pairs within δ.
+        3. Intra and cross candidates merge by ``(distance, i, j)``.
+
+        With exact shards every step is exact, so the result equals the
+        single-index answer; with LSH shards both stages inherit the
+        backend's approximation guarantee.  When the shards together hold
+        fewer than m intra pairs (tiny shards), the engine falls back to
+        the exact self-join over the global dataset.
+        """
+        self._closest_pair_calls += 1
+
+        def intra_job(shard: ANNIndex) -> ClosestPairResult:
+            if shard.ntotal < 2:  # a one-point shard holds no pairs
+                return ClosestPairResult(
+                    pairs=np.empty((0, 2), dtype=np.int64),
+                    distances=np.empty(0, dtype=np.float64),
+                )
+            shard_max = shard.ntotal * (shard.ntotal - 1) // 2
+            return shard.closest_pairs(min(m, shard_max), budget=budget)
+
+        intra_results, _ = self._fan_out(intra_job)
+        pair_blocks: List[np.ndarray] = []
+        dist_blocks: List[np.ndarray] = []
+        for s, result in enumerate(intra_results):
+            if len(result) == 0:
+                continue
+            global_pairs = self._id_maps[s][result.pairs]
+            global_pairs = np.sort(global_pairs, axis=1)
+            pair_blocks.append(global_pairs)
+            dist_blocks.append(result.distances)
+        intra_pairs = (
+            np.concatenate(pair_blocks)
+            if pair_blocks
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        intra_dists = (
+            np.concatenate(dist_blocks)
+            if dist_blocks
+            else np.empty(0, dtype=np.float64)
+        )
+        intra_pairs, intra_dists = sort_pairs(intra_pairs, intra_dists)
+        if intra_dists.size < m:
+            # Not enough intra-shard pairs to bound the sweep radius; the
+            # exact global self-join is the only correct answer.
+            result = super()._closest_pairs(m, budget=budget)
+            result.stats["cross_shard_fallback"] = 1.0
+            return result
+        delta = float(intra_dists[m - 1])
+        # Range(r) needs r > 0; the tiny floor keeps distance-0 duplicate
+        # pairs discoverable without admitting anything else.
+        sweep_radius = max(delta, float(np.finfo(np.float64).tiny))
+
+        # One sweep job per TARGET shard (all earlier shards' points against
+        # it), so the jobs parallelise through the worker pool while each
+        # shard object still serves exactly one querying thread — the same
+        # concurrency contract as the kNN/range fan-outs.
+        def sweep_target(t: int) -> List[Tuple[int, RangeResult]]:
+            return [
+                (
+                    s,
+                    self._shards[t].range_search(
+                        self._shards[s].data, sweep_radius, budget=budget
+                    ),
+                )
+                for s in range(t)
+            ]
+
+        targets = list(range(1, self.num_shards))
+        if min(self.num_workers, self.num_shards) > 1 and len(targets) > 1:
+            swept_lists = list(self._pool().map(sweep_target, targets))
+        else:
+            swept_lists = [sweep_target(t) for t in targets]
+
+        cross_pairs: List[np.ndarray] = []
+        cross_dists: List[np.ndarray] = []
+        verified = 0
+        for t, sweeps in zip(targets, swept_lists):
+            for s, swept in sweeps:
+                verified += int(swept.lims[-1])
+                gid_s = np.repeat(self._id_maps[s], swept.counts)
+                gid_t = self._id_maps[t][swept.ids]
+                if gid_s.size == 0:
+                    continue
+                pairs = np.column_stack(
+                    [np.minimum(gid_s, gid_t), np.maximum(gid_s, gid_t)]
+                )
+                cross_pairs.append(pairs)
+                cross_dists.append(swept.distances)
+
+        all_pairs = np.concatenate([intra_pairs] + cross_pairs)
+        all_dists = np.concatenate([intra_dists] + cross_dists)
+        best_pairs, best_dists = sort_pairs(all_pairs, all_dists, m)
+        stats = {
+            "intra_pairs": float(intra_dists.size),
+            "cross_pairs": float(sum(p.shape[0] for p in cross_pairs)),
+            "sweep_radius": delta,
+            "verified": float(intra_dists.size + verified),
+        }
+        return ClosestPairResult(pairs=best_pairs, distances=best_dists, stats=stats)
 
     # ------------------------------------------------------------------
     # diagnostics
@@ -354,6 +533,8 @@ class ShardedIndex(ANNIndex):
             search_time_ms=self._search_time_ms,
             last_batch_ms=self._last_batch_ms,
             last_batch_queries=self._last_batch_queries,
+            range_queries_served=self._range_queries_served,
+            closest_pair_calls=self._closest_pair_calls,
             shards=shard_stats,
         )
 

@@ -56,6 +56,10 @@ class EngineStats:
     search_time_ms: float  # cumulative wall time across served batches
     last_batch_ms: float
     last_batch_queries: int
+    #: Queries served through the ragged range path (subset of
+    #: ``queries_served``) and closest-pair calls answered.
+    range_queries_served: int = 0
+    closest_pair_calls: int = 0
     shards: Tuple[ShardStats, ...] = field(default_factory=tuple)
 
     @property
@@ -82,6 +86,8 @@ class EngineStats:
             "points_added": float(self.points_added),
             "search_time_ms": float(self.search_time_ms),
             "qps": float(self.qps),
+            "range_queries_served": float(self.range_queries_served),
+            "closest_pair_calls": float(self.closest_pair_calls),
         }
 
     def as_table(self) -> str:
@@ -90,7 +96,8 @@ class EngineStats:
         note = (
             f"workers={self.num_workers} router={self.router} "
             f"ntotal={self.ntotal} batches={self.batches_served} "
-            f"queries={self.queries_served} added={self.points_added} "
+            f"queries={self.queries_served} (range={self.range_queries_served}) "
+            f"cp_calls={self.closest_pair_calls} added={self.points_added} "
             f"lifetime QPS={self.qps:.1f}"
         )
         return format_table(

@@ -1,4 +1,5 @@
-"""Exact-kNN ground truth, computed once per workload and reused."""
+"""Exact ground truth — kNN, range and closest-pair — computed once per
+workload and reused."""
 
 from __future__ import annotations
 
@@ -7,6 +8,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.datasets.distance import chunked_knn
+from repro.queries import ClosestPairResult, RangeResult
 
 
 @dataclass(frozen=True)
@@ -49,3 +51,24 @@ def compute_ground_truth(data: np.ndarray, queries: np.ndarray, k_max: int) -> G
     """Exact k_max-NN of every query by blocked brute force."""
     ids, distances = chunked_knn(queries, data, k_max)
     return GroundTruth(ids=ids, distances=distances)
+
+
+def compute_range_ground_truth(
+    data: np.ndarray, queries: np.ndarray, radius: float
+) -> RangeResult:
+    """The exact ball population B(q, radius) of every query (ragged CSR).
+
+    Delegates to the exact index's brute-force range path, so the result
+    carries the same ``(distance, id)`` ordering every backend is
+    measured against.
+    """
+    from repro.baselines.exact import ExactKNN
+
+    return ExactKNN().fit(data).range_search(queries, radius)
+
+
+def compute_closest_pairs_ground_truth(data: np.ndarray, m: int) -> ClosestPairResult:
+    """The exact m closest pairs of *data* by blocked self-join."""
+    from repro.baselines.exact import ExactKNN
+
+    return ExactKNN().fit(data).closest_pairs(m)

@@ -1,11 +1,16 @@
 """Run an ANN index over a query workload and aggregate §6's three metrics:
-average query time (ms), overall ratio, and recall.
+average query time (ms), overall ratio, and recall — plus the VLDBJ
+extension's workloads: range queries (recall against the exact ball,
+precision over the admitted c·r slack) and closest-pair search (rank-wise
+distance ratio).
 
 Indexes can be supplied as instances or constructed by registry name
-through :func:`evaluate_algorithm`, and workloads can be driven either
+through :func:`evaluate_algorithm`, and kNN workloads can be driven either
 through the per-query ``query()`` loop (the paper's protocol — every
 query timed individually) or through the batched ``search()`` entry
 point (``batch=True`` — one timed call, amortised per-query latency).
+Range and closest-pair evaluation (:func:`run_range_query_set`,
+:func:`evaluate_closest_pairs`) always use the batched entry points.
 """
 
 from __future__ import annotations
@@ -17,8 +22,18 @@ from typing import Any, Dict, List, Mapping
 import numpy as np
 
 from repro.baselines.base import ANNIndex
-from repro.evaluation.ground_truth import GroundTruth, compute_ground_truth
-from repro.evaluation.metrics import overall_ratio, recall
+from repro.evaluation.ground_truth import (
+    GroundTruth,
+    compute_ground_truth,
+)
+from repro.evaluation.metrics import (
+    closest_pair_ratio,
+    overall_ratio,
+    range_precision,
+    range_recall,
+    recall,
+)
+from repro.queries import ClosestPairResult, RangeResult
 from repro.registry import create_index
 
 
@@ -140,6 +155,134 @@ def evaluate_index(
         recall=result.recall,
         per_query_time_ms=result.per_query_time_ms,
         extra=result.extra,
+    )
+
+
+@dataclass(frozen=True)
+class RangeAlgorithmResult:
+    """Aggregated outcome of one (algorithm, workload, radius) range run."""
+
+    algorithm: str
+    dataset: str
+    radius: float
+    query_time_ms: float
+    recall: float
+    precision: float
+    mean_returned: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> str:
+        return (
+            f"{self.algorithm:<12} {self.dataset:<8} r={self.radius:<8.3g} "
+            f"time={self.query_time_ms:8.2f}ms recall={self.recall:.4f} "
+            f"precision={self.precision:.4f} returned={self.mean_returned:.1f}"
+        )
+
+
+@dataclass(frozen=True)
+class ClosestPairEvalResult:
+    """Outcome of one (algorithm, m) closest-pair evaluation."""
+
+    algorithm: str
+    dataset: str
+    m: int
+    time_ms: float
+    ratio: float
+    overlap: float  # fraction of the exact pair set recovered
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> str:
+        return (
+            f"{self.algorithm:<12} {self.dataset:<8} m={self.m:<4} "
+            f"time={self.time_ms:8.2f}ms ratio={self.ratio:.4f} "
+            f"overlap={self.overlap:.4f}"
+        )
+
+
+def run_range_query_set(
+    index: ANNIndex,
+    queries: np.ndarray,
+    radius: float,
+    ground_truth: RangeResult,
+    dataset_name: str = "",
+    c: float | None = None,
+    budget: int | None = None,
+) -> RangeAlgorithmResult:
+    """Range-query every row of *queries* at *radius* and score the answers.
+
+    One timed ``range_search`` call answers the batch; per-query recall is
+    measured against the exact ball (``ground_truth`` from
+    :func:`~repro.evaluation.ground_truth.compute_range_ground_truth`),
+    precision against the radius itself (how much of the c·r slack the
+    algorithm used).
+    """
+    if not index.is_built:
+        raise RuntimeError(f"{index.name}: fit the index before evaluation")
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    num_queries = queries.shape[0]
+    if ground_truth.num_queries != num_queries:
+        raise ValueError(
+            f"ground truth covers {ground_truth.num_queries} queries, got {num_queries}"
+        )
+    start = time.perf_counter()
+    result = index.range_search(queries, radius, c=c, budget=budget)
+    elapsed_ms = (time.perf_counter() - start) * 1e3
+    recalls = np.empty(num_queries, dtype=np.float64)
+    precisions = np.empty(num_queries, dtype=np.float64)
+    for i in range(num_queries):
+        recalls[i] = range_recall(result[i].ids, ground_truth[i].ids)
+        precisions[i] = range_precision(result[i].distances, radius)
+    extra: Dict[str, float] = {"ntotal": float(index.ntotal)}
+    if "candidates" in result.stats:
+        extra["mean_candidates"] = float(result.stats["candidates"])
+    return RangeAlgorithmResult(
+        algorithm=index.name,
+        dataset=dataset_name,
+        radius=float(radius),
+        query_time_ms=elapsed_ms / num_queries,
+        recall=float(recalls.mean()),
+        precision=float(precisions.mean()),
+        mean_returned=float(result.counts.mean()),
+        extra=extra,
+    )
+
+
+def evaluate_closest_pairs(
+    index: ANNIndex,
+    m: int,
+    ground_truth: ClosestPairResult,
+    dataset_name: str = "",
+    budget: int | None = None,
+) -> ClosestPairEvalResult:
+    """Time one ``closest_pairs(m)`` call and score it against the exact pairs.
+
+    ``ratio`` is the rank-wise distance ratio (1.0 = perfect); ``overlap``
+    the fraction of the exact pair set the algorithm recovered.
+    """
+    if not index.is_built:
+        raise RuntimeError(f"{index.name}: fit the index before evaluation")
+    if len(ground_truth) < m:
+        raise ValueError(
+            f"ground truth holds {len(ground_truth)} pairs, need at least {m}"
+        )
+    start = time.perf_counter()
+    result = index.closest_pairs(m, budget=budget)
+    elapsed_ms = (time.perf_counter() - start) * 1e3
+    exact_set = {tuple(pair) for pair in ground_truth.pairs[:m].tolist()}
+    found_set = {tuple(pair) for pair in result.pairs.tolist()}
+    overlap = len(exact_set & found_set) / len(exact_set) if exact_set else 1.0
+    ratio = closest_pair_ratio(result.distances, ground_truth.distances[:m], m=m)
+    extra: Dict[str, float] = {"ntotal": float(index.ntotal)}
+    if "verified" in result.stats:
+        extra["verified"] = float(result.stats["verified"])
+    return ClosestPairEvalResult(
+        algorithm=index.name,
+        dataset=dataset_name,
+        m=int(m),
+        time_ms=elapsed_ms,
+        ratio=ratio,
+        overlap=overlap,
+        extra=extra,
     )
 
 

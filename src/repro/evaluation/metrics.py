@@ -1,9 +1,13 @@
-"""Result-quality metrics (§6.1, Eqs. 11–12).
+"""Result-quality metrics (§6.1, Eqs. 11–12, plus the VLDBJ workloads).
 
 * **overall ratio** — mean of ``‖q, o_i‖ / ‖q, o*_i‖`` over ranks i, where
   o_i is the algorithm's i-th result and o*_i the exact i-th NN; 1.0 is
   perfect, larger is worse.
 * **recall** — |R ∩ R*| / |R*|.
+* **range recall** — the same set recall for (r, c)-ball range queries,
+  measured against the exact ball B(q, r); an empty exact ball scores 1.
+* **closest-pair ratio** — the rank-wise distance ratio of the returned
+  pairs against the exact m closest pairs (the CP analogue of Eq. 11).
 """
 
 from __future__ import annotations
@@ -56,3 +60,48 @@ def recall(result_ids: np.ndarray, exact_ids: np.ndarray, k: int | None = None) 
     exact_set = set(int(i) for i in exact_ids[:k])
     hits = sum(1 for i in result_ids[:k] if int(i) in exact_set)
     return hits / k
+
+
+def range_recall(result_ids: np.ndarray, exact_ids: np.ndarray) -> float:
+    """Set recall for one range query: |R ∩ R*| / |R*|.
+
+    ``exact_ids`` is the exact ball population B(q, r).  An empty exact
+    ball is answered perfectly by an empty result, so it scores 1.0
+    regardless of what the algorithm returned (extra points inside
+    B(q, c·r) are permitted by the (r, c) contract and never penalised
+    here — measure them separately via precision if needed).
+    """
+    exact_set = set(int(i) for i in np.asarray(exact_ids, dtype=np.int64))
+    if not exact_set:
+        return 1.0
+    hits = sum(1 for i in np.asarray(result_ids, dtype=np.int64) if int(i) in exact_set)
+    return hits / len(exact_set)
+
+
+def range_precision(
+    result_distances: np.ndarray, r: float
+) -> float:
+    """Fraction of returned range matches that lie inside the exact ball.
+
+    Under the (r, c) contract an algorithm may admit points up to c·r;
+    this measures how much of that slack it actually used.  An empty
+    result scores 1.0 (nothing wrong was returned).
+    """
+    result_distances = np.asarray(result_distances, dtype=np.float64)
+    if result_distances.size == 0:
+        return 1.0
+    return float(np.mean(result_distances <= r))
+
+
+def closest_pair_ratio(
+    result_distances: np.ndarray, exact_distances: np.ndarray, m: int | None = None
+) -> float:
+    """Rank-wise distance ratio of returned pairs vs the exact m closest.
+
+    The CP analogue of Eq. 11: mean over ranks i of
+    ``d(pair_i) / d(pair*_i)``; 1.0 is perfect.  Zero-distance exact
+    pairs (duplicates) score 1.0 when matched by a zero-distance result
+    and ∞ otherwise; missing ranks take the query's worst observed ratio
+    (same conventions as :func:`overall_ratio`).
+    """
+    return overall_ratio(result_distances, exact_distances, k=m)

@@ -1,0 +1,51 @@
+"""Unified persistence entry point.
+
+Indexes that implement ``save(path)`` record their registry name inside
+the ``.npz`` archive (key ``registry_name``); :func:`load_index` reads
+that name back, resolves the implementation class through the registry,
+and dispatches to its ``load`` classmethod — so callers restore any
+saved index without knowing which class wrote it:
+
+>>> import repro
+>>> repro.create_index("pm-lsh", seed=0).fit(data).save("index.npz")  # doctest: +SKIP
+>>> index = repro.load_index("index.npz")                             # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.registry import get_index_class
+
+
+def saved_registry_name(path: str) -> str:
+    """The registry name stored in a saved index archive at *path*."""
+    with np.load(path) as archive:
+        if "registry_name" not in archive:
+            raise ValueError(
+                f"{path!r} has no 'registry_name' entry — it was not written by "
+                "an ANNIndex.save() that supports load_index() dispatch "
+                "(archives saved before v2.0 must be loaded through their "
+                "class's load() directly)"
+            )
+        return str(archive["registry_name"])
+
+
+def load_index(path: str):
+    """Restore a saved index, dispatching on the registry name it recorded.
+
+    Reads the ``registry_name`` stored by ``save()``, resolves the class
+    through :func:`repro.registry.get_index_class`, and returns
+    ``cls.load(path)``.  Raises ``ValueError`` for archives without a
+    recorded name and ``TypeError`` when the resolved class has no
+    ``load`` classmethod.
+    """
+    name = saved_registry_name(path)
+    cls = get_index_class(name)
+    loader = getattr(cls, "load", None)
+    if loader is None:
+        raise TypeError(
+            f"index class {cls.__name__} (registry name {name!r}) does not "
+            "implement load()"
+        )
+    return loader(path)

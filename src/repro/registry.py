@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import difflib
 import re
-from typing import Dict, List, Type
+from typing import Dict, List
 
 #: normalised name -> implementation class (includes aliases).
 _REGISTRY: Dict[str, type] = {}

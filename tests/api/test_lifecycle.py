@@ -134,48 +134,27 @@ class TestAdd:
         assert len(result) == 5
 
 
-class TestLegacyShim:
-    def test_ctor_data_warns_and_stages(self, tiny_uniform):
-        with pytest.warns(DeprecationWarning, match="legacy ANNIndex API"):
-            index = PMLSH(tiny_uniform, seed=0)
-        assert index.n == tiny_uniform.shape[0]
-        assert not index.is_built
+class TestLegacyShimRemoved:
+    """The pre-2.0 shims are gone: legacy calls fail loudly, not quietly."""
 
-    def test_build_warns_and_answers(self, tiny_uniform):
-        with pytest.warns(DeprecationWarning, match="legacy ANNIndex API"):
-            index = PMLSH(tiny_uniform, seed=0).build()
-        result = index.query(tiny_uniform[0] + 0.001, k=2)
-        assert len(result) == 2
+    def test_ctor_data_rejected(self, tiny_uniform):
+        with pytest.raises(TypeError):
+            PMLSH(tiny_uniform, seed=0)
 
-    def test_legacy_equals_new_style(self, tiny_uniform):
-        with pytest.warns(DeprecationWarning):
-            legacy = PMLSH(tiny_uniform, seed=5).build()
-        fresh = PMLSH(seed=5).fit(tiny_uniform)
-        q = tiny_uniform[3] + 0.001
-        a, b = legacy.query(q, 5), fresh.query(q, 5)
-        np.testing.assert_array_equal(a.ids, b.ids)
-        np.testing.assert_allclose(a.distances, b.distances, rtol=1e-12)
+    def test_build_gone(self, tiny_uniform):
+        index = PMLSH(seed=0).fit(tiny_uniform)
+        with pytest.raises(AttributeError):
+            index.build()
 
-    def test_build_without_staged_data_raises(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(RuntimeError, match="no dataset staged"):
-                PMLSH(seed=0).build()
-
-    def test_extend_warns_and_delegates_to_add(self, small_clustered):
+    def test_extend_gone(self, small_clustered):
         index = PMLSH(seed=0).fit(small_clustered[:200])
-        with pytest.warns(DeprecationWarning, match="extend"):
-            ids = index.extend(small_clustered[200:210])
-        assert list(ids) == list(range(200, 210))
+        with pytest.raises(AttributeError):
+            index.extend(small_clustered[200:210])
 
-    def test_query_batch_warns_and_matches_search(self, small_clustered):
+    def test_query_batch_gone(self, small_clustered):
         index = PMLSH(seed=0).fit(small_clustered[:200])
-        queries = small_clustered[:5] + 0.01
-        with pytest.warns(DeprecationWarning, match="query_batch"):
-            legacy = index.query_batch(queries, k=4)
-        batch = index.search(queries, k=4)
-        assert len(legacy) == 5
-        for i, result in enumerate(legacy):
-            np.testing.assert_array_equal(result.ids, batch[i].ids)
+        with pytest.raises(AttributeError):
+            index.query_batch(small_clustered[:5], k=4)
 
     def test_factory_index_never_warns(self, tiny_uniform, recwarn):
         index = create_index("lscan", seed=0).fit(tiny_uniform)

@@ -14,6 +14,14 @@ class TestQueryResult:
         np.testing.assert_array_equal(result.ids, [1, 3, 2])
         np.testing.assert_array_equal(result.distances, [1.0, 2.0, 3.0])
 
+    def test_from_pairs_breaks_ties_by_id(self):
+        """Tied distances order by id — the same (distance, id) key the
+        sharded engine's merge uses, so single-index and merged results
+        agree on ties."""
+        result = QueryResult.from_pairs([(9, 1.0), (2, 1.0), (5, 0.5), (7, 1.0)])
+        np.testing.assert_array_equal(result.ids, [5, 2, 7, 9])
+        np.testing.assert_array_equal(result.distances, [0.5, 1.0, 1.0, 1.0])
+
     def test_len(self):
         result = QueryResult(ids=np.array([1, 2]), distances=np.array([0.1, 0.2]))
         assert len(result) == 2
@@ -71,14 +79,12 @@ class TestANNIndex:
         with pytest.raises(ValueError):
             index.query(tiny_uniform[0], 0)
 
-    def test_legacy_ctor_and_build_still_work(self, tiny_uniform):
-        with pytest.warns(DeprecationWarning, match="legacy ANNIndex API"):
-            index = _Dummy(tiny_uniform)
-        assert index.n == tiny_uniform.shape[0]
-        assert not index.is_built
-        with pytest.warns(DeprecationWarning, match="legacy ANNIndex API"):
+    def test_legacy_shims_removed(self, tiny_uniform):
+        with pytest.raises(TypeError):
+            _Dummy(tiny_uniform)
+        index = _Dummy().fit(tiny_uniform)
+        with pytest.raises(AttributeError):
             index.build()
-        assert index.is_built
 
     def test_default_search_matches_query(self, tiny_uniform):
         index = _Dummy().fit(tiny_uniform)

@@ -40,7 +40,7 @@ class TestC2LSHIndex:
 
     @pytest.fixture(scope="class")
     def index(self, data):
-        return C2LSH(data, c=1.5, seed=0).build()
+        return C2LSH(c=1.5, seed=0).fit(data)
 
     def test_returns_k_sorted(self, index, data):
         result = index.query(data[0] + 0.01, k=10)
@@ -48,7 +48,7 @@ class TestC2LSHIndex:
         assert np.all(np.diff(result.distances) >= -1e-12)
 
     def test_recall_floor(self, index, data):
-        exact = ExactKNN(data).build()
+        exact = ExactKNN().fit(data)
         rng = np.random.default_rng(1)
         hits = total = 0
         for _ in range(10):
@@ -68,15 +68,15 @@ class TestC2LSHIndex:
         assert result.stats["candidates"] >= 5
 
     def test_deterministic(self, data):
-        a = C2LSH(data, seed=9).build().query(data[0], 5)
-        b = C2LSH(data, seed=9).build().query(data[0], 5)
+        a = C2LSH(seed=9).fit(data).query(data[0], 5)
+        b = C2LSH(seed=9).fit(data).query(data[0], 5)
         np.testing.assert_array_equal(a.ids, b.ids)
 
     def test_invalid_params(self, data):
         with pytest.raises(ValueError):
-            C2LSH(data, c=1.0)
+            C2LSH(c=1.0)
         with pytest.raises(ValueError):
-            C2LSH(data, w=0.0)
+            C2LSH(w=0.0)
 
     def test_bucket_alignment_differs_from_query_centering(self, index, data):
         """C2LSH's cells are grid-aligned: the query need not be centred in

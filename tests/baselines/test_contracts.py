@@ -1,5 +1,6 @@
-"""Contract tests every ANN algorithm must satisfy, run against all nine
-implementations through the shared interface."""
+"""Contract tests every ANN algorithm must satisfy, run against all
+registered implementations through the shared interface — kNN, range and
+closest-pair alike."""
 
 from __future__ import annotations
 
@@ -18,20 +19,29 @@ from repro import (
     QALSH,
     RLSH,
     SRS,
+    ShardedIndex,
 )
+from repro.evaluation.metrics import range_recall
 
 FACTORIES = {
-    "PM-LSH": lambda data: PMLSH(data, params=PMLSHParams(node_capacity=32), seed=3),
-    "SRS": lambda data: SRS(data, seed=3),
-    "QALSH": lambda data: QALSH(data, seed=3),
-    "Multi-Probe": lambda data: MultiProbeLSH(data, seed=3),
-    "R-LSH": lambda data: RLSH(data, params=PMLSHParams(node_capacity=32), seed=3),
-    "LScan": lambda data: LinearScan(data, seed=3),
-    "E2LSH": lambda data: E2LSH(data, w=30.0, seed=3),
-    "C2LSH": lambda data: C2LSH(data, seed=3),
-    "LSB-Forest": lambda data: LSBForest(data, seed=3),
-    "Exact": lambda data: ExactKNN(data),
+    "PM-LSH": lambda: PMLSH(params=PMLSHParams(node_capacity=32), seed=3),
+    "SRS": lambda: SRS(seed=3),
+    "QALSH": lambda: QALSH(seed=3),
+    "Multi-Probe": lambda: MultiProbeLSH(seed=3),
+    "R-LSH": lambda: RLSH(params=PMLSHParams(node_capacity=32), seed=3),
+    "LScan": lambda: LinearScan(seed=3),
+    "E2LSH": lambda: E2LSH(w=30.0, seed=3),
+    "C2LSH": lambda: C2LSH(seed=3),
+    "LSB-Forest": lambda: LSBForest(seed=3),
+    "Exact": lambda: ExactKNN(),
+    "Sharded": lambda: ShardedIndex(backend="exact", num_shards=3, seed=3),
 }
+
+#: Backends whose range path is *native approximate* rather than the exact
+#: brute-force fallback — their range contract is recall, not equality.
+NATIVE_RANGE = {"PM-LSH"}
+#: Same for closest pairs.
+NATIVE_CP = {"PM-LSH"}
 
 
 @pytest.fixture(scope="module")
@@ -41,13 +51,20 @@ def data(small_clustered):
 
 @pytest.fixture(scope="module", params=sorted(FACTORIES))
 def built(request, data):
-    return FACTORIES[request.param](data).build()
+    index = FACTORIES[request.param]().fit(data)
+    index.contract_label = request.param
+    return index
+
+
+@pytest.fixture(scope="module")
+def exact_reference(data):
+    return ExactKNN().fit(data)
 
 
 class TestUniversalContracts:
     def test_query_before_build_raises(self, data):
         for name, make in FACTORIES.items():
-            index = make(data)
+            index = make()
             with pytest.raises(RuntimeError):
                 index.query(data[0], 1)
 
@@ -94,10 +111,94 @@ class TestUniversalContracts:
         assert int(result.ids[0]) == 21
 
 
+class TestRangeContract:
+    """Every backend answers range_search; measured against brute force."""
+
+    RADIUS = 5.0
+
+    def test_range_vs_exact(self, built, data, exact_reference):
+        queries = data[:8] + 0.01
+        truth = exact_reference.range_search(queries, self.RADIUS)
+        result = built.range_search(queries, self.RADIUS)
+        assert result.num_queries == truth.num_queries
+        if built.contract_label in NATIVE_RANGE:
+            # Native approximate path: high recall on the exact ball, and
+            # nothing admitted beyond the c·r slack.
+            c = built.params.c
+            for i in range(len(truth)):
+                assert range_recall(result[i].ids, truth[i].ids) >= 0.9
+                assert np.all(result[i].distances <= c * self.RADIUS + 1e-9)
+        else:
+            # Fallback (or sharded-exact) path: byte-identical to brute force.
+            np.testing.assert_array_equal(result.lims, truth.lims)
+            np.testing.assert_array_equal(result.ids, truth.ids)
+            np.testing.assert_allclose(result.distances, truth.distances, rtol=1e-12)
+
+    def test_range_distances_true_and_sorted(self, built, data):
+        queries = data[:4] + 0.01
+        result = built.range_search(queries, self.RADIUS)
+        for i in range(len(result)):
+            one = result[i]
+            # sorted by (distance, id)
+            key = list(zip(one.distances.tolist(), one.ids.tolist()))
+            assert key == sorted(key)
+            for pid, dist in zip(one.ids, one.distances):
+                actual = float(np.linalg.norm(data[pid] - queries[i]))
+                assert dist == pytest.approx(actual, rel=1e-9)
+
+    def test_invalid_radius_rejected(self, built, data):
+        with pytest.raises(ValueError):
+            built.range_search(data[:2], 0.0)
+        with pytest.raises(ValueError):
+            built.range_search(data[:2], -1.0)
+
+
+class TestClosestPairContract:
+    """Every backend answers closest_pairs; measured against brute force."""
+
+    M = 5
+
+    def test_closest_pairs_vs_exact(self, built, data, exact_reference):
+        truth = exact_reference.closest_pairs(self.M)
+        result = built.closest_pairs(self.M)
+        assert len(result) == self.M
+        if built.contract_label in NATIVE_CP:
+            # Approximate self-join: pair distances within a modest factor
+            # of the exact ones, rank by rank (seeded — a regression fence).
+            ratios = result.distances / truth.distances
+            assert np.all(ratios >= 1.0 - 1e-12)
+            assert np.mean(ratios) <= 1.25
+        else:
+            np.testing.assert_array_equal(result.pairs, truth.pairs)
+            np.testing.assert_allclose(result.distances, truth.distances, rtol=1e-12)
+
+    def test_pairs_well_formed(self, built, data):
+        result = built.closest_pairs(self.M)
+        assert np.all(result.pairs[:, 0] < result.pairs[:, 1])
+        assert np.all(result.pairs >= 0) and np.all(result.pairs < data.shape[0])
+        # verified distances are true distances
+        for (i, j), dist in zip(result.pairs, result.distances):
+            actual = float(np.linalg.norm(data[i] - data[j]))
+            assert dist == pytest.approx(actual, rel=1e-9)
+        # sorted by (distance, i, j)
+        key = [
+            (d, int(i), int(j))
+            for (i, j), d in zip(result.pairs.tolist(), result.distances.tolist())
+        ]
+        assert key == sorted(key)
+
+    def test_m_capped_at_pair_count(self, built, data):
+        assert len(built.closest_pairs(1)) == 1
+
+    def test_invalid_m_rejected(self, built):
+        with pytest.raises(ValueError):
+            built.closest_pairs(0)
+
+
 class TestDeterminism:
     @pytest.mark.parametrize("name", sorted(set(FACTORIES) - {"Exact"}))
     def test_same_seed_same_answer(self, name, data):
-        a = FACTORIES[name](data).build().query(data[2] + 0.01, 5)
-        b = FACTORIES[name](data).build().query(data[2] + 0.01, 5)
+        a = FACTORIES[name]().fit(data).query(data[2] + 0.01, 5)
+        b = FACTORIES[name]().fit(data).query(data[2] + 0.01, 5)
         np.testing.assert_array_equal(a.ids, b.ids)
         np.testing.assert_allclose(a.distances, b.distances, rtol=1e-12)

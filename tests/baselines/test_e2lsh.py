@@ -10,7 +10,7 @@ from repro.baselines.e2lsh import E2LSH
 
 @pytest.fixture(scope="module")
 def index(small_clustered):
-    return E2LSH(small_clustered, num_tables=8, m=6, w=None_or_default(), seed=0).build()
+    return E2LSH(num_tables=8, m=6, w=None_or_default(), seed=0).fit(small_clustered)
 
 
 def None_or_default():
@@ -27,9 +27,9 @@ class TestBuild:
 
     def test_invalid_params(self, small_clustered):
         with pytest.raises(ValueError):
-            E2LSH(small_clustered, num_tables=0)
+            E2LSH(num_tables=0)
         with pytest.raises(ValueError):
-            E2LSH(small_clustered, probe_cap_per_table=0)
+            E2LSH(probe_cap_per_table=0)
 
 
 class TestBallCover:
@@ -61,7 +61,7 @@ class TestQuery:
     def test_reasonable_recall(self, index, small_clustered):
         from repro.baselines.exact import ExactKNN
 
-        exact = ExactKNN(small_clustered).build()
+        exact = ExactKNN().fit(small_clustered)
         rng = np.random.default_rng(1)
         hits = total = 0
         for _ in range(15):

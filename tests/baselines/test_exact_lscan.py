@@ -11,7 +11,7 @@ from repro.baselines.lscan import LinearScan
 
 class TestExactKNN:
     def test_matches_numpy(self, small_clustered):
-        index = ExactKNN(small_clustered).build()
+        index = ExactKNN().fit(small_clustered)
         q = small_clustered[3] + 0.02
         result = index.query(q, k=8)
         dists = np.linalg.norm(small_clustered - q, axis=1)
@@ -20,30 +20,30 @@ class TestExactKNN:
         assert set(result.ids.tolist()) == set(int(i) for i in expected)
 
     def test_batch_matches_single(self, small_clustered):
-        index = ExactKNN(small_clustered).build()
+        index = ExactKNN().fit(small_clustered)
         queries = small_clustered[:4] + 0.01
-        ids, dists = index.query_batch(queries, k=5)
+        batch = index.search(queries, k=5)
         for row, q in enumerate(queries):
             single = index.query(q, k=5)
-            np.testing.assert_array_equal(ids[row], single.ids)
+            np.testing.assert_array_equal(batch.ids[row], single.ids)
 
     def test_batch_dimension_check(self, small_clustered):
-        index = ExactKNN(small_clustered).build()
+        index = ExactKNN().fit(small_clustered)
         with pytest.raises(ValueError):
-            index.query_batch(np.zeros((2, 3)), k=1)
+            index.search(np.zeros((2, 3)), k=1)
 
 
 class TestLinearScan:
     def test_scans_requested_portion(self, small_clustered):
-        index = LinearScan(small_clustered, portion=0.5, seed=0).build()
+        index = LinearScan(portion=0.5, seed=0).fit(small_clustered)
         result = index.query(small_clustered[0], k=5)
         assert result.stats["candidates"] == pytest.approx(
             0.5 * small_clustered.shape[0], abs=1.0
         )
 
     def test_full_portion_is_exact(self, small_clustered):
-        index = LinearScan(small_clustered, portion=1.0, seed=0).build()
-        exact = ExactKNN(small_clustered).build()
+        index = LinearScan(portion=1.0, seed=0).fit(small_clustered)
+        exact = ExactKNN().fit(small_clustered)
         q = small_clustered[9] + 0.01
         np.testing.assert_array_equal(
             index.query(q, 10).ids, exact.query(q, 10).ids
@@ -52,8 +52,8 @@ class TestLinearScan:
     def test_recall_limited_by_portion(self, small_clustered):
         """Expected recall ≈ portion for random subsets — LScan's ceiling
         in Table 4 (recall ≈ 0.7 at portion 0.7)."""
-        index = LinearScan(small_clustered, portion=0.7, seed=1).build()
-        exact = ExactKNN(small_clustered).build()
+        index = LinearScan(portion=0.7, seed=1).fit(small_clustered)
+        exact = ExactKNN().fit(small_clustered)
         rng = np.random.default_rng(2)
         recalls = []
         for _ in range(30):
@@ -64,13 +64,13 @@ class TestLinearScan:
         assert 0.55 <= float(np.mean(recalls)) <= 0.85
 
     def test_results_only_from_subset(self, small_clustered):
-        index = LinearScan(small_clustered, portion=0.3, seed=3).build()
+        index = LinearScan(portion=0.3, seed=3).fit(small_clustered)
         subset = set(index._subset.tolist())
         result = index.query(small_clustered[0], k=20)
         assert set(result.ids.tolist()) <= subset
 
-    def test_invalid_portion(self, small_clustered):
+    def test_invalid_portion(self):
         with pytest.raises(ValueError):
-            LinearScan(small_clustered, portion=0.0)
+            LinearScan(portion=0.0)
         with pytest.raises(ValueError):
-            LinearScan(small_clustered, portion=1.5)
+            LinearScan(portion=1.5)

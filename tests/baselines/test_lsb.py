@@ -16,7 +16,7 @@ def data(small_clustered):
 
 @pytest.fixture(scope="module")
 def index(data):
-    return LSBForest(data, num_trees=4, m=8, seed=0).build()
+    return LSBForest(num_trees=4, m=8, seed=0).fit(data)
 
 
 class TestLSBForest:
@@ -32,7 +32,7 @@ class TestLSBForest:
             tree.check_invariants()
 
     def test_recall_floor(self, index, data):
-        exact = ExactKNN(data).build()
+        exact = ExactKNN().fit(data)
         rng = np.random.default_rng(1)
         hits = total = 0
         for _ in range(10):
@@ -53,16 +53,10 @@ class TestLSBForest:
     def test_more_trees_no_worse_at_fixed_per_tree_budget(self, data):
         """With the per-tree cursor budget held constant, extra trees can
         only add candidate diversity (the LSB-*forest* argument)."""
-        exact = ExactKNN(data).build()
+        exact = ExactKNN().fit(data)
 
         def mean_recall(num_trees):
-            forest = LSBForest(
-                data,
-                num_trees=num_trees,
-                m=8,
-                budget_fraction=min(1.0, 0.08 * num_trees),
-                seed=3,
-            ).build()
+            forest = LSBForest(num_trees=num_trees, m=8, budget_fraction=min(1.0, 0.08 * num_trees), seed=3, ).fit(data)
             rng = np.random.default_rng(4)
             hits = 0
             for _ in range(10):
@@ -75,18 +69,18 @@ class TestLSBForest:
         assert mean_recall(4) >= mean_recall(1) - 0.05
 
     def test_deterministic(self, data):
-        a = LSBForest(data, seed=8).build().query(data[0], 5)
-        b = LSBForest(data, seed=8).build().query(data[0], 5)
+        a = LSBForest(seed=8).fit(data).query(data[0], 5)
+        b = LSBForest(seed=8).fit(data).query(data[0], 5)
         np.testing.assert_array_equal(a.ids, b.ids)
 
     def test_invalid_params(self, data):
         with pytest.raises(ValueError):
-            LSBForest(data, num_trees=0)
+            LSBForest(num_trees=0)
         with pytest.raises(ValueError):
-            LSBForest(data, w=-1.0)
+            LSBForest(w=-1.0)
         with pytest.raises(ValueError):
-            LSBForest(data, budget_fraction=0.0)
+            LSBForest(budget_fraction=0.0)
 
     def test_explicit_width(self, data):
-        forest = LSBForest(data, w=25.0, seed=0).build()
+        forest = LSBForest(w=25.0, seed=0).fit(data)
         assert forest.w == 25.0

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import itertools
 
 import numpy as np
 import pytest
@@ -67,7 +66,7 @@ class TestPerturbationSequence:
 class TestMultiProbeIndex:
     @pytest.fixture(scope="class")
     def index(self, small_clustered):
-        return MultiProbeLSH(small_clustered, num_tables=4, m=8, seed=0).build()
+        return MultiProbeLSH(num_tables=4, m=8, seed=0).fit(small_clustered)
 
     def test_width_calibrated(self, index):
         assert index.w is not None and index.w > 0
@@ -78,7 +77,7 @@ class TestMultiProbeIndex:
         assert np.all(np.diff(result.distances) >= -1e-12)
 
     def test_decent_recall_on_clustered(self, index, small_clustered):
-        exact = ExactKNN(small_clustered).build()
+        exact = ExactKNN().fit(small_clustered)
         rng = np.random.default_rng(3)
         hits = total = 0
         for _ in range(15):
@@ -90,12 +89,10 @@ class TestMultiProbeIndex:
         assert hits / total > 0.6
 
     def test_more_probes_no_worse(self, small_clustered):
-        exact = ExactKNN(small_clustered).build()
+        exact = ExactKNN().fit(small_clustered)
 
         def mean_recall(num_probes):
-            index = MultiProbeLSH(
-                small_clustered, num_tables=2, m=8, num_probes=num_probes, seed=4
-            ).build()
+            index = MultiProbeLSH(num_tables=2, m=8, num_probes=num_probes, seed=4).fit(small_clustered)
             rng = np.random.default_rng(5)
             hits = 0
             for _ in range(10):
@@ -108,15 +105,15 @@ class TestMultiProbeIndex:
         assert mean_recall(32) >= mean_recall(1) - 0.05
 
     def test_explicit_width_respected(self, small_clustered):
-        index = MultiProbeLSH(small_clustered, w=12.0, seed=0).build()
+        index = MultiProbeLSH(w=12.0, seed=0).fit(small_clustered)
         assert index.w == 12.0
 
     def test_invalid_params(self, small_clustered):
         with pytest.raises(ValueError):
-            MultiProbeLSH(small_clustered, num_tables=0)
+            MultiProbeLSH(num_tables=0)
         with pytest.raises(ValueError):
-            MultiProbeLSH(small_clustered, w=-1.0)
+            MultiProbeLSH(w=-1.0)
         with pytest.raises(ValueError):
-            MultiProbeLSH(small_clustered, max_candidates_fraction=0.0)
+            MultiProbeLSH(max_candidates_fraction=0.0)
         with pytest.raises(ValueError):
-            MultiProbeLSH(small_clustered, width_scale=0.0)
+            MultiProbeLSH(width_scale=0.0)

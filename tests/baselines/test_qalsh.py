@@ -56,7 +56,7 @@ class TestQALSHIndex:
 
     @pytest.fixture(scope="class")
     def index(self, data):
-        return QALSH(data, c=1.5, seed=0).build()
+        return QALSH(c=1.5, seed=0).fit(data)
 
     def test_returns_k_sorted(self, index, data):
         result = index.query(data[0] + 0.01, k=10)
@@ -64,7 +64,7 @@ class TestQALSHIndex:
         assert np.all(np.diff(result.distances) >= -1e-12)
 
     def test_high_recall(self, index, data):
-        exact = ExactKNN(data).build()
+        exact = ExactKNN().fit(data)
         rng = np.random.default_rng(1)
         hits = total = 0
         for _ in range(10):
@@ -78,8 +78,8 @@ class TestQALSHIndex:
     def test_backends_agree(self, data):
         """The sorted-array backend must be collision-for-collision
         equivalent to the B+-tree cursor backend."""
-        array_backend = QALSH(data, backend="array", seed=3).build()
-        bptree_backend = QALSH(data, backend="bptree", seed=3).build()
+        array_backend = QALSH(backend="array", seed=3).fit(data)
+        bptree_backend = QALSH(backend="bptree", seed=3).fit(data)
         for i in range(3):
             q = data[i] + 0.01
             a = array_backend.query(q, 5)
@@ -98,6 +98,6 @@ class TestQALSHIndex:
 
     def test_invalid_params(self, data):
         with pytest.raises(ValueError):
-            QALSH(data, c=1.0)
+            QALSH(c=1.0)
         with pytest.raises(ValueError):
-            QALSH(data, backend="gpu")
+            QALSH(backend="gpu")

@@ -13,7 +13,7 @@ from repro.core.pmlsh import PMLSH
 
 @pytest.fixture(scope="module")
 def index(small_clustered):
-    return RLSH(small_clustered, params=PMLSHParams(node_capacity=32), seed=0).build()
+    return RLSH(params=PMLSHParams(node_capacity=32), seed=0).fit(small_clustered)
 
 
 class TestRLSH:
@@ -23,7 +23,7 @@ class TestRLSH:
         assert np.all(np.diff(result.distances) >= -1e-12)
 
     def test_high_recall(self, index, small_clustered):
-        exact = ExactKNN(small_clustered).build()
+        exact = ExactKNN().fit(small_clustered)
         rng = np.random.default_rng(1)
         hits = total = 0
         for _ in range(15):
@@ -37,8 +37,8 @@ class TestRLSH:
     def test_same_projection_as_pmlsh_with_same_seed(self, small_clustered):
         """R-LSH is PM-LSH with only the tree swapped: identical seed must
         produce identical projections."""
-        pm = PMLSH(small_clustered[:200], seed=11).build()
-        rl = RLSH(small_clustered[:200], seed=11).build()
+        pm = PMLSH(seed=11).fit(small_clustered[:200])
+        rl = RLSH(seed=11).fit(small_clustered[:200])
         np.testing.assert_allclose(pm.projected, rl.projected)
 
     def test_pm_tree_does_fewer_distance_computations(self, small_clustered):
@@ -46,8 +46,8 @@ class TestRLSH:
         parameters and collection semantics, the PM-tree needs fewer
         distance computations than the R-tree."""
         params = PMLSHParams(node_capacity=32)
-        pm = PMLSH(small_clustered, params=params, seed=5).build()
-        rl = RLSH(small_clustered, params=params, seed=5).build()
+        pm = PMLSH(params=params, seed=5).fit(small_clustered)
+        rl = RLSH(params=params, seed=5).fit(small_clustered)
         pm.tree.reset_counters()
         rl.tree.reset_counters()
         rng = np.random.default_rng(6)

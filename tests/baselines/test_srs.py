@@ -11,7 +11,7 @@ from repro.baselines.srs import SRS
 
 @pytest.fixture(scope="module")
 def index(small_clustered):
-    return SRS(small_clustered, m=15, c=1.5, seed=0).build()
+    return SRS(m=15, c=1.5, seed=0).fit(small_clustered)
 
 
 class TestSRS:
@@ -27,12 +27,10 @@ class TestSRS:
         # behaviour PM-LSH improves on.  The floor here only fences off
         # regressions; the integration suite checks realistic recall on the
         # emulated Audio workload.
-        exact = ExactKNN(small_clustered).build()
+        exact = ExactKNN().fit(small_clustered)
         rng = np.random.default_rng(2)
         def run(early_stop_threshold):
-            srs = SRS(
-                small_clustered, early_stop_threshold=early_stop_threshold, seed=0
-            ).build()
+            srs = SRS(early_stop_threshold=early_stop_threshold, seed=0).fit(small_clustered)
             hits = total = 0
             for _ in range(15):
                 base = small_clustered[rng.integers(0, srs.n)]
@@ -57,8 +55,8 @@ class TestSRS:
     def test_early_stop_reduces_work(self, small_clustered):
         """A permissive early-stop threshold should verify fewer candidates
         than a disabled one."""
-        eager = SRS(small_clustered, early_stop_threshold=0.5, seed=1).build()
-        thorough = SRS(small_clustered, early_stop_threshold=0.999, seed=1).build()
+        eager = SRS(early_stop_threshold=0.5, seed=1).fit(small_clustered)
+        thorough = SRS(early_stop_threshold=0.999, seed=1).fit(small_clustered)
         q = small_clustered[0] + 0.01
         assert (
             eager.query(q, 5).stats["candidates"]
@@ -73,19 +71,17 @@ class TestSRS:
 
     def test_invalid_params(self, small_clustered):
         with pytest.raises(ValueError):
-            SRS(small_clustered, c=1.0)
+            SRS(c=1.0)
         with pytest.raises(ValueError):
-            SRS(small_clustered, early_stop_threshold=1.0)
+            SRS(early_stop_threshold=1.0)
         with pytest.raises(ValueError):
-            SRS(small_clustered, max_fraction=0.0)
+            SRS(max_fraction=0.0)
 
     def test_full_fraction_is_near_exact(self, small_clustered):
         """With T = 1.0 and no early stop shortcut, SRS degenerates to an
         exhaustive scan in projected order — recall should be ~1."""
-        index = SRS(
-            small_clustered, max_fraction=1.0, early_stop_threshold=0.9999, seed=3
-        ).build()
-        exact = ExactKNN(small_clustered).build()
+        index = SRS(max_fraction=1.0, early_stop_threshold=0.9999, seed=3).fit(small_clustered)
+        exact = ExactKNN().fit(small_clustered)
         q = small_clustered[7] + 0.001
         got = set(index.query(q, 5).ids.tolist())
         truth = set(exact.query(q, 5).ids.tolist())

@@ -1,4 +1,4 @@
-"""Tests for dynamic updates: PMTree.append_points and PMLSH.extend."""
+"""Tests for dynamic updates: PMTree.append_points and PMLSH.add."""
 
 from __future__ import annotations
 
@@ -47,25 +47,25 @@ class TestPMTreeAppend:
         check_invariants(tree)
 
 
-class TestPMLSHExtend:
-    def test_extend_finds_new_points(self, small_clustered):
+class TestPMLSHAdd:
+    def test_add_finds_new_points(self, small_clustered):
         base, extra = small_clustered[:600], small_clustered[600:650]
-        index = PMLSH(base, params=PMLSHParams(node_capacity=32), seed=0).build()
-        new_ids = index.extend(extra)
+        index = PMLSH(params=PMLSHParams(node_capacity=32), seed=0).fit(base)
+        new_ids = index.add(extra)
         assert index.n == 650
         # A query at a new point returns it first.
         result = index.query(extra[10], k=1)
         assert int(result.ids[0]) == int(new_ids[10])
         assert result.distances[0] == pytest.approx(0.0, abs=1e-9)
 
-    def test_extend_preserves_quality(self, small_clustered):
+    def test_add_preserves_quality(self, small_clustered):
         from repro.baselines.exact import ExactKNN
         from repro.evaluation.metrics import recall
 
         base, extra = small_clustered[:600], small_clustered[600:]
-        index = PMLSH(base, params=PMLSHParams(node_capacity=32), seed=0).build()
-        index.extend(extra)
-        exact = ExactKNN(small_clustered[:800]).build()
+        index = PMLSH(params=PMLSHParams(node_capacity=32), seed=0).fit(base)
+        index.add(extra)
+        exact = ExactKNN().fit(small_clustered[:800])
         rng = np.random.default_rng(1)
         recalls = []
         for _ in range(10):
@@ -75,19 +75,19 @@ class TestPMLSHExtend:
             recalls.append(recall(got.ids, truth.ids))
         assert np.mean(recalls) > 0.85
 
-    def test_extend_before_build_rejected(self, small_clustered):
-        index = PMLSH(small_clustered[:100], seed=0)
+    def test_add_before_build_rejected(self, small_clustered):
+        index = PMLSH(seed=0)
         with pytest.raises(RuntimeError):
-            index.extend(small_clustered[100:110])
+            index.add(small_clustered[100:110])
 
-    def test_extend_dimension_check(self, small_clustered):
-        index = PMLSH(small_clustered[:100], seed=0).build()
+    def test_add_dimension_check(self, small_clustered):
+        index = PMLSH(seed=0).fit(small_clustered[:100])
         with pytest.raises(ValueError):
-            index.extend(np.zeros((2, 3)))
+            index.add(np.zeros((2, 3)))
 
     def test_projected_matrix_stays_consistent(self, small_clustered):
-        index = PMLSH(small_clustered[:200], seed=0).build()
-        index.extend(small_clustered[200:220])
+        index = PMLSH(seed=0).fit(small_clustered[:200])
+        index.add(small_clustered[200:220])
         expected = index.projection.project(index.data)
         np.testing.assert_allclose(index.projected, expected, rtol=1e-10)
 

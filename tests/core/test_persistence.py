@@ -13,9 +13,7 @@ from repro.pmtree.validate import check_invariants
 
 @pytest.fixture(scope="module")
 def index(small_clustered):
-    return PMLSH(
-        small_clustered[:500], params=PMLSHParams(node_capacity=32), seed=0
-    ).build()
+    return PMLSH(params=PMLSHParams(node_capacity=32), seed=0).fit(small_clustered[:500])
 
 
 class TestFromDirections:
@@ -52,7 +50,7 @@ class TestSaveLoad:
     def test_params_survive(self, small_clustered, tmp_path):
         params = PMLSHParams(m=10, num_pivots=3, c=1.8, node_capacity=16,
                              use_rings=False)
-        original = PMLSH(small_clustered[:200], params=params, seed=1).build()
+        original = PMLSH(params=params, seed=1).fit(small_clustered[:200])
         path = str(tmp_path / "custom.npz")
         original.save(path)
         restored = PMLSH.load(path)
@@ -100,16 +98,64 @@ class TestSaveLoad:
         if a is not None:
             assert a[0] == b[0]
 
-    def test_unbuilt_index_cannot_save(self, small_clustered, tmp_path):
-        fresh = PMLSH(small_clustered[:100], seed=0)
+    def test_unbuilt_index_cannot_save(self, tmp_path):
+        fresh = PMLSH(seed=0)
         with pytest.raises(RuntimeError):
             fresh.save(str(tmp_path / "nope.npz"))
 
-    def test_loaded_index_supports_extend(self, index, small_clustered, tmp_path):
+    def test_loaded_index_supports_further_growth(
+        self, index, small_clustered, tmp_path
+    ):
         path = str(tmp_path / "ext.npz")
         index.save(path)
         restored = PMLSH.load(path)
-        new_ids = restored.extend(small_clustered[500:520])
+        new_ids = restored.add(small_clustered[500:520])
         assert restored.n == index.n + 20
         hit = restored.query(small_clustered[505], k=1)
         assert int(hit.ids[0]) == int(new_ids[5])
+
+
+class TestLoadIndexDispatch:
+    """repro.load_index(path): registry-name dispatch to the right class."""
+
+    def test_dispatches_to_pmlsh(self, index, small_clustered, tmp_path):
+        import repro
+
+        path = str(tmp_path / "dispatch.npz")
+        index.save(path)
+        restored = repro.load_index(path)
+        assert isinstance(restored, PMLSH)
+        q = small_clustered[3] + 0.01
+        np.testing.assert_array_equal(
+            restored.query(q, 5).ids, index.query(q, 5).ids
+        )
+
+    def test_dispatches_to_exact(self, small_clustered, tmp_path):
+        import repro
+        from repro.baselines.exact import ExactKNN
+
+        original = ExactKNN().fit(small_clustered[:150])
+        path = str(tmp_path / "exact.npz")
+        original.save(path)
+        restored = repro.load_index(path)
+        assert isinstance(restored, ExactKNN)
+        assert restored.ntotal == 150
+        q = small_clustered[7] + 0.01
+        np.testing.assert_array_equal(
+            restored.query(q, 4).ids, original.query(q, 4).ids
+        )
+
+    def test_archive_without_name_rejected(self, tmp_path):
+        import repro
+
+        path = str(tmp_path / "anon.npz")
+        np.savez(path, data=np.zeros((3, 2)))
+        with pytest.raises(ValueError, match="registry_name"):
+            repro.load_index(path)
+
+    def test_saved_registry_name_readable(self, index, tmp_path):
+        from repro.persistence import saved_registry_name
+
+        path = str(tmp_path / "named.npz")
+        index.save(path)
+        assert saved_registry_name(path) == "pm-lsh"

@@ -13,23 +13,23 @@ from repro.evaluation.metrics import overall_ratio, recall
 
 @pytest.fixture(scope="module")
 def index(small_clustered):
-    return PMLSH(small_clustered, params=PMLSHParams(node_capacity=32), seed=0).build()
+    return PMLSH(params=PMLSHParams(node_capacity=32), seed=0).fit(small_clustered)
 
 
 @pytest.fixture(scope="module")
 def exact(small_clustered):
-    return ExactKNN(small_clustered).build()
+    return ExactKNN().fit(small_clustered)
 
 
 class TestLifecycle:
-    def test_query_before_build_raises(self, small_clustered):
-        fresh = PMLSH(small_clustered, seed=0)
+    def test_query_before_fit_raises(self, small_clustered):
+        fresh = PMLSH(seed=0)
         with pytest.raises(RuntimeError):
             fresh.query(small_clustered[0], 5)
 
-    def test_build_returns_self(self, small_clustered):
-        built = PMLSH(small_clustered[:100], seed=0)
-        assert built.build() is built
+    def test_fit_returns_self(self, small_clustered):
+        built = PMLSH(seed=0)
+        assert built.fit(small_clustered[:100]) is built
         assert built.is_built
 
     def test_invalid_query_shape(self, index):
@@ -125,21 +125,21 @@ class TestConfigurations:
     @pytest.mark.parametrize("build_method", ["bulk", "insert"])
     def test_build_methods_work(self, small_clustered, build_method):
         params = PMLSHParams(node_capacity=16, build_method=build_method)
-        index = PMLSH(small_clustered[:300], params=params, seed=1).build()
+        index = PMLSH(params=params, seed=1).fit(small_clustered[:300])
         result = index.query(small_clustered[0], k=5)
         assert len(result) == 5
 
     def test_zero_pivots(self, small_clustered):
         params = PMLSHParams(num_pivots=0, node_capacity=32)
-        index = PMLSH(small_clustered[:300], params=params, seed=1).build()
+        index = PMLSH(params=params, seed=1).fit(small_clustered[:300])
         assert len(index.query(small_clustered[0], k=5)) == 5
 
     def test_seed_reproducibility(self, small_clustered):
-        a = PMLSH(small_clustered[:200], seed=5).build().query(small_clustered[0], 5)
-        b = PMLSH(small_clustered[:200], seed=5).build().query(small_clustered[0], 5)
+        a = PMLSH(seed=5).fit(small_clustered[:200]).query(small_clustered[0], 5)
+        b = PMLSH(seed=5).fit(small_clustered[:200]).query(small_clustered[0], 5)
         np.testing.assert_array_equal(a.ids, b.ids)
 
-    def test_different_c_changes_budget(self, small_clustered):
-        tight = PMLSH(small_clustered[:200], params=PMLSHParams(c=1.2), seed=0)
-        loose = PMLSH(small_clustered[:200], params=PMLSHParams(c=2.0), seed=0)
+    def test_different_c_changes_budget(self):
+        tight = PMLSH(params=PMLSHParams(c=1.2), seed=0)
+        loose = PMLSH(params=PMLSHParams(c=2.0), seed=0)
         assert tight.solved.beta > loose.solved.beta

@@ -11,38 +11,38 @@ from repro.core.pmlsh import PMLSH
 
 @pytest.fixture(scope="module")
 def index(small_clustered):
-    return PMLSH(small_clustered, params=PMLSHParams(node_capacity=32), seed=0).build()
+    return PMLSH(params=PMLSHParams(node_capacity=32), seed=0).fit(small_clustered)
 
 
-class TestQueryBatch:
+class TestBatchSearch:
     def test_matches_single_queries(self, index, small_clustered):
         queries = small_clustered[:4] + 0.01
-        batch = index.query_batch(queries, k=5)
+        batch = index.search(queries, k=5)
         assert len(batch) == 4
-        for row, result in zip(queries, batch):
+        for row_index, row in enumerate(queries):
             single = index.query(row, k=5)
-            np.testing.assert_array_equal(result.ids, single.ids)
+            np.testing.assert_array_equal(batch[row_index].ids, single.ids)
 
     def test_single_row_accepted(self, index, small_clustered):
-        batch = index.query_batch(small_clustered[0], k=3)
+        batch = index.search(small_clustered[0], k=3)
         assert len(batch) == 1
         assert len(batch[0]) == 3
 
     def test_dimension_mismatch(self, index):
         with pytest.raises(ValueError):
-            index.query_batch(np.zeros((2, 3)), k=2)
+            index.search(np.zeros((2, 3)), k=2)
 
 
 class TestBetaOverride:
-    def test_override_replaces_solved_beta(self, small_clustered):
+    def test_override_replaces_solved_beta(self):
         params = PMLSHParams(beta_override=0.3)
-        index = PMLSH(small_clustered[:300], params=params, seed=1)
+        index = PMLSH(params=params, seed=1)
         assert index.solved.beta == 0.3
 
     def test_override_changes_candidate_budget(self, small_clustered):
         data = small_clustered[:500]
-        small = PMLSH(data, params=PMLSHParams(beta_override=0.05), seed=2).build()
-        large = PMLSH(data, params=PMLSHParams(beta_override=0.5), seed=2).build()
+        small = PMLSH(params=PMLSHParams(beta_override=0.05), seed=2).fit(data)
+        large = PMLSH(params=PMLSHParams(beta_override=0.5), seed=2).fit(data)
         q = data[0] + 0.01
         assert (
             small.query(q, 10).stats["candidates"]
@@ -55,10 +55,10 @@ class TestBetaOverride:
         with pytest.raises(ValueError):
             PMLSHParams(beta_override=1.0)
 
-    def test_none_keeps_solved(self, small_clustered):
+    def test_none_keeps_solved(self):
         from repro.core.estimation import solve_parameters
 
-        index = PMLSH(small_clustered[:200], seed=0)
+        index = PMLSH(seed=0)
         expected = solve_parameters(m=15, c=1.5).beta
         assert index.solved.beta == pytest.approx(expected)
 
@@ -80,3 +80,16 @@ class TestBallCoverExclude:
         assert excluded is not None
         assert excluded[0] != probe_id
         assert excluded[1] <= index.params.c * nn_dist * 1.5 + 1e-9
+
+
+class TestClosestPairsTinyFit:
+    def test_closest_pairs_on_tiny_dataset(self):
+        """Regression: the projected-join neighbour count used to exceed
+        n - 1 on tiny fits (max/min clamp inverted), crashing chunked_knn."""
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(4, 6))
+        index = PMLSH(params=PMLSHParams(num_pivots=2), seed=0).fit(data)
+        result = index.closest_pairs(1)
+        assert len(result) == 1
+        i, j, dist = result[0]
+        assert dist == pytest.approx(float(np.linalg.norm(data[i] - data[j])))

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.radius import radius_from_points, select_initial_radius
-from repro.datasets.distance import DistanceDistribution, sample_distance_distribution
+from repro.datasets.distance import DistanceDistribution
 
 
 class TestSelectInitialRadius:
@@ -65,3 +65,34 @@ class TestRadiusFromPoints:
         a = radius_from_points(small_clustered, beta=0.1, k=5, seed=3)
         b = radius_from_points(small_clustered, beta=0.1, k=5, seed=3)
         assert a == b
+
+
+class TestRangeCandidateBudget:
+    def test_tracks_ball_mass(self):
+        from repro.core.radius import range_candidate_budget
+
+        distribution = DistanceDistribution(np.linspace(1.0, 100.0, 1000))
+        n, beta = 1000, 0.05
+        small = range_candidate_budget(distribution, n, beta, radius=2.0)
+        large = range_candidate_budget(distribution, n, beta, radius=50.0)
+        assert small < large
+        # floor: beta*n collisions plus at least one expected point
+        assert small >= int(np.ceil(beta * n)) + 1
+
+    def test_sublinear_on_selective_balls(self):
+        from repro.core.radius import range_candidate_budget
+
+        distribution = DistanceDistribution(np.linspace(1.0, 100.0, 1000))
+        budget = range_candidate_budget(distribution, 10_000, 0.01, radius=2.0)
+        assert budget < 10_000
+
+    def test_validation(self):
+        from repro.core.radius import range_candidate_budget
+
+        distribution = DistanceDistribution(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            range_candidate_budget(distribution, 0, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            range_candidate_budget(distribution, 10, 1.5, 1.0)
+        with pytest.raises(ValueError):
+            range_candidate_budget(distribution, 10, 0.1, 0.0)

@@ -36,7 +36,7 @@ class TestRunQuerySet:
     def test_exact_scores_perfectly(self, small_clustered):
         queries = small_clustered[:6] + 0.01
         gt = compute_ground_truth(small_clustered, queries, k_max=10)
-        index = ExactKNN(small_clustered).build()
+        index = ExactKNN().fit(small_clustered)
         result = run_query_set(index, queries, k=10, ground_truth=gt)
         assert result.recall == pytest.approx(1.0)
         assert result.overall_ratio == pytest.approx(1.0)
@@ -46,7 +46,7 @@ class TestRunQuerySet:
     def test_lscan_scores_below_exact(self, small_clustered):
         queries = small_clustered[:10] + 0.01
         gt = compute_ground_truth(small_clustered, queries, k_max=10)
-        index = LinearScan(small_clustered, portion=0.5, seed=0).build()
+        index = LinearScan(portion=0.5, seed=0).fit(small_clustered)
         result = run_query_set(index, queries, k=10, ground_truth=gt)
         assert result.recall < 1.0
         assert result.overall_ratio >= 1.0
@@ -56,24 +56,24 @@ class TestRunQuerySet:
         queries = small_clustered[:2]
         gt = compute_ground_truth(small_clustered, queries, k_max=5)
         with pytest.raises(RuntimeError):
-            run_query_set(LinearScan(small_clustered), queries, 5, gt)
+            run_query_set(LinearScan(), queries, 5, gt)
 
     def test_query_count_mismatch(self, small_clustered):
         gt = compute_ground_truth(small_clustered, small_clustered[:3], k_max=5)
         with pytest.raises(ValueError):
             run_query_set(
-                ExactKNN(small_clustered).build(), small_clustered[:2], 5, gt
+                ExactKNN().fit(small_clustered), small_clustered[:2], 5, gt
             )
 
     def test_k_exceeds_ground_truth(self, small_clustered):
         queries = small_clustered[:2]
         gt = compute_ground_truth(small_clustered, queries, k_max=5)
         with pytest.raises(ValueError):
-            run_query_set(ExactKNN(small_clustered).build(), queries, 6, gt)
+            run_query_set(ExactKNN().fit(small_clustered), queries, 6, gt)
 
     def test_evaluate_index_computes_ground_truth(self, small_clustered):
         queries = small_clustered[:3] + 0.01
-        index = ExactKNN(small_clustered).build()
+        index = ExactKNN().fit(small_clustered)
         result = evaluate_index(index, small_clustered, queries, k=5, dataset_name="X")
         assert result.dataset == "X"
         assert result.recall == pytest.approx(1.0)
@@ -101,3 +101,81 @@ class TestTables:
     def test_nan_cell(self):
         text = format_table("T", ["v"], [[float("nan")]])
         assert "nan" in text
+
+
+class TestRangeHarness:
+    RADIUS = 5.0
+
+    def test_exact_scores_perfectly(self, small_clustered):
+        from repro.evaluation.ground_truth import compute_range_ground_truth
+        from repro.evaluation.harness import run_range_query_set
+
+        queries = small_clustered[:6] + 0.01
+        truth = compute_range_ground_truth(small_clustered, queries, self.RADIUS)
+        index = ExactKNN().fit(small_clustered)
+        result = run_range_query_set(index, queries, self.RADIUS, truth)
+        assert result.recall == pytest.approx(1.0)
+        assert result.precision == pytest.approx(1.0)
+        assert result.mean_returned == pytest.approx(float(truth.counts.mean()))
+        assert result.query_time_ms > 0.0
+
+    def test_pmlsh_holds_range_contract(self, small_clustered):
+        from repro.core.params import PMLSHParams
+        from repro.core.pmlsh import PMLSH
+        from repro.evaluation.ground_truth import compute_range_ground_truth
+        from repro.evaluation.harness import run_range_query_set
+
+        queries = small_clustered[:10] + 0.01
+        truth = compute_range_ground_truth(small_clustered, queries, self.RADIUS)
+        index = PMLSH(params=PMLSHParams(node_capacity=32), seed=1).fit(
+            small_clustered
+        )
+        result = run_range_query_set(index, queries, self.RADIUS, truth)
+        assert result.recall >= 0.9
+        assert result.extra["mean_candidates"] < small_clustered.shape[0]
+
+    def test_query_count_mismatch(self, small_clustered):
+        from repro.evaluation.ground_truth import compute_range_ground_truth
+        from repro.evaluation.harness import run_range_query_set
+
+        truth = compute_range_ground_truth(
+            small_clustered, small_clustered[:3], self.RADIUS
+        )
+        with pytest.raises(ValueError):
+            run_range_query_set(
+                ExactKNN().fit(small_clustered),
+                small_clustered[:2],
+                self.RADIUS,
+                truth,
+            )
+
+    def test_unbuilt_index_rejected(self, small_clustered):
+        from repro.evaluation.ground_truth import compute_range_ground_truth
+        from repro.evaluation.harness import run_range_query_set
+
+        truth = compute_range_ground_truth(
+            small_clustered, small_clustered[:2], self.RADIUS
+        )
+        with pytest.raises(RuntimeError):
+            run_range_query_set(LinearScan(), small_clustered[:2], self.RADIUS, truth)
+
+
+class TestClosestPairHarness:
+    def test_exact_scores_perfectly(self, small_clustered):
+        from repro.evaluation.ground_truth import compute_closest_pairs_ground_truth
+        from repro.evaluation.harness import evaluate_closest_pairs
+
+        truth = compute_closest_pairs_ground_truth(small_clustered, 5)
+        index = ExactKNN().fit(small_clustered)
+        result = evaluate_closest_pairs(index, 5, truth)
+        assert result.ratio == pytest.approx(1.0)
+        assert result.overlap == pytest.approx(1.0)
+        assert result.time_ms > 0.0
+
+    def test_ground_truth_too_small_rejected(self, small_clustered):
+        from repro.evaluation.ground_truth import compute_closest_pairs_ground_truth
+        from repro.evaluation.harness import evaluate_closest_pairs
+
+        truth = compute_closest_pairs_ground_truth(small_clustered, 2)
+        with pytest.raises(ValueError):
+            evaluate_closest_pairs(ExactKNN().fit(small_clustered), 5, truth)

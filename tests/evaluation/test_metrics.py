@@ -81,3 +81,65 @@ class TestRecall:
     def test_self_recall_is_one(self, id_set):
         ids = np.array(sorted(id_set))
         assert recall(ids, ids) == 1.0
+
+
+class TestRangeRecall:
+    def test_perfect(self):
+        from repro.evaluation.metrics import range_recall
+
+        assert range_recall(np.array([3, 1, 2]), np.array([1, 2, 3])) == 1.0
+
+    def test_partial_and_extras_not_penalised(self):
+        from repro.evaluation.metrics import range_recall
+
+        # one of two exact matches found; extra slack points are free
+        assert range_recall(np.array([1, 99, 98]), np.array([1, 2])) == 0.5
+
+    def test_empty_exact_ball_scores_one(self):
+        from repro.evaluation.metrics import range_recall
+
+        assert range_recall(np.array([5, 6]), np.array([])) == 1.0
+        assert range_recall(np.array([]), np.array([])) == 1.0
+
+    def test_empty_result_nonempty_ball(self):
+        from repro.evaluation.metrics import range_recall
+
+        assert range_recall(np.array([]), np.array([1])) == 0.0
+
+
+class TestRangePrecision:
+    def test_all_inside(self):
+        from repro.evaluation.metrics import range_precision
+
+        assert range_precision(np.array([0.1, 0.5]), r=0.5) == 1.0
+
+    def test_slack_measured(self):
+        from repro.evaluation.metrics import range_precision
+
+        assert range_precision(np.array([0.1, 0.9]), r=0.5) == 0.5
+
+    def test_empty_result_is_clean(self):
+        from repro.evaluation.metrics import range_precision
+
+        assert range_precision(np.array([]), r=1.0) == 1.0
+
+
+class TestClosestPairRatio:
+    def test_perfect(self):
+        from repro.evaluation.metrics import closest_pair_ratio
+
+        exact = np.array([1.0, 2.0, 3.0])
+        assert closest_pair_ratio(exact, exact) == pytest.approx(1.0)
+
+    def test_worse_pairs_score_above_one(self):
+        from repro.evaluation.metrics import closest_pair_ratio
+
+        exact = np.array([1.0, 2.0])
+        assert closest_pair_ratio(exact * 1.2, exact, m=2) == pytest.approx(1.2)
+
+    def test_missing_ranks_take_worst(self):
+        from repro.evaluation.metrics import closest_pair_ratio
+
+        exact = np.array([1.0, 1.0, 1.0])
+        got = np.array([1.5])
+        assert closest_pair_ratio(got, exact, m=3) == pytest.approx(1.5)

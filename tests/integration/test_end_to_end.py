@@ -30,12 +30,12 @@ def ground_truth(workload):
 
 
 ALGORITHMS = {
-    "PM-LSH": lambda data: PMLSH(data, params=PMLSHParams(node_capacity=32), seed=0),
-    "SRS": lambda data: SRS(data, seed=0),
-    "QALSH": lambda data: QALSH(data, seed=0),
-    "Multi-Probe": lambda data: MultiProbeLSH(data, seed=0),
-    "R-LSH": lambda data: RLSH(data, params=PMLSHParams(node_capacity=32), seed=0),
-    "LScan": lambda data: LinearScan(data, seed=0),
+    "PM-LSH": lambda: PMLSH(params=PMLSHParams(node_capacity=32), seed=0),
+    "SRS": lambda: SRS(seed=0),
+    "QALSH": lambda: QALSH(seed=0),
+    "Multi-Probe": lambda: MultiProbeLSH(seed=0),
+    "R-LSH": lambda: RLSH(params=PMLSHParams(node_capacity=32), seed=0),
+    "LScan": lambda: LinearScan(seed=0),
 }
 
 
@@ -43,7 +43,7 @@ ALGORITHMS = {
 def results(workload, ground_truth):
     output = {}
     for name, make in ALGORITHMS.items():
-        index = make(workload.data).build()
+        index = make().fit(workload.data)
         output[name] = run_query_set(index, workload.queries, k=20, ground_truth=ground_truth)
     return output
 
@@ -88,7 +88,7 @@ class TestPaperShape:
 
     def test_everyone_returns_k(self, workload, ground_truth):
         for name, make in ALGORITHMS.items():
-            index = make(workload.data).build()
+            index = make().fit(workload.data)
             result = index.query(workload.queries[0], 20)
             assert len(result) == 20, name
 
@@ -98,7 +98,7 @@ class TestE2LSHBallCoverLadder:
         """The §2.2 reduction: running (r, c)-BC queries with growing r
         eventually returns a c²-approximate neighbour."""
         data = workload.data
-        index = E2LSH(data, num_tables=6, m=6, w=30.0, seed=0).build()
+        index = E2LSH(num_tables=6, m=6, w=30.0, seed=0).fit(data)
         q = workload.queries[0]
         exact_nn = float(np.min(np.linalg.norm(data - q, axis=1)))
         c = 1.5

@@ -20,8 +20,8 @@ class TestTheorem1:
     @pytest.fixture(scope="class")
     def setup(self):
         data = gaussian_mixture(1000, 24, num_clusters=8, cluster_std=0.8, seed=0)
-        index = PMLSH(data, params=PMLSHParams(node_capacity=32), seed=1).build()
-        exact = ExactKNN(data).build()
+        index = PMLSH(params=PMLSHParams(node_capacity=32), seed=1).fit(data)
+        exact = ExactKNN().fit(data)
         return data, index, exact
 
     def test_c_squared_ann_frequency(self, setup):
@@ -65,7 +65,7 @@ class TestLemma4Empirical:
         hits = trials = 0
         rng = np.random.default_rng(5)
         for trial in range(60):
-            index = PMLSH(data, seed=int(rng.integers(0, 2**31))).build()
+            index = PMLSH(seed=int(rng.integers(0, 2**31))).fit(data)
             q = data[trial % data.shape[0]] + 0.01
             dists = np.linalg.norm(data - q, axis=1)
             near_id = int(np.argmin(dists))
@@ -84,7 +84,7 @@ class TestSpaceAndTime:
 
     def test_tree_stores_each_point_once(self):
         data = gaussian_mixture(700, 16, num_clusters=5, seed=6)
-        index = PMLSH(data, params=PMLSHParams(node_capacity=32), seed=0).build()
+        index = PMLSH(params=PMLSHParams(node_capacity=32), seed=0).fit(data)
         leaf_ids = [
             pid
             for _, node in index.tree.iter_nodes()
@@ -97,10 +97,69 @@ class TestSpaceAndTime:
         small = gaussian_mixture(400, 16, num_clusters=5, seed=7)
         large = gaussian_mixture(1200, 16, num_clusters=5, seed=7)
         k = 5
-        small_index = PMLSH(small, params=PMLSHParams(node_capacity=32), seed=0).build()
-        large_index = PMLSH(large, params=PMLSHParams(node_capacity=32), seed=0).build()
+        small_index = PMLSH(params=PMLSHParams(node_capacity=32), seed=0).fit(small)
+        large_index = PMLSH(params=PMLSHParams(node_capacity=32), seed=0).fit(large)
         small_cand = small_index.query(small[0], k).stats["candidates"]
         large_cand = large_index.query(large[0], k).stats["candidates"]
         beta = small_index.solved.beta
         assert small_cand <= beta * 400 + k + 1
         assert large_cand <= beta * 1200 + k + 1
+
+
+class TestRangeQueryGuarantee:
+    """The (r, c)-ball promise on a fixed-seed synthetic dataset: at the
+    paper's defaults (c = 1.5) the native range path recovers ≥ 0.9 of
+    the exact ball while scanning strictly fewer candidates than the
+    brute-force reference, and never reports beyond c·r."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        data = gaussian_mixture(1200, 32, num_clusters=10, cluster_std=0.8, seed=4)
+        index = PMLSH(params=PMLSHParams(node_capacity=32), seed=5).fit(data)
+        exact = ExactKNN().fit(data)
+        return data, index, exact
+
+    def test_recall_and_sublinear_candidates(self, setup):
+        from repro.evaluation.metrics import range_recall
+
+        data, index, exact = setup
+        rng = np.random.default_rng(6)
+        queries = data[rng.integers(0, data.shape[0], size=20)] + 0.01
+        radius = float(
+            np.quantile(index.distance_distribution.samples, 0.02)
+        )
+        truth = exact.range_search(queries, radius)
+        result = index.range_search(queries, radius)
+        recalls = [
+            range_recall(result[i].ids, truth[i].ids) for i in range(len(truth))
+        ]
+        assert float(np.mean(recalls)) >= 0.9
+        # strictly fewer candidates than the n-point scan brute force pays
+        assert result.stats["candidates"] < data.shape[0]
+        # the (r, c) contract: nothing beyond c*r is ever reported
+        c = index.params.c
+        assert np.all(result.distances <= c * radius + 1e-9)
+
+    def test_per_query_budget_respected(self, setup):
+        data, index, exact = setup
+        radius = float(np.quantile(index.distance_distribution.samples, 0.02))
+        result = index.range_search(data[:5] + 0.01, radius, budget=40)
+        assert result.stats["candidates"] <= 40
+
+
+class TestClosestPairGuarantee:
+    """The projected self-join verifies a vanishing fraction of the n²/2
+    pairs yet lands within a small factor of the exact closest pairs."""
+
+    def test_quality_vs_verified_pairs(self):
+        data = gaussian_mixture(1000, 32, num_clusters=10, cluster_std=0.8, seed=7)
+        index = PMLSH(params=PMLSHParams(node_capacity=32), seed=8).fit(data)
+        exact = ExactKNN().fit(data)
+        m = 10
+        truth = exact.closest_pairs(m)
+        result = index.closest_pairs(m)
+        ratios = result.distances / truth.distances
+        assert np.all(ratios >= 1.0 - 1e-12)
+        assert float(np.mean(ratios)) <= 1.25
+        total_pairs = data.shape[0] * (data.shape[0] - 1) / 2
+        assert result.stats["verified"] < 0.01 * total_pairs

@@ -1,0 +1,82 @@
+"""Argparse front-end shared by every benchmark: run a bench as a script.
+
+Each ``bench_*.py`` module ends with::
+
+    if __name__ == "__main__":
+        import sys
+
+        from _cli import bench_main
+
+        sys.exit(bench_main(__file__, __doc__))
+
+so ``python benchmarks/bench_fig6_params.py --seed 3 --out /tmp/tables``
+works without knowing the pytest plumbing: the flags map onto the
+``REPRO_BENCH_*`` environment knobs (see ``conftest.py``) and pytest runs
+the file, printing each table and writing it under ``--out``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+
+def bench_main(
+    bench_file: str, doc: Optional[str] = None, argv: Optional[Sequence[str]] = None
+) -> int:
+    """Parse the shared benchmark flags and run *bench_file* under pytest."""
+    summary = (doc or "").strip().splitlines()[0] if doc else None
+    parser = argparse.ArgumentParser(
+        prog=os.path.basename(bench_file), description=summary
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="master seed offset added to every RNG stream of the bench "
+        "(default: the bench's built-in seeds)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="directory for the result table(s) (default: results/ at the repo root)",
+    )
+    parser.add_argument(
+        "--n",
+        type=int,
+        default=None,
+        help="points per emulated dataset (default: REPRO_BENCH_N or 2000)",
+    )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=None,
+        help="queries per workload (default: REPRO_BENCH_QUERIES or 15)",
+    )
+    args = parser.parse_args(argv)
+    if args.seed is not None:
+        os.environ["REPRO_BENCH_SEED"] = str(args.seed)
+    if args.out is not None:
+        os.environ["REPRO_BENCH_OUT"] = str(args.out)
+    if args.n is not None:
+        os.environ["REPRO_BENCH_N"] = str(args.n)
+    if args.queries is not None:
+        os.environ["REPRO_BENCH_QUERIES"] = str(args.queries)
+
+    # `repro` must be importable exactly as under `PYTHONPATH=src`.
+    src = os.path.join(os.path.dirname(os.path.abspath(bench_file)), "..", "src")
+    sys.path.insert(0, os.path.normpath(src))
+
+    import pytest
+
+    pytest_args = [bench_file, "-q", "-p", "no:cacheprovider"]
+    try:
+        import pytest_benchmark  # noqa: F401
+
+        pytest_args.append("--benchmark-disable")
+    except ImportError:
+        pass
+    return int(pytest.main(pytest_args))

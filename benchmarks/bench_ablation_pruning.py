@@ -1,4 +1,4 @@
-"""Ablation — where does the PM-tree's advantage come from?
+"""Ablation (§4.1, the Eq. 5 pruning battery) — where the PM-tree's advantage comes from.
 
 Not a paper table, but the design-choice study DESIGN.md calls out:
 
@@ -15,19 +15,21 @@ import time
 
 import numpy as np
 
+from conftest import bench_seed  # noqa: I001 (script-mode sys.path bootstrap)
+
 from repro.core.hashing import GaussianProjection
 from repro.evaluation.tables import format_table
 from repro.pmtree import PMTree
 
 
-def _query_workload(projected, radius, trials=15, seed=4):
+def _query_workload(projected, radius, trials=15, seed=bench_seed(4)):
     rng = np.random.default_rng(seed)
     return [projected[rng.integers(0, projected.shape[0])] + 0.01 for _ in range(trials)]
 
 
 def test_ablation_pruning_filters(cache, write_result, benchmark):
     workload = cache.workload("Cifar")
-    projection = GaussianProjection(workload.d, 15, seed=3)
+    projection = GaussianProjection(workload.d, 15, seed=bench_seed(3))
     projected = projection.project(workload.data)
     radius = float(
         np.quantile(
@@ -45,7 +47,7 @@ def test_ablation_pruning_filters(cache, write_result, benchmark):
             for parent in (True, False):
                 tree = PMTree.build(
                     projected, num_pivots=5, capacity=64,
-                    use_rings=rings, use_parent_filter=parent, seed=5,
+                    use_rings=rings, use_parent_filter=parent, seed=bench_seed(5),
                 )
                 tree.reset_counters()
                 answers = []
@@ -78,7 +80,7 @@ def test_ablation_pruning_filters(cache, write_result, benchmark):
 
 def test_ablation_build_methods(cache, write_result, benchmark):
     workload = cache.workload("Audio")
-    projection = GaussianProjection(workload.d, 15, seed=3)
+    projection = GaussianProjection(workload.d, 15, seed=bench_seed(3))
     projected = projection.project(workload.data)
     radius = float(
         np.quantile(np.linalg.norm(projected - projected[0], axis=1), 0.1)
@@ -92,7 +94,7 @@ def test_ablation_build_methods(cache, write_result, benchmark):
         for method in ("bulk", "insert"):
             start = time.perf_counter()
             tree = PMTree.build(
-                projected, num_pivots=5, capacity=32, method=method, seed=6
+                projected, num_pivots=5, capacity=32, method=method, seed=bench_seed(6)
             )
             build_ms = (time.perf_counter() - start) * 1e3
             tree.reset_counters()
@@ -120,7 +122,7 @@ def test_ablation_build_methods(cache, write_result, benchmark):
 
 def test_ablation_pivot_selection(cache, write_result, benchmark):
     workload = cache.workload("Trevi")
-    projection = GaussianProjection(workload.d, 15, seed=3)
+    projection = GaussianProjection(workload.d, 15, seed=bench_seed(3))
     projected = projection.project(workload.data)
     radius = float(
         np.quantile(np.linalg.norm(projected - projected[0], axis=1), 0.1)
@@ -133,7 +135,7 @@ def test_ablation_pivot_selection(cache, write_result, benchmark):
         rows.clear()
         for method in ("maxsep", "random", "variance"):
             tree = PMTree.build(
-                projected, num_pivots=5, capacity=64, pivot_method=method, seed=7
+                projected, num_pivots=5, capacity=64, pivot_method=method, seed=bench_seed(7)
             )
             tree.reset_counters()
             for query in queries:
@@ -149,3 +151,11 @@ def test_ablation_pivot_selection(cache, write_result, benchmark):
         note="Well-separated pivots give tighter rings, hence better pruning.",
     )
     write_result("ablation_pivots", table)
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _cli import bench_main
+
+    sys.exit(bench_main(__file__, __doc__))

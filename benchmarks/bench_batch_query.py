@@ -1,10 +1,11 @@
-"""Micro-benchmark — first-class batch queries vs the per-query loop.
+"""Micro-benchmark (Algorithm 2, batched) — first-class batch queries vs the per-query loop.
 
-The 1.1 API answers a whole ``(Q, d)`` query matrix through
+The unified API answers a whole ``(Q, d)`` query matrix through
 ``index.search(queries, k)``.  For PM-LSH the batch path projects every
-query in one GEMM, scans the projected space blockwise instead of walking
-the PM-tree once per query, and reuses a single candidate-verification
-buffer — while returning *exactly* the ids/distances of a per-query
+query in one GEMM, walks the *flattened* PM-tree once per
+radius-enlarging round for the whole batch (instead of one pointer-tree
+walk per query), and verifies each round's candidates with one gathered
+kernel — while returning *exactly* the ids/distances of a per-query
 ``query()`` loop.  This bench records per-query latency of both paths on
 a (100, 128) query set and asserts the batch path wins.
 """
@@ -15,11 +16,12 @@ import time
 
 import numpy as np
 
+from conftest import bench_n, bench_seed  # noqa: I001 (script-mode sys.path bootstrap)
+
 from repro import create_index
 from repro.datasets.synthetic import gaussian_mixture
 from repro.evaluation.tables import format_table
 
-from conftest import bench_n
 
 K = 10
 NUM_QUERIES = 100
@@ -35,13 +37,13 @@ def _timed(fn) -> float:
 
 def test_bench_batch_query(write_result, benchmark):
     n = max(bench_n(), 1000)
-    data = gaussian_mixture(n, DIM, num_clusters=25, cluster_std=0.8, seed=5)
-    rng = np.random.default_rng(0)
+    data = gaussian_mixture(n, DIM, num_clusters=25, cluster_std=0.8, seed=bench_seed(5))
+    rng = np.random.default_rng(bench_seed(0))
     queries = (
         data[rng.integers(0, n, size=NUM_QUERIES)]
         + rng.normal(size=(NUM_QUERIES, DIM)) * 0.05
     )
-    index = create_index("pm-lsh", seed=7).fit(data)
+    index = create_index("pm-lsh", seed=bench_seed(7)).fit(data)
 
     # The two paths must agree exactly before timing means anything.
     batch = index.search(queries, K)
@@ -78,3 +80,11 @@ def test_bench_batch_query(write_result, benchmark):
         f"batch search ({batch_med:.1f} ms) should beat the per-query loop "
         f"({loop_med:.1f} ms)"
     )
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _cli import bench_main
+
+    sys.exit(bench_main(__file__, __doc__))

@@ -1,4 +1,4 @@
-"""Engine scaling bench — batch QPS of the sharded engine vs shard/worker count.
+"""Engine scaling (beyond the paper: Algorithm 2 as a serving layer) — batch QPS vs shards/workers.
 
 For a fixed PM-LSH-backed workload the bench sweeps (num_shards,
 num_workers) configurations of ``create_index("sharded", ...)``, measures
@@ -22,13 +22,14 @@ import time
 
 import numpy as np
 
+from conftest import bench_n, bench_queries, bench_seed  # noqa: I001 (script-mode sys.path bootstrap)
+
 from repro import create_index
 from repro.datasets.synthetic import gaussian_mixture
 from repro.evaluation.ground_truth import compute_ground_truth
 from repro.evaluation.metrics import recall
 from repro.evaluation.tables import format_table
 
-from conftest import bench_n, bench_queries
 
 K = 10
 DIM = 64
@@ -49,8 +50,8 @@ def _timed_search(engine, queries, k) -> float:
 def test_bench_engine_scaling(write_result, benchmark):
     n = max(bench_n(), 200)
     num_queries = max(4 * bench_queries(), 32)
-    data = gaussian_mixture(n, DIM, num_clusters=25, cluster_std=0.8, seed=5)
-    rng = np.random.default_rng(0)
+    data = gaussian_mixture(n, DIM, num_clusters=25, cluster_std=0.8, seed=bench_seed(5))
+    rng = np.random.default_rng(bench_seed(0))
     queries = (
         data[rng.integers(0, n, size=num_queries)]
         + rng.normal(size=(num_queries, DIM)) * 0.05
@@ -65,7 +66,7 @@ def test_bench_engine_scaling(write_result, benchmark):
             backend="pm-lsh",
             num_shards=shards,
             num_workers=workers,
-            seed=7,
+            seed=bench_seed(7),
         ).fit(data)
         batch = engine.search(queries, K)  # warm-up + quality check
         recalls = [
@@ -106,7 +107,7 @@ def test_bench_engine_scaling(write_result, benchmark):
     write_result("engine_scaling", table)
 
     engine = create_index(
-        "sharded", backend="pm-lsh", num_shards=best[0], num_workers=best[1], seed=7
+        "sharded", backend="pm-lsh", num_shards=best[0], num_workers=best[1], seed=bench_seed(7)
     ).fit(data)
     benchmark.pedantic(lambda: engine.search(queries, K), rounds=3, iterations=1)
     engine.close()
@@ -122,3 +123,11 @@ def test_bench_engine_scaling(write_result, benchmark):
             f"multi-shard QPS ({multi:.0f}) should beat the 1-shard baseline "
             f"({qps_by_config[(1, 1)]:.0f}) on a {cores}-core host at n={n}"
         )
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _cli import bench_main
+
+    sys.exit(bench_main(__file__, __doc__))

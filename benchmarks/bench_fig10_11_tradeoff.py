@@ -14,9 +14,12 @@ dominates (highest recall / lowest ratio at comparable time budgets).
 from __future__ import annotations
 
 
+from conftest import bench_seed  # noqa: I001 (script-mode sys.path bootstrap)
+
 from repro import PMLSHParams, create_index
 from repro.evaluation import run_query_set
 from repro.evaluation.tables import format_table
+
 
 K = 50
 C_VALUES = [2.0, 1.8, 1.6, 1.5, 1.4, 1.3, 1.2, 1.1]
@@ -27,30 +30,30 @@ def _operating_points(name):
     """Index factories per operating point for one algorithm family."""
     if name == "PM-LSH":
         return [
-            (f"c={c}", lambda data, c=c: create_index("pm-lsh", params=PMLSHParams(c=c), seed=7).fit(data))
+            (f"c={c}", lambda data, c=c: create_index("pm-lsh", params=PMLSHParams(c=c), seed=bench_seed(7)).fit(data))
             for c in C_VALUES
         ]
     if name == "R-LSH":
         return [
-            (f"c={c}", lambda data, c=c: create_index("r-lsh", params=PMLSHParams(c=c), seed=7).fit(data))
+            (f"c={c}", lambda data, c=c: create_index("r-lsh", params=PMLSHParams(c=c), seed=bench_seed(7)).fit(data))
             for c in C_VALUES
         ]
     if name == "SRS":
         return [
-            (f"c={c}", lambda data, c=c: create_index("srs", c=c, seed=7).fit(data)) for c in C_VALUES
+            (f"c={c}", lambda data, c=c: create_index("srs", c=c, seed=bench_seed(7)).fit(data)) for c in C_VALUES
         ]
     if name == "QALSH":
         return [
-            (f"c={c}", lambda data, c=c: create_index("qalsh", c=c, seed=7).fit(data)) for c in C_VALUES
+            (f"c={c}", lambda data, c=c: create_index("qalsh", c=c, seed=bench_seed(7)).fit(data)) for c in C_VALUES
         ]
     if name == "Multi-Probe":
         return [
-            (f"T={t}", lambda data, t=t: create_index("multi-probe", num_probes=t, seed=7).fit(data))
+            (f"T={t}", lambda data, t=t: create_index("multi-probe", num_probes=t, seed=bench_seed(7)).fit(data))
             for t in (4, 8, 16, 32, 64)
         ]
     if name == "LScan":
         return [
-            (f"p={p}", lambda data, p=p: create_index("lscan", portion=p, seed=7).fit(data))
+            (f"p={p}", lambda data, p=p: create_index("lscan", portion=p, seed=bench_seed(7)).fit(data))
             for p in (0.2, 0.4, 0.7, 0.9)
         ]
     raise KeyError(name)
@@ -108,3 +111,11 @@ def test_fig10_11_tradeoff(cache, write_result, benchmark):
         pm_points = curves[(dataset, "PM-LSH")]
         pm_best_recall = max(p[1] for p in pm_points)
         assert pm_best_recall > 0.9, dataset
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _cli import bench_main
+
+    sys.exit(bench_main(__file__, __doc__))

@@ -12,9 +12,12 @@ Two sweeps, as in §6.2's "Parameter Study on PM-LSH":
 from __future__ import annotations
 
 
+from conftest import bench_seed  # noqa: I001 (script-mode sys.path bootstrap)
+
 from repro import PMLSHParams, create_index
 from repro.evaluation import run_query_set
 from repro.evaluation.tables import format_series
+
 
 K = 50
 S_VALUES = list(range(10))
@@ -31,7 +34,7 @@ def test_fig6_vary_pivots(cache, write_result, benchmark):
         recalls.clear()
         for s in S_VALUES:
             params = PMLSHParams(num_pivots=s)
-            index = create_index("pm-lsh", params=params, seed=7).fit(workload.data)
+            index = create_index("pm-lsh", params=params, seed=bench_seed(7)).fit(workload.data)
             result = run_query_set(index, workload.queries, K, ground_truth)
             times.append(result.query_time_ms)
             recalls.append(result.recall)
@@ -67,7 +70,7 @@ def test_fig6_vary_m(cache, write_result, benchmark):
         ratios.clear()
         for m in M_VALUES:
             params = PMLSHParams(m=m, beta_override=fixed_beta)
-            index = create_index("pm-lsh", params=params, seed=7).fit(workload.data)
+            index = create_index("pm-lsh", params=params, seed=bench_seed(7)).fit(workload.data)
             result = run_query_set(index, workload.queries, K, ground_truth)
             times.append(result.query_time_ms)
             recalls.append(result.recall)
@@ -87,3 +90,11 @@ def test_fig6_vary_m(cache, write_result, benchmark):
     index_m15 = M_VALUES.index(15)
     assert recalls[index_m15] > recalls[index_m1]
     assert ratios[index_m15] < ratios[index_m1]
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _cli import bench_main
+
+    sys.exit(bench_main(__file__, __doc__))

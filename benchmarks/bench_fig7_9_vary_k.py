@@ -12,10 +12,11 @@ Reproduced shapes (§6.2, "Effect of k"):
 from __future__ import annotations
 
 
+from conftest import algorithm_factories  # noqa: I001 (script-mode sys.path bootstrap)
+
 from repro.evaluation import run_query_set
 from repro.evaluation.tables import format_series
 
-from conftest import algorithm_factories
 
 K_VALUES = [1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
 DATASETS = ["Cifar", "Deep", "Trevi"]
@@ -77,3 +78,11 @@ def test_fig7_9_vary_k(cache, write_result, benchmark):
         ), dataset
         # Ratio does not improve as k grows (weakly increasing trend).
         assert ratios["PM-LSH"][-1] >= ratios["PM-LSH"][0] - 5e-3, dataset
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _cli import bench_main
+
+    sys.exit(bench_main(__file__, __doc__))

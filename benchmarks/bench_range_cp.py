@@ -1,4 +1,4 @@
-"""Range-query and closest-pair bench — the VLDBJ extension's workloads.
+"""Range-query and closest-pair bench — the VLDBJ extension's workloads (arXiv:2107.05537).
 
 For a fixed clustered workload the bench:
 
@@ -19,6 +19,8 @@ import time
 
 import numpy as np
 
+from conftest import bench_n, bench_queries, bench_seed  # noqa: I001 (script-mode sys.path bootstrap)
+
 from repro import create_index
 from repro.datasets.distance import sample_distance_distribution
 from repro.datasets.synthetic import gaussian_mixture
@@ -29,7 +31,6 @@ from repro.evaluation.ground_truth import (
 from repro.evaluation.harness import evaluate_closest_pairs, run_range_query_set
 from repro.evaluation.tables import format_table
 
-from conftest import bench_n, bench_queries
 
 DIM = 64
 CP_M = 10
@@ -46,16 +47,16 @@ def _timed_range(index, queries, radius) -> float:
 def test_bench_range_cp(write_result, benchmark):
     n = max(bench_n(), 200)
     num_queries = max(bench_queries(), 8)
-    data = gaussian_mixture(n, DIM, num_clusters=20, cluster_std=0.8, seed=11)
-    rng = np.random.default_rng(1)
+    data = gaussian_mixture(n, DIM, num_clusters=20, cluster_std=0.8, seed=bench_seed(11))
+    rng = np.random.default_rng(bench_seed(1))
     queries = (
         data[rng.integers(0, n, size=num_queries)]
         + rng.normal(size=(num_queries, DIM)) * 0.05
     )
-    distribution = sample_distance_distribution(data, num_pairs=20_000, seed=2)
+    distribution = sample_distance_distribution(data, num_pairs=20_000, seed=bench_seed(2))
 
     exact = create_index("exact").fit(data)
-    pm = create_index("pm-lsh", seed=7).fit(data)
+    pm = create_index("pm-lsh", seed=bench_seed(7)).fit(data)
 
     rows = []
     for quantile in RADIUS_QUANTILES:
@@ -116,3 +117,11 @@ def test_bench_range_cp(write_result, benchmark):
     ), "PM-LSH scanned every point on a selective ball"
     cp_pm = cp_rows[1]
     assert cp_pm[3] <= 1.5, "PM-LSH closest-pair ratio collapsed"
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _cli import bench_main
+
+    sys.exit(bench_main(__file__, __doc__))

@@ -1,4 +1,4 @@
-"""Supplementary — the radius-enlarging family head to head.
+"""Supplementary to Figs. 7-9 — the radius-enlarging family head to head.
 
 §3.1 names three RE methods: the LSB-tree, C2LSH, and QALSH, in
 (roughly) increasing estimation granularity: bucket-to-bucket (LSB,
@@ -10,9 +10,12 @@ with finer granularity.
 
 from __future__ import annotations
 
+from conftest import bench_seed  # noqa: I001 (script-mode sys.path bootstrap)
+
 from repro import create_index
 from repro.evaluation import run_query_set
 from repro.evaluation.tables import format_table
+
 
 K = 50
 
@@ -32,7 +35,7 @@ def test_re_family(cache, write_result, benchmark):
     def run_family():
         rows.clear()
         for name, registry_name in contenders.items():
-            index = create_index(registry_name, seed=7).fit(workload.data)
+            index = create_index(registry_name, seed=bench_seed(7)).fit(workload.data)
             result = run_query_set(index, workload.queries, K, ground_truth)
             candidates = result.extra.get("mean_candidates", float("nan"))
             quality_per_candidate[name] = result.recall / max(candidates, 1.0)
@@ -56,3 +59,11 @@ def test_re_family(cache, write_result, benchmark):
         quality_per_candidate["PM-LSH (point-to-point)"]
         >= quality_per_candidate["LSB-Forest (bucket)"]
     )
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _cli import bench_main
+
+    sys.exit(bench_main(__file__, __doc__))

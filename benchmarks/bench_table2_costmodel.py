@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from conftest import bench_seed  # noqa: I001 (script-mode sys.path bootstrap)
+
 from repro.core.hashing import GaussianProjection
 from repro.costmodel import (
     compare_trees,
@@ -26,6 +28,7 @@ from repro.datasets.registry import available_datasets
 from repro.evaluation.tables import format_table
 from repro.pmtree import PMTree
 from repro.rtree import RTree
+
 
 #: Paper's Table 2 settings.
 M_PROJECTIONS = 15
@@ -41,11 +44,11 @@ PAPER_REDUCTION = {
 
 def _build_setup(cache, name):
     workload = cache.workload(name)
-    projection = GaussianProjection(workload.d, M_PROJECTIONS, seed=3)
+    projection = GaussianProjection(workload.d, M_PROJECTIONS, seed=bench_seed(3))
     projected = projection.project(workload.data)
-    pm_tree = PMTree.build(projected, num_pivots=5, capacity=NODE_CAPACITY, seed=4)
+    pm_tree = PMTree.build(projected, num_pivots=5, capacity=NODE_CAPACITY, seed=bench_seed(4))
     r_tree = RTree.build(projected, capacity=NODE_CAPACITY)
-    distribution = sample_distance_distribution(projected, num_pairs=30_000, seed=5)
+    distribution = sample_distance_distribution(projected, num_pairs=30_000, seed=bench_seed(5))
     marginals = MarginalDistribution.from_points(projected)
     radius = selectivity_radius(distribution, SELECTIVITY)
     return projected, pm_tree, r_tree, distribution, marginals, radius
@@ -63,7 +66,7 @@ def test_table2_costmodel(cache, write_result, benchmark):
                 name, pm_tree, r_tree, distribution, marginals, radius
             )
             # Empirical counters on live range queries at the same radius.
-            rng = np.random.default_rng(6)
+            rng = np.random.default_rng(bench_seed(6))
             pm_tree.reset_counters()
             r_tree.reset_counters()
             trials = 10
@@ -107,3 +110,11 @@ def test_table2_costmodel(cache, write_result, benchmark):
     # Shape check: PM-tree is cheaper on every dataset (paper: 5-46%).
     for name, reduction in all_reductions.items():
         assert reduction > 0.0, f"PM-tree not cheaper on {name}"
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _cli import bench_main
+
+    sys.exit(bench_main(__file__, __doc__))

@@ -14,11 +14,12 @@ Reproduced shapes (Table 4 and §6.2's discussion):
 
 from __future__ import annotations
 
+from conftest import algorithm_factories  # noqa: I001 (script-mode sys.path bootstrap)
+
 from repro.datasets.registry import available_datasets
 from repro.evaluation import run_query_set
 from repro.evaluation.tables import format_table
 
-from conftest import algorithm_factories
 
 K = 50
 
@@ -70,3 +71,11 @@ def test_table4_overview(cache, write_result, benchmark):
             assert pm.overall_ratio <= competitor.overall_ratio + 5e-3, (dataset, algo)
         # QALSH pays a query-time premium over PM-LSH.
         assert measured[(dataset, "QALSH")].query_time_ms > pm.query_time_ms, dataset
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _cli import bench_main
+
+    sys.exit(bench_main(__file__, __doc__))

@@ -1,0 +1,177 @@
+"""Tree-traversal micro-bench — flat SoA vs recursive PM-tree on the §4.2 hot loop.
+
+One PM-LSH index answers the same batched kNN workload through the
+default flattened structure-of-arrays traversal (one level-synchronous
+sweep per radius-enlarging round for the whole batch) and through
+per-query recursive pointer-tree walks
+(``PMLSHParams(traversal="recursive")``).  The two share projections,
+tree and radii, so the comparison isolates the traversal.  Two sections:
+
+* **candidate fetch** — Algorithm 2's round-1 probe (``range(q', t·r_min)``
+  capped at the ⌈βn⌉ + k budget): one ``FlatPMTree.batch_range`` call for
+  the whole batch against a per-query ``PMTree.range_query`` loop, with
+  the candidate sets asserted identical first.  This is the traversal
+  itself; the flat layout must win by >= 2x at the acceptance scale
+  (``--n 50000``, d = 128).
+* **end-to-end search** — ``index.search(queries, k)`` under both
+  traversals (identical ids/distances/stats asserted), which adds the
+  original-space verification both paths share.
+
+The assertions are enforced from n >= 5000 so the tiny CI smoke run
+stays a smoke test; the table — including the per-level frontier
+counters — lands in ``results/tree_traversal.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import numpy as np
+
+
+from conftest import bench_n, bench_queries, bench_seed  # noqa: I001 (script-mode sys.path bootstrap)
+
+from repro import PMLSHParams, create_index
+from repro.datasets.synthetic import gaussian_mixture
+from repro.evaluation.tables import format_table
+
+K = 10
+DIM = 128
+#: Both traversals share this tree (the test suite's configuration); the
+#: node count — and with it the pointer-chasing overhead the flat layout
+#: removes — grows as the capacity shrinks.
+NODE_CAPACITY = 32
+REPEATS = 3
+#: Below this n, Python dispatch noise can mask the traversal gap; the
+#: speedup assertions only apply at or above it.
+MIN_ASSERT_N = 5000
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return (time.perf_counter() - start) * 1e3
+
+
+def _median_paired(first, second):
+    """Median wall time of two callables over paired repeats (drift cancels)."""
+    first_ms, second_ms = [], []
+    for _ in range(REPEATS):
+        first_ms.append(_timed(first))
+        second_ms.append(_timed(second))
+    return float(np.median(first_ms)), float(np.median(second_ms))
+
+
+def test_bench_tree_traversal(write_result, benchmark):
+    n = max(bench_n(), 400)
+    num_queries = max(2 * bench_queries(), 30)
+    data = gaussian_mixture(
+        n, DIM, num_clusters=25, cluster_std=0.8, seed=bench_seed(5)
+    )
+    rng = np.random.default_rng(bench_seed(0))
+    queries = (
+        data[rng.integers(0, n, size=num_queries)]
+        + rng.normal(size=(num_queries, DIM)) * 0.05
+    )
+    index = create_index(
+        "pm-lsh", params=PMLSHParams(node_capacity=NODE_CAPACITY), seed=bench_seed(7)
+    ).fit(data)
+
+    # ---- section 1: the candidate fetch (the traversal itself) ----------
+    projected = np.atleast_2d(index.projection.project(queries))
+    budget = index.candidate_budget(K)
+    probe_radius = index.solved.t * index._initial_radius(K)
+    limits = np.full(num_queries, budget, dtype=np.int64)
+    flat_tree = index.flat_tree
+
+    def recursive_fetch():
+        return [
+            index.tree.range_query(pq, probe_radius, limit=budget) for pq in projected
+        ]
+
+    def flat_fetch():
+        return flat_tree.batch_range(projected, probe_radius, limits=limits, sort=False)
+
+    # Identical candidate sets are a precondition for timing to mean anything.
+    lims, ids, dists, _ = flat_tree.batch_range(
+        projected, probe_radius, limits=limits, sort=True
+    )
+    for i, matches in enumerate(recursive_fetch()):
+        expected = sorted((d, pid) for pid, d in matches)
+        got = list(zip(dists[lims[i] : lims[i + 1]], ids[lims[i] : lims[i + 1]]))
+        assert len(expected) == len(got)
+        assert all(e == g for e, g in zip(expected, got))
+    fetch_recursive_ms, fetch_flat_ms = _median_paired(recursive_fetch, flat_fetch)
+    fetch_speedup = fetch_recursive_ms / fetch_flat_ms
+
+    # ---- section 2: end-to-end batch search under both traversals -------
+    def flat_search():
+        index.params = replace(index.params, traversal="flat")
+        return index.search(queries, K)
+
+    def recursive_search():
+        index.params = replace(index.params, traversal="recursive")
+        return index.search(queries, K)
+
+    flat_batch = flat_search()
+    recursive_batch = recursive_search()
+    np.testing.assert_array_equal(flat_batch.ids, recursive_batch.ids)
+    np.testing.assert_array_equal(flat_batch.distances, recursive_batch.distances)
+    assert flat_batch.per_query_stats == recursive_batch.per_query_stats
+    search_recursive_ms, search_flat_ms = _median_paired(
+        recursive_search, flat_search
+    )
+    search_speedup = search_recursive_ms / search_flat_ms
+
+    index.params = replace(index.params, traversal="flat")
+    benchmark.pedantic(lambda: index.search(queries, K), rounds=3, iterations=1)
+
+    levels = int(flat_batch.stats["tree_levels"])
+    per_level = ", ".join(
+        f"l{d}={flat_batch.stats[f'tree_visits_l{d}']:.1f}" for d in range(levels)
+    )
+    table = format_table(
+        f"Flat vs recursive PM-tree traversal (PM-LSH batch kNN, n={n}, "
+        f"Q={num_queries}, d={DIM}, k={K}, capacity={NODE_CAPACITY})",
+        ["Phase", "Traversal", "Total (ms)", "Per query (ms)", "Speedup"],
+        [
+            ["candidate fetch", "recursive pointer tree", fetch_recursive_ms,
+             fetch_recursive_ms / num_queries, 1.0],
+            ["candidate fetch", "flat structure-of-arrays", fetch_flat_ms,
+             fetch_flat_ms / num_queries, fetch_speedup],
+            ["search()", "recursive pointer tree", search_recursive_ms,
+             search_recursive_ms / num_queries, 1.0],
+            ["search()", "flat structure-of-arrays", search_flat_ms,
+             search_flat_ms / num_queries, search_speedup],
+        ],
+        note=(
+            f"identical candidate sets and identical ids/distances/stats on "
+            f"every query; candidate fetch = Algorithm 2 round-1 probe at "
+            f"t*r_min capped at budget {budget}; tree height {levels}, mean "
+            f"node visits/query {flat_batch.stats['tree_nodes']:.1f} "
+            f"({per_level}), mean projected-distance computations/query "
+            f"{flat_batch.stats['tree_dist_comps']:.1f}, median of {REPEATS} "
+            f"paired repeats."
+        ),
+    )
+    write_result("tree_traversal", table)
+
+    if n >= MIN_ASSERT_N:
+        assert fetch_speedup >= 2.0, (
+            f"flat traversal ({fetch_flat_ms:.1f} ms) should fetch candidates "
+            f">= 2x faster than the recursive tree ({fetch_recursive_ms:.1f} ms) "
+            f"at n={n}"
+        )
+        assert search_speedup >= 1.2, (
+            f"end-to-end flat search ({search_flat_ms:.1f} ms) should beat the "
+            f"recursive traversal ({search_recursive_ms:.1f} ms) at n={n}"
+        )
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _cli import bench_main
+
+    sys.exit(bench_main(__file__, __doc__))

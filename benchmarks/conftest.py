@@ -1,11 +1,17 @@
 """Shared benchmark fixtures.
 
-Scale knobs (environment variables):
+Scale knobs (environment variables, or the ``--n``/``--queries``/
+``--seed``/``--out`` flags when a bench runs as a script — see
+:mod:`_cli`):
 
 * ``REPRO_BENCH_N`` — points per emulated dataset (default 2000).
 * ``REPRO_BENCH_QUERIES`` — queries per workload (default 15).
+* ``REPRO_BENCH_SEED`` — master seed offset added to every bench RNG
+  stream (unset: each bench's built-in seeds).
+* ``REPRO_BENCH_OUT`` — directory for the result tables (default
+  ``results/`` at the repo root).
 
-Every bench writes its paper-style table to ``results/<bench>.txt`` and
+Every bench writes its paper-style table to ``<out>/<bench>.txt`` and
 registers at least one timed region with pytest-benchmark, so
 ``pytest benchmarks/ --benchmark-only`` both regenerates the tables and
 reports timings.
@@ -14,15 +20,39 @@ reports timings.
 from __future__ import annotations
 
 import os
+import sys
 from pathlib import Path
 from typing import Callable, Dict
 
-import numpy as np
-import pytest
+# Script mode (`python benchmarks/bench_X.py`): make `repro` importable
+# exactly as under `PYTHONPATH=src` before anything pulls it in.  Bench
+# modules import conftest *first* so this runs ahead of their own imports.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
-from repro import PMLSHParams, create_index
-from repro.datasets import Workload, load_dataset
-from repro.evaluation import GroundTruth, compute_ground_truth
+import numpy as np  # noqa: E402
+import pytest  # noqa: E402
+
+from repro import PMLSHParams, create_index  # noqa: E402
+from repro.datasets import Workload, load_dataset  # noqa: E402
+from repro.evaluation import GroundTruth, compute_ground_truth  # noqa: E402
+
+try:
+    import pytest_benchmark  # noqa: F401
+except ImportError:
+    # Script mode without the plugin: a no-op stand-in keeps every bench
+    # runnable (`--benchmark-disable` semantics, minus the plugin).
+    class _NoOpBenchmark:
+        def __call__(self, fn, *args, **kwargs):
+            return fn(*args, **kwargs)
+
+        def pedantic(self, fn, args=(), kwargs=None, rounds=1, iterations=1):
+            return fn(*args, **(kwargs or {}))
+
+    @pytest.fixture
+    def benchmark():
+        return _NoOpBenchmark()
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -35,10 +65,23 @@ def bench_queries() -> int:
     return int(os.environ.get("REPRO_BENCH_QUERIES", "15"))
 
 
+def bench_seed(default: int) -> int:
+    """Seed for one benchmark RNG stream.
+
+    ``REPRO_BENCH_SEED`` (the ``--seed`` flag) shifts every stream by the
+    same master offset — the whole run stays reproducible under one knob
+    while distinct streams (dataset, index, queries) remain decorrelated
+    because their built-in defaults differ.
+    """
+    base = os.environ.get("REPRO_BENCH_SEED")
+    return default if base is None else default + int(base)
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    return RESULTS_DIR
+    out = Path(os.environ.get("REPRO_BENCH_OUT", str(RESULTS_DIR)))
+    out.mkdir(parents=True, exist_ok=True)
+    return out
 
 
 @pytest.fixture(scope="session")
@@ -64,7 +107,7 @@ class WorkloadCache:
         key = f"{name}:{size}"
         if key not in self._workloads:
             self._workloads[key] = load_dataset(
-                name, n=size, num_queries=bench_queries(), seed=1
+                name, n=size, num_queries=bench_queries(), seed=bench_seed(1)
             )
         return self._workloads[key]
 
@@ -90,12 +133,12 @@ def algorithm_factories(
 ) -> Dict[str, Callable[[np.ndarray], object]]:
     params = PMLSHParams(c=c, node_capacity=node_capacity)
     specs: Dict[str, tuple] = {
-        "PM-LSH": ("pm-lsh", {"params": params, "seed": 7}),
-        "SRS": ("srs", {"c": c, "seed": 7}),
-        "QALSH": ("qalsh", {"c": c, "seed": 7}),
-        "Multi-Probe": ("multi-probe", {"seed": 7}),
-        "R-LSH": ("r-lsh", {"params": params, "seed": 7}),
-        "LScan": ("lscan", {"portion": 0.7, "seed": 7}),
+        "PM-LSH": ("pm-lsh", {"params": params, "seed": bench_seed(7)}),
+        "SRS": ("srs", {"c": c, "seed": bench_seed(7)}),
+        "QALSH": ("qalsh", {"c": c, "seed": bench_seed(7)}),
+        "Multi-Probe": ("multi-probe", {"seed": bench_seed(7)}),
+        "R-LSH": ("r-lsh", {"params": params, "seed": bench_seed(7)}),
+        "LScan": ("lscan", {"portion": 0.7, "seed": bench_seed(7)}),
     }
     return {
         label: (

@@ -37,6 +37,12 @@ class PMLSHParams:
     #: holding the probing budget at its m = 15 level (Fig. 6), which this
     #: knob enables.  ``None`` (default) keeps the solved β.
     beta_override: float | None = None
+    #: PM-tree traversal behind the batched query paths: ``"flat"``
+    #: (default) walks the flattened structure-of-arrays tree one whole
+    #: frontier level at a time; ``"recursive"`` walks the pointer tree
+    #: once per query.  Results are identical — the knob exists for the
+    #: traversal micro-bench and the equivalence tests.
+    traversal: str = "flat"
 
     def __post_init__(self) -> None:
         if self.m <= 0:
@@ -65,3 +71,5 @@ class PMLSHParams:
             raise ValueError(
                 f"beta_override must be in (0, 1), got {self.beta_override}"
             )
+        if self.traversal not in ("flat", "recursive"):
+            raise ValueError(f"unknown traversal {self.traversal!r}")

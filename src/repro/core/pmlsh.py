@@ -13,13 +13,25 @@ Query pipeline (Fig. 2's three components):
 
 Beyond (c, k)-ANN the same machinery answers the VLDBJ extension's other
 workloads: :meth:`PMLSH._run_range` routes (r, c)-ball range queries
-through a single projected range probe at radius t·r, and
+through a single projected range probe at radius t·c·r, and
 :meth:`PMLSH._closest_pairs` finds approximate closest pairs by a
 projected-space self-join (candidate pairs ranked by Lemma 2's distance
 estimate, verified in the original space).  Per-query runtime knobs —
 candidate budget and approximation ratio — arrive through the
 :class:`~repro.queries.QuerySpec` layer; a per-call ``c`` re-solves the
 (t, β) pair through a small cache.
+
+Traversal backends
+------------------
+The pointer PM-tree built at ``fit`` time remains the insert/validate
+structure, but the batched entry points (``search``/``run``/
+``range_search``/``closest_pairs``) default to its *flattened*
+structure-of-arrays snapshot (:class:`~repro.pmtree.flat.FlatPMTree`):
+one level-synchronous traversal answers the whole query batch, pruning
+with the same Eq. 5 tests as vectorised masks and returning bit-identical
+candidate sets.  ``PMLSHParams(traversal="recursive")`` switches the
+batch paths back to per-query pointer-tree walks (the micro-bench and
+the equivalence tests compare the two).
 """
 
 from __future__ import annotations
@@ -29,18 +41,22 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.baselines.base import ANNIndex, BatchResult, QueryResult
+from repro.baselines.base import ANNIndex, BatchResult, QueryResult, aggregate_stats
 from repro.core.estimation import SolvedParameters, solve_parameters
 from repro.core.hashing import GaussianProjection
 from repro.core.params import PMLSHParams
-from repro.core.radius import range_candidate_budget, select_initial_radius
+from repro.core.radius import (
+    radius_schedule,
+    range_candidate_budget,
+    select_initial_radius,
+)
 from repro.datasets.distance import (
     DistanceDistribution,
     chunked_knn,
-    pairwise_distances,
     point_to_points_distances,
     sample_distance_distribution,
 )
+from repro.pmtree.flat import FlatPMTree
 from repro.pmtree.tree import PMTree
 from repro.queries import (
     ClosestPairResult,
@@ -52,6 +68,36 @@ from repro.queries import (
 )
 from repro.registry import register_index
 from repro.utils.rng import RandomState, as_generator
+
+
+class _TreeWork:
+    """Accumulates flat-traversal counters across rounds and query blocks.
+
+    ``into_stats`` publishes them as per-query means on a batch-level
+    stats dict: total node accesses (``tree_nodes``), distance
+    evaluations (``tree_dist_comps``), the tree height (``tree_levels``)
+    and one ``tree_visits_l{d}`` counter per depth level — the per-level
+    frontier work the sharded engine surfaces per shard.
+    """
+
+    def __init__(self, height: int) -> None:
+        self.height = height
+        self.nodes = 0
+        self.dist_comps = 0
+        self.level_visits = np.zeros(height, dtype=np.int64)
+
+    def add(self, stats) -> None:
+        self.nodes += int(stats.nodes.sum())
+        self.dist_comps += int(stats.dist_comps.sum())
+        self.level_visits[: stats.level_visits.size] += stats.level_visits
+
+    def into_stats(self, target: Dict[str, float], num_queries: int) -> None:
+        per_query = max(1, num_queries)
+        target["tree_nodes"] = self.nodes / per_query
+        target["tree_dist_comps"] = self.dist_comps / per_query
+        target["tree_levels"] = float(self.height)
+        for depth in range(self.height):
+            target[f"tree_visits_l{depth}"] = float(self.level_visits[depth]) / per_query
 
 
 @register_index("pm-lsh")
@@ -96,6 +142,8 @@ class PMLSH(ANNIndex):
         self.projection: Optional[GaussianProjection] = None
         self.projected: Optional[np.ndarray] = None
         self.tree: Optional[PMTree] = None
+        #: lazily flattened snapshot of ``tree`` (see :attr:`flat_tree`).
+        self._flat: Optional[FlatPMTree] = None
         self.solved: SolvedParameters = self._solve_for(self.params.c)
         #: (t, β) re-solved per approximation ratio — per-query ``c``
         #: overrides hit this cache instead of scipy's χ² solver.
@@ -146,6 +194,7 @@ class PMLSH(ANNIndex):
             use_parent_filter=params.use_parent_filter,
             seed=self._rng,
         )
+        self._flat = None
         # F(x) over ORIGINAL distances drives r_min selection (§4.5); the HV
         # statistic being ≈ 1 is what licenses reusing it for every query.
         self.distance_distribution = sample_distance_distribution(
@@ -153,6 +202,20 @@ class PMLSH(ANNIndex):
             num_pairs=min(params.radius_sample_pairs, max(1000, 10 * self.n)),
             seed=self._rng,
         )
+
+    @property
+    def flat_tree(self) -> FlatPMTree:
+        """The flattened PM-tree snapshot the batched paths traverse.
+
+        Taken lazily from the pointer tree and re-taken after any
+        structural mutation (:meth:`add` invalidates it), so every build
+        path — ``fit``, ``load``, incremental growth — serves from arrays
+        that mirror the current tree exactly.
+        """
+        self._require_built()
+        if self._flat is None:
+            self._flat = self.tree.flatten()
+        return self._flat
 
     def candidate_budget(self, k: int, solved: SolvedParameters | None = None) -> int:
         """Algorithm 2's verification cap ⌈βn⌉ + k at the *current* n.
@@ -229,31 +292,102 @@ class PMLSH(ANNIndex):
             self.distance_distribution, self.n, solved.beta, c * spec.r
         )
         budget = spec.budget if spec.budget is not None else default_budget
-        results: List[QueryResult] = []
-        for q, projected_query in zip(queries, projected):
-            candidates = self.tree.range_query(
-                projected_query, solved.t * c * spec.r, limit=budget
-            )
-            stats = {"candidates": float(len(candidates)), "budget": float(budget)}
-            if not candidates:
-                results.append(
-                    QueryResult(
-                        ids=np.empty(0, dtype=np.int64),
-                        distances=np.empty(0, dtype=np.float64),
-                        stats={**stats, "returned": 0.0},
-                    )
+        probe_radius = solved.t * c * spec.r
+        if self.params.traversal == "recursive":
+            results: List[QueryResult] = []
+            for q, projected_query in zip(queries, projected):
+                candidates = self.tree.range_query(
+                    projected_query, probe_radius, limit=budget
                 )
-                continue
-            ids = np.asarray([pid for pid, _ in candidates], dtype=np.int64)
-            true_dists = point_to_points_distances(q, self.data[ids])
-            inside = true_dists <= c * spec.r
-            ids, true_dists = ids[inside], true_dists[inside]
-            order = np.lexsort((ids, true_dists))
-            stats["returned"] = float(ids.size)
-            results.append(
-                QueryResult(ids=ids[order], distances=true_dists[order], stats=stats)
+                stats = {"candidates": float(len(candidates)), "budget": float(budget)}
+                if not candidates:
+                    results.append(
+                        QueryResult(
+                            ids=np.empty(0, dtype=np.int64),
+                            distances=np.empty(0, dtype=np.float64),
+                            stats={**stats, "returned": 0.0},
+                        )
+                    )
+                    continue
+                ids = np.asarray([pid for pid, _ in candidates], dtype=np.int64)
+                true_dists = point_to_points_distances(q, self.data[ids])
+                inside = true_dists <= c * spec.r
+                ids, true_dists = ids[inside], true_dists[inside]
+                order = np.lexsort((ids, true_dists))
+                stats["returned"] = float(ids.size)
+                results.append(
+                    QueryResult(ids=ids[order], distances=true_dists[order], stats=stats)
+                )
+            return RangeResult.from_queries(results)
+        return self._run_range_flat(queries, projected, spec, c, budget, probe_radius)
+
+    def _run_range_flat(
+        self,
+        queries: np.ndarray,
+        projected: np.ndarray,
+        spec: Range,
+        c: float,
+        budget: int,
+        probe_radius: float,
+    ) -> RangeResult:
+        """Batched (r, c)-ball range search: one flat traversal at t·c·r
+        for the whole batch, one gathered verification kernel, then a
+        per-query ``(true distance, id)`` re-sort of the survivors."""
+        flat = self.flat_tree
+        tree_work = _TreeWork(flat.height)
+        num_queries = queries.shape[0]
+        query_blocks: List[np.ndarray] = []
+        id_blocks: List[np.ndarray] = []
+        dist_blocks: List[np.ndarray] = []
+        fetched = np.zeros(num_queries, dtype=np.int64)
+        block = self._flat_query_block()
+        for start in range(0, num_queries, block):
+            stop = min(start + block, num_queries)
+            lims, ids, _, stats = flat.batch_range(
+                projected[start:stop],
+                probe_radius,
+                limits=np.full(stop - start, budget, dtype=np.int64),
+                sort=False,
             )
-        return RangeResult.from_queries(results)
+            tree_work.add(stats)
+            counts = np.diff(lims)
+            fetched[start:stop] = counts
+            if ids.size == 0:
+                continue
+            rep = start + np.repeat(np.arange(stop - start, dtype=np.int64), counts)
+            true_dists = self._verify_distances(ids, rep, queries)
+            inside = true_dists <= c * spec.r
+            query_blocks.append(rep[inside])
+            id_blocks.append(ids[inside])
+            dist_blocks.append(true_dists[inside])
+        query_index = (
+            np.concatenate(query_blocks) if query_blocks else np.empty(0, dtype=np.int64)
+        )
+        kept_ids = np.concatenate(id_blocks) if id_blocks else np.empty(0, dtype=np.int64)
+        kept_dists = (
+            np.concatenate(dist_blocks) if dist_blocks else np.empty(0, dtype=np.float64)
+        )
+        order = np.lexsort((kept_ids, kept_dists, query_index))
+        query_index = query_index[order]
+        returned = np.bincount(query_index, minlength=num_queries)
+        lims_out = np.concatenate([[0], np.cumsum(returned)]).astype(np.int64)
+        per_query = tuple(
+            {
+                "candidates": float(fetched[q]),
+                "budget": float(budget),
+                "returned": float(returned[q]),
+            }
+            for q in range(num_queries)
+        )
+        result = RangeResult(
+            lims=lims_out,
+            ids=kept_ids[order],
+            distances=kept_dists[order],
+            stats=aggregate_stats(per_query),
+            per_query_stats=per_query,
+        )
+        tree_work.into_stats(result.stats, num_queries)
+        return result
 
     # ------------------------------------------------------------------
     # Algorithm 2: the (c, k)-ANN query
@@ -273,19 +407,12 @@ class PMLSH(ANNIndex):
         self._require_built()
         q = self._validate_query(q, k)
         projected_query = self.projection.project(q)
-
-        def fetch(radius: float, limit: int, seen: Set[int]) -> np.ndarray:
-            matches = self.tree.range_query(
-                projected_query, radius, limit=limit, exclude=seen
-            )
-            return np.asarray([pid for pid, _ in matches], dtype=np.int64)
-
         return self._probe(
             q,
             k,
             budget=self.candidate_budget(k),
             initial_radius=self._initial_radius(k),
-            fetch=fetch,
+            fetch=self._tree_fetch(projected_query),
         )
 
     def _probe(
@@ -367,31 +494,65 @@ class PMLSH(ANNIndex):
     # batch search (the vectorised hot path)
     # ------------------------------------------------------------------
 
-    #: Cap on the entries of one (query block × n) projected-distance
-    #: matrix, bounding the batch path's temporary memory to ~64 MB.
-    _BATCH_BLOCK_ENTRIES = 8_000_000
+    #: Hard cap on queries per flat-traversal block (a block shares every
+    #: frontier and candidate buffer across its queries).
+    _BATCH_QUERY_BLOCK = 1024
+    #: Cap on (block queries × n) member-level entries one level-synchronous
+    #: sweep may materialise before the budget cut — the worst case is every
+    #: leaf member surviving the filters, so this bounds the sweep's
+    #: temporaries to ~64 MB of int64 just like the old blocked-GEMM path.
+    _BATCH_SWEEP_ENTRIES = 8_000_000
+
+    def _flat_query_block(self) -> int:
+        """Queries per sweep: the block cap, shrunk so block × n stays
+        within the sweep-entry bound on large datasets."""
+        by_memory = self._BATCH_SWEEP_ENTRIES // max(1, self.n)
+        return max(1, min(self._BATCH_QUERY_BLOCK, by_memory))
+
+    def _verify_distances(
+        self, ids: np.ndarray, rep: np.ndarray, queries: np.ndarray
+    ) -> np.ndarray:
+        """Original-space distances ``data[ids] → queries[rep]``.
+
+        The gather runs in row chunks capped by ``_BATCH_SWEEP_ENTRIES``
+        *elements* (rows × d), so verification memory stays ~64 MB no
+        matter how large the candidate round or the dimensionality —
+        the bounded-scratch guarantee of the old per-query path.  The
+        per-row kernel keeps the floats identical across chunkings.
+        """
+        out = np.empty(ids.size, dtype=np.float64)
+        step = max(1, self._BATCH_SWEEP_ENTRIES // max(1, self.d))
+        for start in range(0, ids.size, step):
+            rows = self.data[ids[start : start + step]]
+            np.subtract(rows, queries[rep[start : start + step]], out=rows)
+            out[start : start + step] = np.sqrt(np.einsum("ij,ij->i", rows, rows))
+        return out
 
     def _run_knn(self, queries: np.ndarray, spec: Knn) -> BatchResult:
-        """Batched Algorithm 2 over a flat scan of the projected space.
+        """Batched Algorithm 2 through the flat PM-tree traversal.
 
         Per-batch (not per-query) work replaces the per-query tree walks:
 
         * all Q queries are projected in **one GEMM** against the direction
           matrix instead of Q separate vector products;
-        * projected distances to the whole dataset are computed as one
-          blocked ``(Q, n)`` GEMM; each query's radius-enlarging rounds
-          then read successive prefixes of its sorted distance row — the
-          *same* candidate set the PM-tree's ``range_query`` produces
-          (closest unseen points inside the projected ball, ascending),
+        * every radius-enlarging round runs **one** level-synchronous
+          traversal of the flattened tree for all still-active queries —
+          each round fetches the fresh annulus (the closest unseen points
+          inside the enlarged projected ball), which is the *same*
+          candidate set the pointer tree's ``range_query`` produces,
           because that set is defined by projected distances alone;
         * the initial radius r_min — a quantile of the shared F(x) sample,
-          identical for every query at fixed (n, β, k) — is solved once;
-        * one candidate-verification buffer is reused across every query's
-          probe rounds.
+          identical for every query at fixed (n, β, k) — is solved once,
+          and the whole radius ladder is laid out up front;
+        * all of a round's fresh candidates are verified in the original
+          space with one gathered kernel call, through buffers shared
+          across the queries of the batch.
 
         Results are exactly those of a per-query :meth:`query` loop.  The
         spec's runtime knobs are honoured here: ``budget`` replaces the
-        ⌈βn⌉ + k cap, and ``c`` swaps in a re-solved (t, β) pair.
+        ⌈βn⌉ + k cap, and ``c`` swaps in a re-solved (t, β) pair.  With
+        ``PMLSHParams(traversal="recursive")`` the batch becomes a
+        per-query pointer-tree loop instead.
         """
         k = spec.k
         c = spec.c if spec.c is not None else self.params.c
@@ -402,44 +563,152 @@ class PMLSH(ANNIndex):
         budget = max(budget, k)  # can't answer k neighbours on fewer candidates
         initial_radius = self._initial_radius(k, solved)
         projected = np.atleast_2d(self.projection.project(queries))  # one GEMM
-        scratch = np.empty((min(budget, self.n), self.d), dtype=np.float64)
-        results: List[QueryResult] = []
-        block = max(1, self._BATCH_BLOCK_ENTRIES // max(self.n, 1))
-        for start in range(0, queries.shape[0], block):
-            proj_dists = pairwise_distances(
-                projected[start : start + block], self.projected
-            )
-            for row, q in enumerate(queries[start : start + block]):
-                # The probe loop never consumes more than `budget` ids, so
-                # only the budget smallest projected distances need a full
-                # sort: O(n + B log B) instead of O(n log n) per query.
-                head = min(budget, self.n)
-                if head < self.n:
-                    part = np.argpartition(proj_dists[row], head - 1)[:head]
-                    order = part[np.argsort(proj_dists[row][part], kind="stable")]
-                else:
-                    order = np.argsort(proj_dists[row], kind="stable")
-                sorted_dists = proj_dists[row][order]
-                cursor = 0
-
-                def fetch(radius: float, limit: int, seen: Set[int]) -> np.ndarray:
-                    # `seen` is always exactly the sorted prefix consumed so
-                    # far, so the next candidates are the following slice.
-                    nonlocal cursor
-                    if limit <= 0:
-                        return np.empty(0, dtype=np.int64)
-                    within = int(np.searchsorted(sorted_dists, radius, side="right"))
-                    take = min(max(0, within - cursor), limit)
-                    ids = order[cursor : cursor + take].astype(np.int64)
-                    cursor += take
-                    return ids
-
-                results.append(
-                    self._probe(
-                        q, k, budget, initial_radius, fetch, scratch, c=c, t=solved.t
-                    )
+        if self.params.traversal == "recursive":
+            scratch = np.empty((min(budget, self.n), self.d), dtype=np.float64)
+            results = [
+                self._probe(
+                    q,
+                    k,
+                    budget,
+                    initial_radius,
+                    self._tree_fetch(projected_query),
+                    scratch,
+                    c=c,
+                    t=solved.t,
                 )
-        return BatchResult.from_queries(results, k=k)
+                for q, projected_query in zip(queries, projected)
+            ]
+            return BatchResult.from_queries(results, k=k)
+
+        flat = self.flat_tree
+        results = []
+        tree_work = _TreeWork(flat.height)
+        block = self._flat_query_block()
+        for start in range(0, queries.shape[0], block):
+            results.extend(
+                self._flat_probe_block(
+                    queries[start : start + block],
+                    projected[start : start + block],
+                    k,
+                    budget,
+                    initial_radius,
+                    c,
+                    solved.t,
+                    flat,
+                    tree_work,
+                )
+            )
+        batch = BatchResult.from_queries(results, k=k)
+        tree_work.into_stats(batch.stats, queries.shape[0])
+        return batch
+
+    def _tree_fetch(self, projected_query: np.ndarray):
+        """Candidate source for the per-query pointer-tree probe: the
+        closest unseen points inside the projected ball, ascending."""
+
+        def fetch(radius: float, limit: int, seen: Set[int]) -> np.ndarray:
+            matches = self.tree.range_query(
+                projected_query, radius, limit=limit, exclude=seen
+            )
+            return np.asarray([pid for pid, _ in matches], dtype=np.int64)
+
+        return fetch
+
+    def _flat_probe_block(
+        self,
+        queries: np.ndarray,
+        projected: np.ndarray,
+        k: int,
+        budget: int,
+        initial_radius: float,
+        c: float,
+        t: float,
+        flat: FlatPMTree,
+        tree_work: "_TreeWork",
+    ) -> List[QueryResult]:
+        """One query block through the batched radius-enlarging loop.
+
+        Mirrors :meth:`_probe` exactly — same round structure, same
+        termination tests, same floats — but advances *every* active query
+        of the block per round with one flat traversal and one gathered
+        verification kernel.
+        """
+        num_queries = queries.shape[0]
+        schedule = radius_schedule(initial_radius, c, self.params.max_iterations)
+        seen = np.zeros(num_queries, dtype=np.int64)
+        rounds = np.zeros(num_queries, dtype=np.int64)
+        final_radius = np.full(num_queries, schedule[-1])
+        active = np.ones(num_queries, dtype=bool)
+        collected_ids: List[List[np.ndarray]] = [[] for _ in range(num_queries)]
+        collected_dists: List[List[np.ndarray]] = [[] for _ in range(num_queries)]
+        previous_fetch: Optional[float] = None
+        for round_index in range(self.params.max_iterations):
+            idx = np.flatnonzero(active)
+            if idx.size == 0:
+                break
+            r = float(schedule[round_index])
+            rounds[idx] += 1
+            # Termination test 1 (line 4): k verified points within c·r.
+            threshold = c * r
+            for q in idx:
+                within = sum(
+                    int((chunk <= threshold).sum()) for chunk in collected_dists[q]
+                )
+                if within >= k:
+                    final_radius[q] = r
+                    active[q] = False
+            idx = np.flatnonzero(active)
+            if idx.size == 0:
+                break
+            limits = np.maximum(budget - seen[idx], 0)
+            lims, ids, _, stats = flat.batch_range(
+                projected[idx], t * r, limits=limits, lower=previous_fetch, sort=False
+            )
+            tree_work.add(stats)
+            counts = np.diff(lims)
+            if ids.size:
+                # One gathered verification kernel for the whole round —
+                # float-identical to the per-query scratch-buffer kernel.
+                # Candidates are re-ordered by id within each query slice
+                # first: the big (candidates × d) gather then walks the
+                # dataset near-sequentially instead of at random.
+                rep = np.repeat(idx, counts)
+                id_order = np.lexsort((ids, rep))
+                rep, ids = rep[id_order], ids[id_order]
+                true_dists = self._verify_distances(ids, rep, queries)
+                for position, q in enumerate(idx):
+                    lo, hi = int(lims[position]), int(lims[position + 1])
+                    if hi > lo:
+                        collected_ids[q].append(ids[lo:hi])
+                        collected_dists[q].append(true_dists[lo:hi])
+                seen[idx] += counts
+            # Termination test 2 (line 9): candidate budget exhausted.
+            exhausted = idx[seen[idx] >= budget]
+            final_radius[exhausted] = r
+            active[exhausted] = False
+            previous_fetch = t * r
+        results: List[QueryResult] = []
+        for q in range(num_queries):
+            if collected_ids[q]:
+                all_ids = np.concatenate(collected_ids[q])
+                all_dists = np.concatenate(collected_dists[q])
+                order = np.lexsort((all_ids, all_dists))[:k]
+                top_ids, top_dists = all_ids[order], all_dists[order]
+            else:
+                top_ids = np.empty(0, dtype=np.int64)
+                top_dists = np.empty(0, dtype=np.float64)
+            results.append(
+                QueryResult(
+                    ids=top_ids,
+                    distances=top_dists,
+                    stats={
+                        "candidates": float(seen[q]),
+                        "rounds": float(rounds[q]),
+                        "final_radius": float(final_radius[q]),
+                    },
+                )
+            )
+        return results
 
     # ------------------------------------------------------------------
     # closest-pair search (projected-space self-join)
@@ -452,9 +721,11 @@ class PMLSH(ANNIndex):
         original distance, so genuinely close pairs are close in R^m with
         high probability.  The join:
 
-        1. computes each point's nearest projected neighbours (blocked
-           exact kNN in R^m — an m-dimensional GEMM, cheap next to the
-           d-dimensional original space);
+        1. computes each point's nearest projected neighbours — by default
+           a batched exact kNN *through the flat PM-tree* (radius-doubling
+           ``batch_knn`` over the same traversal the query paths use;
+           ``traversal="recursive"`` falls back to the blocked
+           brute-force GEMM);
         2. ranks the deduplicated candidate pairs by projected distance
            and keeps the ``budget`` best (default ⌈βn⌉ + 16·m — original
            space verification is O(d) per pair, so the floor is generous);
@@ -470,9 +741,31 @@ class PMLSH(ANNIndex):
         # budget cut; every point contributes a few edges, and the n - 1
         # cap keeps the projected kNN well-defined on tiny datasets.
         per_point = min(self.n - 1, max(4, int(np.ceil(2.0 * budget / self.n))))
-        neighbor_ids, neighbor_dists = chunked_knn(
-            self.projected, self.projected, per_point + 1
-        )
+        tree_stats: Dict[str, float] = {}
+        if self.params.traversal == "recursive":
+            neighbor_ids, neighbor_dists = chunked_knn(
+                self.projected, self.projected, per_point + 1
+            )
+        else:
+            flat = self.flat_tree
+            nodes = dist_comps = 0
+            id_blocks: List[np.ndarray] = []
+            dist_blocks: List[np.ndarray] = []
+            block = self._flat_query_block()
+            for start in range(0, self.n, block):
+                stop = min(start + block, self.n)
+                flat.reset_counters()
+                block_ids, block_dists = flat.batch_knn(
+                    self.projected[start:stop], per_point + 1
+                )
+                id_blocks.append(block_ids)
+                dist_blocks.append(block_dists)
+                nodes += flat.node_accesses
+                dist_comps += flat.distance_computations
+            neighbor_ids = np.concatenate(id_blocks)
+            neighbor_dists = np.concatenate(dist_blocks)
+            tree_stats["tree_nodes"] = nodes / self.n
+            tree_stats["tree_dist_comps"] = dist_comps / self.n
         rows = np.repeat(np.arange(self.n, dtype=np.int64), per_point + 1)
         cols = neighbor_ids.ravel()
         proj_dists = neighbor_dists.ravel()
@@ -499,6 +792,7 @@ class PMLSH(ANNIndex):
                 "verified": float(pairs.shape[0]),
                 "budget": float(budget),
                 "neighbors_per_point": float(per_point),
+                **tree_stats,
             },
         )
 
@@ -582,6 +876,7 @@ class PMLSH(ANNIndex):
         new_ids = self.tree.append_points(projected_new)
         self._set_data(np.vstack([self.data, new_points]))
         self.projected = self.tree.points
+        self._flat = None  # the snapshot is stale; re-flatten lazily
         return new_ids
 
     # ------------------------------------------------------------------

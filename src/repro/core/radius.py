@@ -64,6 +64,30 @@ def select_initial_radius(
     return float(radius)
 
 
+def radius_schedule(initial: float, c: float, rounds: int) -> np.ndarray:
+    """Algorithm 2's radius ladder ``r, c·r, c²·r, …`` as one array.
+
+    Returns ``rounds + 1`` values (the extra entry is the radius the loop
+    holds after its last enlargement, which is what the probe reports when
+    it exhausts ``max_iterations``).  Produced by repeated multiplication,
+    not powers, so the floats match a sequential ``r *= c`` loop exactly —
+    the batched flat traversal and the per-query probe must agree bit for
+    bit on every radius they test.
+    """
+    if rounds <= 0:
+        raise ValueError(f"rounds must be positive, got {rounds}")
+    if initial <= 0.0:
+        raise ValueError(f"initial radius must be positive, got {initial}")
+    if c <= 1.0:
+        raise ValueError(f"c must exceed 1, got {c}")
+    out = np.empty(rounds + 1, dtype=np.float64)
+    r = float(initial)
+    for i in range(rounds + 1):
+        out[i] = r
+        r *= c
+    return out
+
+
 def range_candidate_budget(
     distribution: DistanceDistribution,
     n: int,

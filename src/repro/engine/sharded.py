@@ -161,6 +161,7 @@ class ShardedIndex(ANNIndex):
         self._last_batch_queries = 0
         self._last_shard_ms: List[float] = [0.0] * self.num_shards
         self._last_shard_candidates: List[float] = [float("nan")] * self.num_shards
+        self._last_shard_tree_nodes: List[float] = [float("nan")] * self.num_shards
 
     # ------------------------------------------------------------------
     # construction
@@ -329,6 +330,12 @@ class ShardedIndex(ANNIndex):
         self._last_shard_ms = list(shard_ms)
         self._last_shard_candidates = [
             float(batch.stats.get("candidates", float("nan")))
+            for batch in shard_stats_batches
+        ]
+        # Flat-traversal backends report their per-query tree work; the
+        # engine surfaces it per shard (NaN when the backend has no tree).
+        self._last_shard_tree_nodes = [
+            float(batch.stats.get("tree_nodes", float("nan")))
             for batch in shard_stats_batches
         ]
 
@@ -519,6 +526,7 @@ class ShardedIndex(ANNIndex):
                 repr=repr(shard),
                 search_ms=self._last_shard_ms[s],
                 mean_candidates=self._last_shard_candidates[s],
+                mean_tree_nodes=self._last_shard_tree_nodes[s],
             )
             for s, shard in enumerate(self._shards)
         )

@@ -30,6 +30,9 @@ class ShardStats:
     repr: str
     search_ms: float = 0.0  # wall time of this shard in the last batch
     mean_candidates: float = float("nan")  # last batch, per query
+    #: PM-tree nodes visited per query in the last batch (flat-traversal
+    #: backends report it; NaN for backends without a tree).
+    mean_tree_nodes: float = float("nan")
 
     def as_row(self) -> List[object]:
         return [
@@ -38,6 +41,7 @@ class ShardStats:
             self.ntotal,
             self.search_ms,
             self.mean_candidates,
+            self.mean_tree_nodes,
             self.repr,
         ]
 
@@ -102,7 +106,7 @@ class EngineStats:
         )
         return format_table(
             f"Engine stats ({self.num_shards} shards)",
-            ["Shard", "Backend", "ntotal", "Last ms", "Cand/query", "Index"],
+            ["Shard", "Backend", "ntotal", "Last ms", "Cand/query", "Tree nodes/query", "Index"],
             rows,
             note=note,
         )

@@ -12,12 +12,23 @@ Public surface:
 
 * :class:`~repro.pmtree.tree.PMTree` — build (bulk or insert), range query
   with early termination, best-first kNN, distance-computation counters.
+* :class:`~repro.pmtree.flat.FlatPMTree` — ``PMTree.flatten()``'s
+  structure-of-arrays snapshot: batched, level-synchronous traversal
+  (the serving hot path; identical results and counters to the pointer
+  tree).
 * :func:`~repro.pmtree.pivots.select_pivots` — pivot selection strategies.
 * :func:`~repro.pmtree.validate.check_invariants` — structural validator.
 """
 
+from repro.pmtree.flat import FlatPMTree, TraversalStats
 from repro.pmtree.pivots import select_pivots
 from repro.pmtree.tree import PMTree
 from repro.pmtree.validate import check_invariants
 
-__all__ = ["PMTree", "check_invariants", "select_pivots"]
+__all__ = [
+    "FlatPMTree",
+    "PMTree",
+    "TraversalStats",
+    "check_invariants",
+    "select_pivots",
+]

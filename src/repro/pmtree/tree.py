@@ -406,6 +406,18 @@ class PMTree:
             self.insert(int(point_id))
         return new_ids
 
+    def flatten(self):
+        """Pack the built tree into a :class:`~repro.pmtree.flat.FlatPMTree`.
+
+        The flat snapshot shares this tree's point and pivot-distance
+        matrices and answers batched range queries with identical results
+        and counters; it must be re-taken after any mutation (``insert`` /
+        ``append_points``).
+        """
+        from repro.pmtree.flat import FlatPMTree
+
+        return FlatPMTree.from_tree(self)
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
@@ -493,6 +505,9 @@ class PMTree:
         ``radius=inf`` yields plain kNN; a finite radius yields the
         *closest k points inside the ball* — exactly the candidate set
         Algorithm 2 wants when it probes until βn + k points are found.
+        Ties at the k-th distance resolve canonically by smallest id, so
+        the capped set matches the flat traversal's ``(distance, id)``
+        cut bit for bit even on duplicate points.
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -500,7 +515,7 @@ class PMTree:
         if self._root is None:
             return []
         query_rings = self._query_pivot_distances(query)
-        best = BoundedMaxHeap(k)
+        best = BoundedMaxHeap(k, canonical_values=True)
         frontier = MinHeap()
         frontier.push(0.0, (self._root, None))
         while frontier:

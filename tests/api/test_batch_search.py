@@ -45,14 +45,14 @@ class TestSearchEqualsQueryLoop:
             assert batch.per_query_stats[i] == index.query(q, 5).stats
 
     def test_pmlsh_batch_blocking_boundary(self, small_clustered, monkeypatch):
-        """Blocked and unblocked projected-distance computation agree."""
+        """One-block and many-block flat traversals answer identically."""
         index = PMLSH(seed=3).fit(small_clustered[:300])
         queries = small_clustered[:9] + 0.01
         full = index.search(queries, k=5)
-        monkeypatch.setattr(PMLSH, "_BATCH_BLOCK_ENTRIES", 2 * index.n)
+        monkeypatch.setattr(PMLSH, "_BATCH_QUERY_BLOCK", 4)
         blocked = index.search(queries, k=5)
         np.testing.assert_array_equal(full.ids, blocked.ids)
-        np.testing.assert_allclose(full.distances, blocked.distances, rtol=1e-12)
+        np.testing.assert_array_equal(full.distances, blocked.distances)
 
     @pytest.mark.parametrize("name", ["srs", "qalsh", "exact", "lscan"])
     def test_baselines_batch_identical_to_loop(self, name, small_clustered):

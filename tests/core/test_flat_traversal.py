@@ -1,0 +1,178 @@
+"""Flat vs recursive PM-tree traversal: byte-identical query answers.
+
+``PMLSHParams(traversal=...)`` switches the batched query paths between
+the flattened structure-of-arrays traversal (default) and per-query
+pointer-tree walks.  Every query type — the kNN adaptive-radius loop,
+the (r, c)-ball range probe, the closest-pair self-join — must answer
+identically under both, including per-query stats, runtime-knob
+overrides, and after dynamic growth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PMLSH, PMLSHParams, ShardedIndex
+from repro.datasets.synthetic import gaussian_mixture
+from repro.queries import Knn, Range
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return gaussian_mixture(900, 32, num_clusters=12, cluster_std=0.7, seed=2)
+
+
+@pytest.fixture(scope="module")
+def pair(dataset):
+    flat = PMLSH(params=PMLSHParams(node_capacity=32), seed=3).fit(dataset)
+    recursive = PMLSH(
+        params=PMLSHParams(node_capacity=32, traversal="recursive"), seed=3
+    ).fit(dataset)
+    return flat, recursive
+
+
+def _assert_batches_identical(a, b):
+    np.testing.assert_array_equal(a.ids, b.ids)
+    np.testing.assert_array_equal(a.distances, b.distances)
+    assert a.per_query_stats == b.per_query_stats
+
+
+class TestKnnEquivalence:
+    def test_search_identical(self, pair, dataset):
+        flat, recursive = pair
+        queries = dataset[:40] + 0.01
+        _assert_batches_identical(flat.search(queries, 10), recursive.search(queries, 10))
+
+    def test_search_matches_query_loop(self, pair, dataset):
+        flat, _ = pair
+        queries = dataset[:12] + 0.01
+        batch = flat.search(queries, 7)
+        for i, q in enumerate(queries):
+            single = flat.query(q, 7)
+            valid = batch.ids[i] >= 0
+            np.testing.assert_array_equal(batch.ids[i][valid], single.ids)
+            np.testing.assert_array_equal(batch.distances[i][valid], single.distances)
+            assert batch.per_query_stats[i] == single.stats
+
+    def test_knob_overrides_identical(self, pair, dataset):
+        flat, recursive = pair
+        queries = dataset[:15] + 0.01
+        for spec in (Knn(k=5, budget=30), Knn(k=5, c=2.5), Knn(k=8, budget=2000)):
+            _assert_batches_identical(
+                flat.run(queries, spec), recursive.run(queries, spec)
+            )
+
+    def test_capped_fetch_ties_resolve_canonically(self, dataset):
+        """Duplicates straddling a budget cut pick the smallest ids under
+        BOTH traversals — the canonical (distance, id) boundary rule."""
+        data = np.vstack([dataset[:300], np.repeat(dataset[:1], 40, axis=0)])
+        spec = Knn(k=5, budget=10)
+        results = []
+        for traversal in ("flat", "recursive"):
+            index = PMLSH(
+                params=PMLSHParams(node_capacity=32, traversal=traversal), seed=11
+            ).fit(data)
+            results.append(index.run(dataset[:1], spec))
+        flat_result, recursive_result = results
+        np.testing.assert_array_equal(flat_result.ids, recursive_result.ids)
+        np.testing.assert_array_equal(
+            flat_result.distances, recursive_result.distances
+        )
+        # 41 tied candidates (id 0 + the 40 copies) at projected distance 0;
+        # the budget cut keeps the smallest ids, the answer the 5 smallest.
+        np.testing.assert_array_equal(flat_result.ids[0], [0, 300, 301, 302, 303])
+        np.testing.assert_array_equal(flat_result.distances[0], np.zeros(5))
+
+    def test_tree_work_reported_in_batch_stats(self, pair, dataset):
+        flat, recursive = pair
+        batch = flat.search(dataset[:10] + 0.01, 5)
+        assert batch.stats["tree_nodes"] > 0
+        assert batch.stats["tree_dist_comps"] > 0
+        assert batch.stats["tree_levels"] >= 1
+        # One per-level counter per tree depth, summing to the node total.
+        levels = int(batch.stats["tree_levels"])
+        per_level = [batch.stats[f"tree_visits_l{d}"] for d in range(levels)]
+        assert sum(per_level) == pytest.approx(batch.stats["tree_nodes"])
+        # The recursive path reports no tree keys (no flat traversal ran).
+        rec = recursive.search(dataset[:10] + 0.01, 5)
+        assert "tree_nodes" not in rec.stats
+
+
+class TestRangeEquivalence:
+    def test_range_identical(self, pair, dataset):
+        flat, recursive = pair
+        queries = dataset[:25] + 0.01
+        radius = float(np.quantile(flat.distance_distribution.samples, 0.03))
+        a = flat.range_search(queries, radius)
+        b = recursive.range_search(queries, radius)
+        np.testing.assert_array_equal(a.lims, b.lims)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        np.testing.assert_array_equal(a.distances, b.distances)
+        assert a.per_query_stats == b.per_query_stats
+        assert a.stats["tree_nodes"] > 0
+
+    def test_range_knob_overrides_identical(self, pair, dataset):
+        flat, recursive = pair
+        queries = dataset[:10] + 0.01
+        radius = float(np.quantile(flat.distance_distribution.samples, 0.03))
+        for spec in (Range(r=radius, budget=40), Range(r=radius, c=2.0)):
+            a = flat.run(queries, spec)
+            b = recursive.run(queries, spec)
+            np.testing.assert_array_equal(a.lims, b.lims)
+            np.testing.assert_array_equal(a.ids, b.ids)
+            np.testing.assert_array_equal(a.distances, b.distances)
+
+
+class TestClosestPairEquivalence:
+    def test_closest_pairs_identical(self, pair):
+        flat, recursive = pair
+        a = flat.closest_pairs(12)
+        b = recursive.closest_pairs(12)
+        np.testing.assert_array_equal(a.pairs, b.pairs)
+        np.testing.assert_array_equal(a.distances, b.distances)
+        assert a.stats["tree_nodes"] > 0
+        assert "tree_nodes" not in b.stats
+
+    def test_planted_duplicates_recovered(self, dataset):
+        data = np.vstack([dataset, dataset[:6]])  # six distance-0 pairs
+        index = PMLSH(params=PMLSHParams(node_capacity=32), seed=5).fit(data)
+        result = index.closest_pairs(6)
+        np.testing.assert_array_equal(result.distances, np.zeros(6))
+        expected = np.column_stack(
+            [np.arange(6), dataset.shape[0] + np.arange(6)]
+        )
+        np.testing.assert_array_equal(result.pairs, expected)
+
+
+class TestDynamicGrowth:
+    def test_add_invalidates_and_stays_identical(self, dataset):
+        flat = PMLSH(params=PMLSHParams(node_capacity=32), seed=7).fit(dataset[:700])
+        recursive = PMLSH(
+            params=PMLSHParams(node_capacity=32, traversal="recursive"), seed=7
+        ).fit(dataset[:700])
+        queries = dataset[:20] + 0.01
+        _assert_batches_identical(flat.search(queries, 6), recursive.search(queries, 6))
+        snapshot = flat.flat_tree
+        flat.add(dataset[700:])
+        recursive.add(dataset[700:])
+        assert flat.flat_tree is not snapshot  # stale snapshot replaced
+        assert len(flat.flat_tree) == dataset.shape[0]
+        _assert_batches_identical(flat.search(queries, 6), recursive.search(queries, 6))
+
+
+class TestShardedTreeStats:
+    def test_engine_surfaces_tree_work_per_shard(self, dataset):
+        engine = ShardedIndex(backend="pm-lsh", num_shards=3, num_workers=1, seed=1)
+        engine.fit(dataset)
+        engine.search(dataset[:8] + 0.01, 5)
+        stats = engine.stats()
+        assert all(shard.mean_tree_nodes > 0 for shard in stats.shards)
+        assert "Tree nodes/query" in stats.as_table()
+
+    def test_exact_backend_reports_nan(self, dataset):
+        engine = ShardedIndex(backend="exact", num_shards=2, num_workers=1)
+        engine.fit(dataset[:100])
+        engine.search(dataset[:4], 3)
+        stats = engine.stats()
+        assert all(np.isnan(shard.mean_tree_nodes) for shard in stats.shards)

@@ -1,0 +1,35 @@
+"""Tier-1 documentation checks: fenced examples run, cross-links resolve,
+and the generated API reference matches the live docstrings."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+    return subprocess.run(
+        [sys.executable, str(ROOT / script), *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=ROOT,
+    )
+
+
+@pytest.mark.slow
+def test_doc_examples_and_links():
+    result = _run("tools/check_docs.py")
+    assert result.returncode == 0, result.stderr or result.stdout
+
+
+def test_api_reference_is_fresh():
+    result = _run("docs/generate_api.py", "--check")
+    assert result.returncode == 0, result.stderr or result.stdout

@@ -1,0 +1,121 @@
+"""Documentation checks: execute fenced examples, validate cross-links.
+
+Two guarantees, enforced in CI and by ``tests/docs/test_docs.py``:
+
+* every fenced ```` ```python ```` block in ``README.md`` and
+  ``docs/*.md`` actually executes (blocks of one file share a namespace,
+  top to bottom, like a doctest session);
+* every relative markdown link resolves to an existing file, and anchor
+  fragments (``file.md#section``) match a real heading in the target.
+
+Run it directly::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import traceback
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+FENCE = re.compile(r"^```(\w*)\s*$")
+LINK = re.compile(r"\[[^\]\[]*\]\(([^)\s]+)\)")
+
+
+def doc_files() -> list[Path]:
+    return [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+
+
+def python_blocks(text: str) -> list[tuple[int, str]]:
+    """``(first_line, source)`` for every ```` ```python ```` fence."""
+    blocks = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        match = FENCE.match(lines[i])
+        if match and match.group(1) == "python":
+            start = i + 1
+            body = []
+            i += 1
+            while i < len(lines) and not FENCE.match(lines[i]):
+                body.append(lines[i])
+                i += 1
+            blocks.append((start + 1, "\n".join(body)))
+        i += 1
+    return blocks
+
+
+def heading_slugs(text: str) -> set[str]:
+    """GitHub-style anchor slugs of every markdown heading."""
+    slugs = set()
+    for line in text.splitlines():
+        match = re.match(r"#{1,6}\s+(.*)", line)
+        if match:
+            heading = re.sub(r"[`*_]", "", match.group(1)).strip().lower()
+            slug = re.sub(r"[^\w\- ]", "", heading).replace(" ", "-")
+            slugs.add(slug)
+    return slugs
+
+
+def check_examples(path: Path) -> list[str]:
+    failures = []
+    namespace: dict = {"__name__": f"__docs_{path.stem}__"}
+    for line, source in python_blocks(path.read_text()):
+        try:
+            exec(compile(source, f"{path.name}:{line}", "exec"), namespace)
+        except Exception:
+            failures.append(
+                f"{path.relative_to(ROOT)}:{line}: example failed\n"
+                + textwrap_indent(traceback.format_exc(limit=3))
+            )
+    return failures
+
+
+def textwrap_indent(text: str) -> str:
+    return "\n".join("    " + line for line in text.rstrip().splitlines())
+
+
+def check_links(path: Path) -> list[str]:
+    failures = []
+    text = path.read_text()
+    for target in LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target, _, anchor = target.partition("#")
+        resolved = path.parent / target if target else path
+        if not resolved.exists():
+            failures.append(
+                f"{path.relative_to(ROOT)}: broken link -> {target or '#' + anchor}"
+            )
+            continue
+        if anchor and resolved.suffix == ".md":
+            if anchor not in heading_slugs(resolved.read_text()):
+                failures.append(
+                    f"{path.relative_to(ROOT)}: broken anchor -> {target}#{anchor}"
+                )
+    return failures
+
+
+def main() -> int:
+    failures: list[str] = []
+    for path in doc_files():
+        if not path.exists():
+            failures.append(f"missing documentation file: {path.relative_to(ROOT)}")
+            continue
+        failures.extend(check_links(path))
+        failures.extend(check_examples(path))
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        print(f"\n{len(failures)} documentation check(s) failed", file=sys.stderr)
+        return 1
+    print(f"docs OK: {len(doc_files())} files, examples executed, links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -93,9 +93,12 @@ def build() -> str:
     from repro.core.params import PMLSHParams
     from repro.core.pmlsh import PMLSH
     from repro.engine.sharded import ShardedIndex
-    from repro.engine.stats import EngineStats
+    from repro.engine.stats import EngineStats, LatencyWindow
     from repro.pmtree.flat import FlatPMTree
     from repro.queries import ClosestPairResult, Knn, Range, RangeResult
+    from repro.serving.cache import ProjectedQueryCache
+    from repro.serving.server import AsyncSearchServer
+    from repro.serving.stats import ServingStats
 
     sections = [
         HEADER,
@@ -132,6 +135,14 @@ def build() -> str:
         "## The sharded serving engine\n",
         _class_section(ShardedIndex, ["stats", "locate", "close"]),
         _class_section(EngineStats, ["qps", "as_table"]),
+        "## The async serving front-end\n",
+        _class_section(
+            AsyncSearchServer,
+            ["submit", "submit_many", "add", "flush", "close", "stats", "queue_depth"],
+        ),
+        _class_section(ProjectedQueryCache, ["get", "put", "invalidate", "key_for"]),
+        _class_section(ServingStats, ["cache_hit_rate", "as_dict", "as_table"]),
+        _class_section(LatencyWindow, ["record", "percentile"]),
     ]
     body = "\n".join(section.rstrip() + "\n" for section in sections)
     return textwrap.dedent(body).rstrip() + "\n"

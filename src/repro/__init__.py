@@ -18,6 +18,11 @@ version's workloads.  The package provides:
   any registered backend across shards and serves kNN / range /
   closest-pair through a worker pool —
   ``create_index("sharded", backend="pm-lsh", ...)``;
+* an async serving front-end (:mod:`repro.serving`):
+  :class:`AsyncSearchServer` coalesces concurrent requests into batches
+  with a deadline-based micro-batcher, interleaves writes epoch-style,
+  and caches answers by projected locality
+  (:class:`ProjectedQueryCache`);
 * the substrates: PM-tree (:mod:`repro.pmtree`), R-tree
   (:mod:`repro.rtree`), B+-tree (:mod:`repro.bptree`);
 * synthetic dataset emulations and hardness statistics
@@ -97,11 +102,13 @@ from repro.registry import (
     register_index,
 )
 from repro.rtree import RTree
+from repro.serving import AsyncSearchServer, ProjectedQueryCache, ServingStats
 
 __version__ = "2.0.0"
 
 __all__ = [
     "ANNIndex",
+    "AsyncSearchServer",
     "BatchResult",
     "C2LSH",
     "ClosestPairResult",
@@ -117,6 +124,7 @@ __all__ = [
     "PMLSH",
     "PMLSHParams",
     "PMTree",
+    "ProjectedQueryCache",
     "QALSH",
     "QueryResult",
     "QuerySpec",
@@ -125,6 +133,7 @@ __all__ = [
     "Range",
     "RangeResult",
     "SRS",
+    "ServingStats",
     "ShardedIndex",
     "__version__",
     "available_indexes",

@@ -141,7 +141,11 @@ class PMLSH(ANNIndex):
         self._rng = as_generator(seed)
         self.projection: Optional[GaussianProjection] = None
         self.projected: Optional[np.ndarray] = None
-        self.tree: Optional[PMTree] = None
+        self._tree: Optional[PMTree] = None
+        #: pivots to rebuild the pointer tree from lazily — set by
+        #: :meth:`load`, which restores the flat snapshot directly and
+        #: only materialises the pointer tree if something needs it.
+        self._lazy_pivots: Optional[np.ndarray] = None
         #: lazily flattened snapshot of ``tree`` (see :attr:`flat_tree`).
         self._flat: Optional[FlatPMTree] = None
         self.solved: SolvedParameters = self._solve_for(self.params.c)
@@ -182,7 +186,7 @@ class PMLSH(ANNIndex):
         params = self.params
         self.projection = GaussianProjection(self.d, params.m, seed=self._rng)
         self.projected = self.projection.project(self.data)
-        self.tree = PMTree.build(
+        self._tree = PMTree.build(
             self.projected,
             num_pivots=params.num_pivots,
             capacity=params.node_capacity,
@@ -194,6 +198,7 @@ class PMLSH(ANNIndex):
             use_parent_filter=params.use_parent_filter,
             seed=self._rng,
         )
+        self._lazy_pivots = None
         self._flat = None
         # F(x) over ORIGINAL distances drives r_min selection (§4.5); the HV
         # statistic being ≈ 1 is what licenses reusing it for every query.
@@ -204,13 +209,50 @@ class PMLSH(ANNIndex):
         )
 
     @property
+    def tree(self) -> Optional[PMTree]:
+        """The pointer PM-tree — the build/insert/validate structure.
+
+        After :meth:`fit` it is the tree that was just built.  After
+        :meth:`load` it starts out *unmaterialised* (the archive restores
+        the flat snapshot directly, so queries never need it) and is
+        rebuilt deterministically from the stored pivots on first access
+        — :meth:`add`, the recursive traversal, and
+        :meth:`ball_cover_query` all trigger that rebuild transparently.
+        """
+        if self._tree is None and self._lazy_pivots is not None:
+            self._tree = self._build_tree(self._lazy_pivots)
+        return self._tree
+
+    @tree.setter
+    def tree(self, value: Optional[PMTree]) -> None:
+        self._tree = value
+
+    def _build_tree(self, pivots: np.ndarray) -> PMTree:
+        """Deterministic pointer-tree (re)build over ``self.projected``
+        with fixed *pivots* — the restore path of :meth:`load`."""
+        params = self.params
+        return PMTree.build(
+            self.projected,
+            num_pivots=pivots.shape[0],
+            capacity=params.node_capacity,
+            method=params.build_method,
+            pivot_method=params.pivot_method,
+            split_promotion=params.split_promotion,
+            split_partition=params.split_partition,
+            use_rings=params.use_rings,
+            use_parent_filter=params.use_parent_filter,
+            seed=0,
+            pivots=pivots,
+        )
+
+    @property
     def flat_tree(self) -> FlatPMTree:
         """The flattened PM-tree snapshot the batched paths traverse.
 
         Taken lazily from the pointer tree and re-taken after any
-        structural mutation (:meth:`add` invalidates it), so every build
-        path — ``fit``, ``load``, incremental growth — serves from arrays
-        that mirror the current tree exactly.
+        structural mutation (:meth:`add` invalidates it) — or restored
+        directly from a saved archive by :meth:`load` — so every build
+        path serves from arrays that mirror the current tree exactly.
         """
         self._require_built()
         if self._flat is None:
@@ -805,31 +847,44 @@ class PMLSH(ANNIndex):
 
         Stored: the registry name (so :func:`repro.load_index` can
         dispatch), the dataset, the projection directions, the PM-tree
-        pivots, the F(x) sample behind r_min selection, and the parameter
-        bundle as JSON.  :meth:`load` rebuilds the PM-tree
-        deterministically from those; because Algorithm 2's candidate set
-        (the closest βn + k points inside the projected ball) does not
-        depend on tree shape, the restored index answers every query
-        identically.
+        pivots, the F(x) sample behind r_min selection, the parameter
+        bundle as JSON — and the **flat-tree arrays**
+        (:meth:`FlatPMTree.to_arrays`), so :meth:`load` restores the
+        batched hot path directly from the archive: no pointer-tree
+        rebuild, no re-flatten, and bit-identical traversal (the stored
+        entry fields and pivot distances are the ones queries prune
+        against).  The pointer tree is only rebuilt — deterministically,
+        from the stored pivots — if something later needs it (``add``,
+        the recursive traversal).
         """
         self._require_built()
         import json
         from dataclasses import asdict
 
+        flat = self.flat_tree
         params_json = json.dumps(asdict(self.params))
         np.savez_compressed(
             path,
             registry_name=np.asarray(self.registry_name),
             data=self.data,
             directions=self.projection.directions,
-            pivots=self.tree.pivots,
+            pivots=flat.pivots,
             distance_samples=self.distance_distribution.samples,
             params_json=np.frombuffer(params_json.encode("utf-8"), dtype=np.uint8),
+            **flat.to_arrays(),
         )
 
     @classmethod
     def load(cls, path: str) -> "PMLSH":
-        """Restore an index persisted with :meth:`save`."""
+        """Restore an index persisted with :meth:`save`.
+
+        Archives written since the flat arrays were added restore the
+        :class:`FlatPMTree` snapshot directly — queries serve with no
+        tree rebuild and no re-flatten; the pointer tree materialises
+        lazily from the stored pivots only when needed.  Older archives
+        (no ``flat_*`` keys) fall back to the eager deterministic
+        rebuild.
+        """
         import json
 
         with np.load(path) as archive:
@@ -838,24 +893,27 @@ class PMLSH(ANNIndex):
             pivots = archive["pivots"]
             samples = archive["distance_samples"]
             params_json = bytes(archive["params_json"]).decode("utf-8")
+            flat_arrays = (
+                {key: archive[key] for key in archive.files if key.startswith("flat_")}
+                if "flat_is_leaf" in archive.files
+                else None
+            )
         params = PMLSHParams(**json.loads(params_json))
         index = cls(params=params, seed=0)
         index._set_data(data)
         index.projection = GaussianProjection.from_directions(directions)
         index.projected = index.projection.project(index.data)
-        index.tree = PMTree.build(
-            index.projected,
-            num_pivots=pivots.shape[0],
-            capacity=params.node_capacity,
-            method=params.build_method,
-            pivot_method=params.pivot_method,
-            split_promotion=params.split_promotion,
-            split_partition=params.split_partition,
-            use_rings=params.use_rings,
-            use_parent_filter=params.use_parent_filter,
-            seed=0,
-            pivots=pivots,
-        )
+        index._lazy_pivots = np.asarray(pivots, dtype=np.float64)
+        if flat_arrays is not None:
+            index._flat = FlatPMTree.from_arrays(
+                flat_arrays,
+                points=index.projected,
+                pivots=index._lazy_pivots,
+                use_rings=params.use_rings,
+                use_parent_filter=params.use_parent_filter,
+            )
+        else:  # legacy archive: rebuild the pointer tree eagerly
+            index._tree = index._build_tree(index._lazy_pivots)
         index.distance_distribution = DistanceDistribution(samples)
         index._built = True
         return index

@@ -21,10 +21,11 @@ from repro.engine.router import (
     make_router,
 )
 from repro.engine.sharded import ShardedIndex
-from repro.engine.stats import EngineStats, ShardStats
+from repro.engine.stats import EngineStats, LatencyWindow, ShardStats
 
 __all__ = [
     "EngineStats",
+    "LatencyWindow",
     "LeastLoadedRouter",
     "ROUTERS",
     "RoundRobinRouter",

@@ -10,6 +10,11 @@ The engine keeps two levels of diagnostics:
 ``EngineStats.as_table()`` renders the per-shard view in the same
 monospace style the benchmark layer uses, so examples and benches can
 print engine state with one call.
+
+:class:`LatencyWindow` is the shared latency digest behind the per-request
+percentiles: the async serving front-end (:mod:`repro.serving`) records
+every request's queue-to-answer latency into one, and
+:class:`~repro.serving.stats.ServingStats` reads the p50/p99 out of it.
 """
 
 from __future__ import annotations
@@ -17,7 +22,61 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from repro.evaluation.tables import format_table
+
+
+class LatencyWindow:
+    """Bounded ring buffer of per-request latencies with percentile readout.
+
+    Keeps the most recent ``capacity`` samples (milliseconds) in a fixed
+    NumPy buffer — recording is O(1), a percentile readout sorts only the
+    filled portion.  Serving layers record every request into one window
+    and surface ``p50`` / ``p99`` in their stats snapshots; an empty
+    window reads as NaN so stats stay printable before the first request.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._buffer = np.empty(int(capacity), dtype=np.float64)
+        self._cursor = 0
+        self._count = 0  # lifetime samples (filled = min(count, capacity))
+
+    @property
+    def count(self) -> int:
+        """Lifetime number of samples recorded (not capped by capacity)."""
+        return self._count
+
+    def record(self, latency_ms: float) -> None:
+        """Add one latency sample, evicting the oldest when full."""
+        self._buffer[self._cursor] = float(latency_ms)
+        self._cursor = (self._cursor + 1) % self._buffer.size
+        self._count += 1
+
+    def _filled(self) -> np.ndarray:
+        return self._buffer[: min(self._count, self._buffer.size)]
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile (0–100) of the retained window; NaN if empty."""
+        filled = self._filled()
+        if filled.size == 0:
+            return float("nan")
+        return float(np.percentile(filled, p))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    @property
+    def mean(self) -> float:
+        filled = self._filled()
+        return float(filled.mean()) if filled.size else float("nan")
 
 
 @dataclass(frozen=True)

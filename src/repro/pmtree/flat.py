@@ -28,7 +28,7 @@ asserts both).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -245,6 +245,80 @@ class FlatPMTree:
             entry_child=np.asarray(children, dtype=np.int64),
             leaf_ids=np.asarray(leaf_ids, dtype=np.int64),
             leaf_pd=np.asarray(leaf_pd, dtype=np.float64),
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    #: ``to_arrays`` keys that identify a serialized snapshot inside an
+    #: ``.npz`` archive (``flat_is_leaf`` doubles as the presence marker).
+    ARRAY_PREFIX = "flat_"
+
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Pure-array form of the snapshot for ``.npz`` persistence.
+
+        Everything structural — node layout, routing-entry fields, leaf
+        membership — plus the pivot-distance matrix, keyed with the
+        ``flat_`` prefix so they coexist with an index's own archive
+        entries.  The point matrix itself is *not* included: the owner
+        re-derives it (PM-LSH re-projects the dataset with the stored
+        directions) and passes it to :meth:`from_arrays`.
+        """
+        return {
+            "flat_is_leaf": self.is_leaf,
+            "flat_span_start": self.span_start,
+            "flat_span_end": self.span_end,
+            "flat_levels": np.asarray(self.levels, dtype=np.int64),
+            "flat_entry_center": self.entry_center,
+            "flat_entry_radius": self.entry_radius,
+            "flat_entry_pd": self.entry_pd,
+            "flat_entry_hr_min": self.entry_hr_min,
+            "flat_entry_hr_max": self.entry_hr_max,
+            "flat_entry_child": self.entry_child,
+            "flat_leaf_ids": self.leaf_ids,
+            "flat_leaf_pd": self.leaf_pd,
+            "flat_pivot_dists": self.pivot_dists,
+        }
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays,
+        *,
+        points: np.ndarray,
+        pivots: np.ndarray,
+        use_rings: bool,
+        use_parent_filter: bool,
+    ) -> "FlatPMTree":
+        """Rebuild a snapshot from :meth:`to_arrays` output (or an open
+        ``.npz`` archive holding those keys) — no pointer tree involved.
+
+        *points* must be the same projected matrix the snapshot was taken
+        over (same values, same order); the stored pivot-distance matrix
+        keeps the ring filters bit-identical to the saved tree's.
+        """
+        return cls(
+            points=np.ascontiguousarray(np.asarray(points, dtype=np.float64)),
+            pivots=np.asarray(pivots, dtype=np.float64),
+            pivot_dists=np.asarray(arrays["flat_pivot_dists"], dtype=np.float64),
+            use_rings=bool(use_rings),
+            use_parent_filter=bool(use_parent_filter),
+            is_leaf=np.asarray(arrays["flat_is_leaf"], dtype=bool),
+            span_start=np.asarray(arrays["flat_span_start"], dtype=np.int64),
+            span_end=np.asarray(arrays["flat_span_end"], dtype=np.int64),
+            levels=[
+                (int(lo), int(hi))
+                for lo, hi in np.asarray(arrays["flat_levels"], dtype=np.int64)
+            ],
+            entry_center=np.asarray(arrays["flat_entry_center"], dtype=np.float64),
+            entry_radius=np.asarray(arrays["flat_entry_radius"], dtype=np.float64),
+            entry_pd=np.asarray(arrays["flat_entry_pd"], dtype=np.float64),
+            entry_hr_min=np.asarray(arrays["flat_entry_hr_min"], dtype=np.float64),
+            entry_hr_max=np.asarray(arrays["flat_entry_hr_max"], dtype=np.float64),
+            entry_child=np.asarray(arrays["flat_entry_child"], dtype=np.int64),
+            leaf_ids=np.asarray(arrays["flat_leaf_ids"], dtype=np.int64),
+            leaf_pd=np.asarray(arrays["flat_leaf_pd"], dtype=np.float64),
         )
 
     # ------------------------------------------------------------------

@@ -19,7 +19,7 @@ set, sorted by ``(distance, i, j)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Iterator, Sequence, Tuple
 
 import numpy as np
@@ -45,6 +45,26 @@ class QuerySpec:
     def has_overrides(self) -> bool:
         """True when any runtime knob deviates from the index default."""
         return False
+
+    @property
+    def merge_key(self) -> Tuple:
+        """Hashable coalescing key of this spec.
+
+        Two requests may be answered by **one** ``run()`` call exactly when
+        their specs share a merge key: the key is the spec type plus every
+        field value, so equal keys mean the batched call is semantically
+        identical to per-request calls (the batch = loop invariant).  The
+        serving layer's micro-batcher groups its queues by this key;
+        anything with a differing ``k``, ``r``, ``budget`` or ``c`` stays
+        in its own batch.
+        """
+        return (type(self).__name__,) + tuple(
+            getattr(self, f.name) for f in fields(self)
+        )
+
+    def can_merge_with(self, other: "QuerySpec") -> bool:
+        """Whether one ``run()`` call may answer this spec and *other*."""
+        return isinstance(other, QuerySpec) and self.merge_key == other.merge_key
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,29 @@
+"""Async serving subsystem: deadline-based micro-batching over any index.
+
+The front-end that turns many small independent requests — the realistic
+serving traffic shape — into exactly the large batches PM-LSH's
+vectorised hot paths were built for:
+
+* :mod:`repro.serving.server` — :class:`AsyncSearchServer`, the asyncio
+  micro-batcher (queue → coalesce → ``run()`` → scatter) with an
+  epoch-interleaved write path and a single-worker executor bridge, plus
+  :func:`open_loop_arrivals`, the Poisson traffic driver the example and
+  benchmark share;
+* :mod:`repro.serving.cache` — :class:`ProjectedQueryCache`, the
+  query-result cache keyed on quantized projected coordinates;
+* :mod:`repro.serving.stats` — :class:`ServingStats`, the snapshot
+  ``AsyncSearchServer.stats()`` returns.
+
+See ``docs/serving.md`` for the handbook.
+"""
+
+from repro.serving.cache import ProjectedQueryCache
+from repro.serving.server import AsyncSearchServer, open_loop_arrivals
+from repro.serving.stats import ServingStats
+
+__all__ = [
+    "AsyncSearchServer",
+    "ProjectedQueryCache",
+    "ServingStats",
+    "open_loop_arrivals",
+]

@@ -1,0 +1,119 @@
+"""Projected-locality query-result cache for the serving front-end.
+
+Repeated — and, at coarser resolutions, *near-duplicate* — queries are
+the realistic serving shape (the same hot items get looked up again and
+again), and a verified PM-LSH answer is expensive relative to a
+dictionary probe.  The cache keys each request on
+
+* the spec's :attr:`~repro.queries.QuerySpec.merge_key` (a ``Knn(10)``
+  answer must never serve a ``Knn(5)`` or a ``Range(2.0)`` request), and
+* the query's **quantized projected coordinates**: the vector is mapped
+  through the index's existing hash layer (the Gaussian projection bank
+  PM-LSH already owns) and snapped to a grid of edge ``resolution`` in
+  projected space.  Lemma 2 makes projected distance track original
+  distance, so two queries landing in the same cell are close in the
+  original space too — at the default (tiny) resolution the cache only
+  collapses byte-duplicate queries; widening it trades exactness for hit
+  rate, which is the ROADMAP's "near-duplicate reuse" knob.
+
+Writes invalidate: :meth:`ProjectedQueryCache.invalidate` bumps the cache
+epoch and clears every entry, and a ``put`` tagged with a pre-bump epoch
+is dropped — so an answer computed against pre-``add()`` data can never
+be served after the write, even if its batch was in flight while the
+write landed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import QueryResult
+from repro.queries import QuerySpec
+
+
+class ProjectedQueryCache:
+    """LRU cache of per-request :class:`QueryResult`s keyed by projected locality.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained entries; the least recently used entry is evicted
+        first.
+    resolution:
+        Edge length of the quantization cell in projected space.  The
+        default ``1e-9`` collapses only (numerically) identical queries;
+        raise it to let near-duplicates share answers.
+    projector:
+        Maps a ``(d,)`` query vector into the space the key is quantized
+        in.  The server passes the index's own projection when it has one
+        (``index.projection.project``); ``None`` quantizes the raw vector,
+        which keeps the cache exact-duplicate-correct for any backend.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 1024,
+        resolution: float = 1e-9,
+        projector: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if not resolution > 0.0:
+            raise ValueError(f"resolution must be positive, got {resolution}")
+        self.capacity = int(capacity)
+        self.resolution = float(resolution)
+        self._projector = projector
+        self._entries: "OrderedDict[Tuple, QueryResult]" = OrderedDict()
+        self.epoch = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key_for(self, query: np.ndarray, spec: QuerySpec) -> Tuple:
+        """The ``(merge key, quantized projected cell)`` key of one request."""
+        vector = np.asarray(query, dtype=np.float64)
+        if self._projector is not None:
+            vector = np.asarray(self._projector(vector), dtype=np.float64)
+        cell = np.round(vector / self.resolution).astype(np.int64)
+        return (spec.merge_key, cell.tobytes())
+
+    def get(self, query: np.ndarray, spec: QuerySpec) -> Optional[QueryResult]:
+        """The cached answer for this request, or ``None`` (counted as hit/miss)."""
+        key = self.key_for(query, spec)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(
+        self, query: np.ndarray, spec: QuerySpec, result: QueryResult, epoch: int
+    ) -> bool:
+        """Store *result* unless *epoch* is stale (pre-invalidation data).
+
+        *epoch* is the cache epoch captured when the answering batch was
+        dispatched; a mismatch means a write landed while the batch was in
+        flight, so the answer reflects pre-write data and is dropped.
+        Returns whether the entry was stored.
+        """
+        if epoch != self.epoch:
+            return False
+        key = self.key_for(query, spec)
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return True
+
+    def invalidate(self) -> None:
+        """Drop every entry and bump the epoch (called on every ``add()``)."""
+        self._entries.clear()
+        self.epoch += 1

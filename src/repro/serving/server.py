@@ -1,0 +1,474 @@
+"""The asyncio serving front-end: deadline-based micro-batching.
+
+PM-LSH's batch paths (one projection GEMM, one flat-tree frontier sweep
+per radius round) only pay off when queries arrive *as batches* — but a
+real service receives many small independent requests.
+:class:`AsyncSearchServer` closes that gap: concurrent ``submit()``
+coroutines are coalesced per compatible
+:class:`~repro.queries.QuerySpec` (same
+:attr:`~repro.queries.QuerySpec.merge_key`) into one ``index.run()``
+call, dispatched when either the batch-size threshold or a deadline
+fires, and the batch answer is scattered back to per-request futures.
+The batch = loop invariant of the unified API makes the coalescing
+invisible: every request receives exactly the bytes a direct
+``run()`` would have produced, ``(distance, id)`` ties included.
+
+Life of a request
+-----------------
+1. **queue** — ``submit(q, spec)`` appends the query to the pending
+   queue of its spec's merge key; the first entry arms a deadline timer
+   (``max_delay_ms``).
+2. **coalesce** — the queue dispatches when it reaches ``max_batch``
+   (size flush), when its deadline fires (a lone straggler never waits
+   longer than the window), or when ``flush()`` drains it (writes and
+   shutdown do).
+3. **run** — the stacked ``(B, d)`` matrix goes through
+   ``loop.run_in_executor`` to a single worker thread, so the event loop
+   keeps accepting arrivals while NumPy works and the index only ever
+   sees one caller thread (the ``ANNIndex`` concurrency contract).
+4. **scatter** — row i of the batch answer resolves request i's future;
+   per-request latency lands in a
+   :class:`~repro.engine.stats.LatencyWindow` and serving fields
+   (``serving_batch_size``, ``serving_wait_ms``) are woven into the
+   result stats.
+
+Writes interleave epoch-style: ``add(points)`` first drains every
+pending queue (requests already submitted are answered against pre-write
+data), bumps the epoch — invalidating the
+:class:`~repro.serving.cache.ProjectedQueryCache` — and then runs the
+index mutation through the same single-worker executor, strictly *after*
+the drained batches.  An in-flight batch is therefore never torpedoed by
+an ingest, and a cached answer computed before a write is never served
+after it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import ANNIndex, QueryResult
+from repro.engine.stats import LatencyWindow
+from repro.queries import QuerySpec, as_query_spec
+from repro.serving.cache import ProjectedQueryCache
+from repro.serving.stats import ServingStats
+
+
+class _PendingRequest:
+    """One queued query: its vector, its future, and when it arrived."""
+
+    __slots__ = ("query", "future", "enqueued_at")
+
+    def __init__(
+        self, query: np.ndarray, future: "asyncio.Future[QueryResult]", enqueued_at: float
+    ) -> None:
+        self.query = query
+        self.future = future
+        self.enqueued_at = enqueued_at
+
+
+class _PendingBatch:
+    """The open queue of one merge key: requests plus the armed deadline."""
+
+    __slots__ = ("spec", "requests", "timer")
+
+    def __init__(self, spec: QuerySpec) -> None:
+        self.spec = spec
+        self.requests: List[_PendingRequest] = []
+        self.timer: Optional[asyncio.TimerHandle] = None
+
+
+class AsyncSearchServer:
+    """Asyncio micro-batching server in front of any :class:`ANNIndex`.
+
+    Works over a single index or the sharded engine alike — anything the
+    registry produces.  All methods must be called from the event loop
+    thread; the index itself is only ever touched from the server's
+    single executor worker.
+
+    Parameters
+    ----------
+    index:
+        The fitted backend to serve (single index or ``ShardedIndex``).
+    max_batch:
+        Size threshold: a queue dispatches as soon as it holds this many
+        requests.  ``1`` disables coalescing (every request is its own
+        ``run()`` call) — the baseline the serving benchmark compares
+        against.
+    max_delay_ms:
+        Deadline: the oldest queued request never waits longer than this
+        before its batch dispatches, full or not.  ``0`` dispatches on
+        the next event-loop pass — same-tick bursts (one ``gather``)
+        still coalesce, but nothing waits beyond the current iteration.
+    cache:
+        ``None`` (no caching), an int (capacity of a
+        :class:`~repro.serving.cache.ProjectedQueryCache` built over the
+        index's own projection layer when it has one), or a pre-built
+        cache instance.
+    cache_resolution:
+        Quantization cell edge forwarded when *cache* is an int.
+    executor:
+        Override for the bridge executor.  Must run jobs **in submission
+        order on one worker** (the default single-thread pool does):
+        write-after-read ordering and the index's one-caller contract
+        both ride on it.
+    latency_capacity:
+        Retained samples of the per-request latency window.
+
+    Examples
+    --------
+    >>> import asyncio
+    >>> import numpy as np
+    >>> import repro
+    >>> from repro.serving import AsyncSearchServer
+    >>> data = np.random.default_rng(0).normal(size=(500, 16))
+    >>> async def demo():
+    ...     async with AsyncSearchServer(
+    ...         repro.create_index("exact").fit(data), max_batch=8
+    ...     ) as server:
+    ...         results = await server.submit_many(data[:4] + 0.01, repro.Knn(k=3))
+    ...         return [len(r) for r in results]
+    >>> asyncio.run(demo())
+    [3, 3, 3, 3]
+    """
+
+    def __init__(
+        self,
+        index: ANNIndex,
+        *,
+        max_batch: int = 32,
+        max_delay_ms: float = 2.0,
+        cache: ProjectedQueryCache | int | None = None,
+        cache_resolution: float = 1e-9,
+        executor: Optional[Executor] = None,
+        latency_capacity: int = 4096,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_ms < 0.0:
+            raise ValueError(f"max_delay_ms must be >= 0, got {max_delay_ms}")
+        self.index = index
+        self.max_batch = int(max_batch)
+        self.max_delay_ms = float(max_delay_ms)
+        self.cache = (
+            self._build_cache(index, cache, cache_resolution)
+            if isinstance(cache, int)
+            else cache
+        )
+        self._executor: Executor = executor or ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serving"
+        )
+        self._owns_executor = executor is None
+        self._latency = LatencyWindow(latency_capacity)
+        self._queues: Dict[Tuple, _PendingBatch] = {}
+        self._inflight: set = set()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._closed = False
+        self._epoch = 0
+        self._requests_submitted = 0
+        self._requests_served = 0
+        self._batches_served = 0
+        self._requests_batched = 0
+        self._size_flushes = 0
+        self._deadline_flushes = 0
+        self._drain_flushes = 0
+        self._points_added = 0
+        #: serving-annotated ``stats`` dict of the most recent batch result.
+        self.last_batch_stats: Dict[str, float] = {}
+
+    @staticmethod
+    def _build_cache(
+        index: ANNIndex, capacity: int, resolution: float
+    ) -> ProjectedQueryCache:
+        """Cache over the index's own hash layer when it has one.
+
+        PM-LSH exposes ``projection.project``; backends without one (the
+        exact oracle, the sharded engine) fall back to quantizing the raw
+        vector, which still collapses duplicate queries exactly.
+        """
+        projection = getattr(index, "projection", None)
+        projector = projection.project if projection is not None else None
+        return ProjectedQueryCache(
+            capacity=capacity, resolution=resolution, projector=projector
+        )
+
+    # ------------------------------------------------------------------
+    # the read path
+    # ------------------------------------------------------------------
+
+    async def submit(self, query: np.ndarray, spec: QuerySpec | int) -> QueryResult:
+        """Answer one query vector under *spec*, coalesced with its peers.
+
+        Awaits until the request's batch has run; the returned
+        :class:`QueryResult` is byte-identical to the matching row of a
+        direct ``index.run()`` over the same queries.  A cache hit (when
+        caching is enabled) short-circuits the batcher entirely.
+        """
+        spec = as_query_spec(spec)
+        self._require_open()
+        loop = self._bind_loop()
+        vector = np.asarray(query, dtype=np.float64)
+        if vector.ndim != 1:
+            raise ValueError(
+                f"submit takes one (d,) query vector, got shape {vector.shape}"
+            )
+        self._requests_submitted += 1
+        enqueued_at = loop.time()
+        if self.cache is not None:
+            cached = self.cache.get(vector, spec)
+            if cached is not None:
+                self._requests_served += 1
+                self._latency.record((loop.time() - enqueued_at) * 1e3)
+                return QueryResult(
+                    ids=cached.ids,
+                    distances=cached.distances,
+                    stats={**cached.stats, "served_from_cache": 1.0},
+                )
+        future: "asyncio.Future[QueryResult]" = loop.create_future()
+        key = spec.merge_key
+        batch = self._queues.get(key)
+        if batch is None:
+            batch = _PendingBatch(spec)
+            self._queues[key] = batch
+            if self.max_batch > 1:
+                # A zero window still goes through call_later(0): the
+                # callback runs on the next loop pass, so a burst of
+                # submits issued in the same tick (one gather) coalesces
+                # while nothing ever waits beyond the current iteration.
+                batch.timer = loop.call_later(
+                    self.max_delay_ms / 1e3, self._on_deadline, key
+                )
+        batch.requests.append(_PendingRequest(vector, future, enqueued_at))
+        if len(batch.requests) >= self.max_batch:
+            self._dispatch(key, "size")
+        return await future
+
+    async def submit_many(
+        self, queries: np.ndarray, spec: QuerySpec | int
+    ) -> List[QueryResult]:
+        """Submit every row of *queries* concurrently; results in row order."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        return list(
+            await asyncio.gather(*(self.submit(row, spec) for row in queries))
+        )
+
+    # ------------------------------------------------------------------
+    # the write path
+    # ------------------------------------------------------------------
+
+    async def add(self, points: np.ndarray) -> np.ndarray:
+        """Grow the served index; returns the assigned ids.
+
+        Epoch-style interleaving: every pending queue drains first (their
+        executor jobs are enqueued ahead of the write, so requests
+        submitted before the ``add`` are answered against pre-write
+        data), the cache epoch bumps, and only then does the mutation run
+        on the executor — never in the middle of a dispatched batch.
+        """
+        self._require_open()
+        loop = self._bind_loop()
+        points = np.asarray(points, dtype=np.float64)
+        self.flush()
+        self._epoch += 1
+        if self.cache is not None:
+            self.cache.invalidate()
+        ids = await loop.run_in_executor(self._executor, self.index.add, points)
+        self._points_added += int(ids.size)
+        return ids
+
+    # ------------------------------------------------------------------
+    # batching machinery
+    # ------------------------------------------------------------------
+
+    def flush(self) -> int:
+        """Dispatch every pending queue now; returns the number dispatched."""
+        keys = list(self._queues)
+        for key in keys:
+            self._dispatch(key, "drain")
+        return len(keys)
+
+    def _on_deadline(self, key: Tuple) -> None:
+        self._dispatch(key, "deadline")
+
+    def _dispatch(self, key: Tuple, reason: str) -> None:
+        """Move one queue into execution: stack, submit to the executor,
+        and hand the scatter to a task.  The executor submission happens
+        *here*, synchronously, so dispatch order is execution order."""
+        batch = self._queues.pop(key, None)
+        if batch is None:
+            return
+        if batch.timer is not None:
+            batch.timer.cancel()
+        if not batch.requests:
+            return
+        if reason == "size":
+            self._size_flushes += 1
+        elif reason == "deadline":
+            self._deadline_flushes += 1
+        else:
+            self._drain_flushes += 1
+        loop = self._loop
+        queries = np.stack([request.query for request in batch.requests])
+        dispatched_at = loop.time()
+        # The *cache's* epoch (not the server's) tags the eventual puts:
+        # a pre-built or reused cache may start at any epoch, and only
+        # its own counter decides staleness.
+        cache_epoch = self.cache.epoch if self.cache is not None else 0
+        run_future = loop.run_in_executor(
+            self._executor, self.index.run, queries, batch.spec
+        )
+        task = loop.create_task(
+            self._scatter(batch, run_future, self._epoch, cache_epoch, dispatched_at)
+        )
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _scatter(
+        self,
+        batch: _PendingBatch,
+        run_future: "asyncio.Future",
+        epoch: int,
+        cache_epoch: int,
+        dispatched_at: float,
+    ) -> None:
+        """Await the batch answer and resolve every request's future."""
+        requests = batch.requests
+        try:
+            result = await run_future
+        except Exception as exc:  # propagate to every waiter, keep serving
+            for request in requests:
+                if not request.future.cancelled():
+                    request.future.set_exception(exc)
+            return
+        loop = self._loop
+        now = loop.time()
+        waits_ms = [(dispatched_at - request.enqueued_at) * 1e3 for request in requests]
+        result.stats["serving_batch_size"] = float(len(requests))
+        result.stats["serving_wait_ms"] = float(np.mean(waits_ms))
+        result.stats["serving_wait_ms_max"] = float(np.max(waits_ms))
+        result.stats["serving_epoch"] = float(epoch)
+        self.last_batch_stats = dict(result.stats)
+        self._batches_served += 1
+        self._requests_batched += len(requests)
+        for i, request in enumerate(requests):
+            answer = result[i]
+            answer.stats["serving_batch_size"] = float(len(requests))
+            answer.stats["serving_wait_ms"] = waits_ms[i]
+            if self.cache is not None:
+                self.cache.put(request.query, batch.spec, answer, cache_epoch)
+            self._requests_served += 1
+            self._latency.record((now - request.enqueued_at) * 1e3)
+            if not request.future.cancelled():
+                request.future.set_result(answer)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def close(self) -> None:
+        """Drain and stop: flush pending queues, await every in-flight
+        batch (no submitted request is ever dropped), then shut the
+        executor down.  Idempotent; ``submit``/``add`` raise afterwards."""
+        if not self._closed:
+            self._closed = True
+            self.flush()
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        if self._owns_executor:
+            self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "AsyncSearchServer":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("AsyncSearchServer is closed")
+
+    def _bind_loop(self) -> asyncio.AbstractEventLoop:
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+        elif self._loop is not loop:
+            raise RuntimeError(
+                "AsyncSearchServer is bound to a different event loop; "
+                "create one server per loop"
+            )
+        return loop
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently queued and not yet dispatched."""
+        return sum(len(batch.requests) for batch in self._queues.values())
+
+    def stats(self) -> ServingStats:
+        """Current serving statistics snapshot (see :class:`ServingStats`)."""
+        return ServingStats(
+            requests_submitted=self._requests_submitted,
+            requests_served=self._requests_served,
+            batches_served=self._batches_served,
+            queue_depth=self.queue_depth,
+            inflight_batches=len(self._inflight),
+            size_flushes=self._size_flushes,
+            deadline_flushes=self._deadline_flushes,
+            drain_flushes=self._drain_flushes,
+            cache_hits=self.cache.hits if self.cache is not None else 0,
+            cache_misses=self.cache.misses if self.cache is not None else 0,
+            points_added=self._points_added,
+            epoch=self._epoch,
+            mean_occupancy=(
+                self._requests_batched / self._batches_served
+                if self._batches_served
+                else float("nan")
+            ),
+            latency_p50_ms=self._latency.p50,
+            latency_p99_ms=self._latency.p99,
+            latency_mean_ms=self._latency.mean,
+        )
+
+    def __repr__(self) -> str:
+        cache = "off" if self.cache is None else f"cap={self.cache.capacity}"
+        return (
+            f"{type(self).__name__}(index={self.index!r}, "
+            f"max_batch={self.max_batch}, max_delay_ms={self.max_delay_ms}, "
+            f"cache={cache})"
+        )
+
+
+async def open_loop_arrivals(
+    server: AsyncSearchServer,
+    queries: Sequence[np.ndarray],
+    spec: QuerySpec | int,
+    rate_per_s: float,
+    seed: int = 0,
+) -> List[QueryResult]:
+    """Drive *server* with open-loop Poisson arrivals at *rate_per_s*.
+
+    Open loop means arrival times are drawn up front (exponential
+    inter-arrivals) and do **not** wait for earlier answers — the
+    realistic serving shape, where a slow server builds a queue instead
+    of slowing its clients down.  Returns the per-request results in
+    arrival order; used by the serving example and benchmark.
+    """
+    if not rate_per_s > 0.0:
+        raise ValueError(f"rate_per_s must be positive, got {rate_per_s}")
+    rng = np.random.default_rng(seed)
+    targets = np.cumsum(rng.exponential(1.0 / rate_per_s, size=len(queries)))
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    tasks = []
+    for i, query in enumerate(queries):
+        delay = start + float(targets[i]) - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(loop.create_task(server.submit(query, spec)))
+    return list(await asyncio.gather(*tasks))

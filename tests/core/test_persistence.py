@@ -115,6 +115,101 @@ class TestSaveLoad:
         assert int(hit.ids[0]) == int(new_ids[5])
 
 
+class TestFlatTreePersistence:
+    """The FlatPMTree arrays travel inside the archive: load() restores
+    the batched hot path with no pointer-tree rebuild and no re-flatten."""
+
+    def test_archive_contains_flat_arrays(self, index, tmp_path):
+        path = str(tmp_path / "flat.npz")
+        index.save(path)
+        with np.load(path) as archive:
+            keys = set(archive.files)
+        assert {"flat_is_leaf", "flat_entry_center", "flat_leaf_ids",
+                "flat_levels", "flat_pivot_dists"} <= keys
+
+    def test_load_neither_rebuilds_nor_reflattens(
+        self, index, small_clustered, tmp_path, monkeypatch
+    ):
+        from repro.pmtree.tree import PMTree
+
+        path = str(tmp_path / "noflatten.npz")
+        index.save(path)
+        monkeypatch.setattr(
+            PMTree, "flatten",
+            lambda self: pytest.fail("load() re-flattened the pointer tree"),
+        )
+        monkeypatch.setattr(
+            PMTree, "build",
+            classmethod(lambda cls, *a, **k: pytest.fail("load() rebuilt the tree")),
+        )
+        restored = PMLSH.load(path)
+        assert restored._tree is None  # pointer tree not materialised
+        assert restored._flat is not None  # snapshot restored from arrays
+        restored.search(small_clustered[:8] + 0.01, k=5)  # flat path serves
+        assert restored._tree is None
+
+    def test_round_trip_batch_results_byte_identical(
+        self, index, small_clustered, tmp_path
+    ):
+        path = str(tmp_path / "bytes.npz")
+        index.save(path)
+        restored = PMLSH.load(path)
+        queries = small_clustered[:20] + 0.01
+        a, b = index.search(queries, 10), restored.search(queries, 10)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        np.testing.assert_array_equal(a.distances, b.distances)
+        ra, rb = index.range_search(queries, r=4.0), restored.range_search(queries, r=4.0)
+        np.testing.assert_array_equal(ra.lims, rb.lims)
+        np.testing.assert_array_equal(ra.ids, rb.ids)
+        np.testing.assert_array_equal(ra.distances, rb.distances)
+        # … including the traversal counters (same nodes pruned/visited).
+        assert a.stats["tree_nodes"] == b.stats["tree_nodes"]
+        assert ra.stats["tree_dist_comps"] == rb.stats["tree_dist_comps"]
+
+    def test_flat_snapshot_matches_original_arrays(self, index, tmp_path):
+        path = str(tmp_path / "arrays.npz")
+        index.save(path)
+        restored = PMLSH.load(path)
+        original, loaded = index.flat_tree, restored.flat_tree
+        for key, value in original.to_arrays().items():
+            np.testing.assert_array_equal(value, loaded.to_arrays()[key], err_msg=key)
+        np.testing.assert_array_equal(original.points, loaded.points)
+
+    def test_legacy_archive_without_flat_arrays_still_loads(
+        self, index, small_clustered, tmp_path
+    ):
+        """Archives from before the flat arrays (no flat_* keys) fall back
+        to the eager deterministic rebuild."""
+        path = str(tmp_path / "legacy.npz")
+        index.save(path)
+        with np.load(path) as archive:
+            stripped = {
+                key: archive[key]
+                for key in archive.files
+                if not key.startswith("flat_")
+            }
+        legacy_path = str(tmp_path / "legacy_stripped.npz")
+        np.savez_compressed(legacy_path, **stripped)
+        restored = PMLSH.load(legacy_path)
+        assert restored._tree is not None  # eager rebuild path
+        q = small_clustered[3] + 0.01
+        np.testing.assert_array_equal(
+            restored.query(q, 5).ids, index.query(q, 5).ids
+        )
+
+    def test_lazy_pointer_tree_materialises_for_add(
+        self, index, small_clustered, tmp_path
+    ):
+        path = str(tmp_path / "lazygrow.npz")
+        index.save(path)
+        restored = PMLSH.load(path)
+        assert restored._tree is None
+        new_ids = restored.add(small_clustered[500:510])
+        assert restored._tree is not None
+        hit = restored.query(small_clustered[503], k=1)
+        assert int(hit.ids[0]) == int(new_ids[3])
+
+
 class TestLoadIndexDispatch:
     """repro.load_index(path): registry-name dispatch to the right class."""
 

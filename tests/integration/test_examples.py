@@ -56,7 +56,8 @@ def test_deduplication_runs():
 
 @pytest.mark.slow
 def test_serving_runs():
-    output = run_example("serving.py", "600", "4")
+    output = run_example("serving.py", "600", "120")
     assert "QPS" in output
     assert "fresh findable: True" in output
+    assert "Serving stats (async micro-batcher)" in output
     assert "Engine stats (4 shards)" in output

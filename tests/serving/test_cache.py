@@ -1,0 +1,200 @@
+"""Tests for the projected-locality query-result cache."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import Knn, Range, create_index
+from repro.engine.stats import LatencyWindow
+from repro.queries import QuerySpec
+from repro.serving import AsyncSearchServer, ProjectedQueryCache
+
+
+class TestMergeKeys:
+    def test_equal_specs_share_a_key(self):
+        assert Knn(k=5).merge_key == Knn(k=5).merge_key
+        assert Knn(k=5).can_merge_with(Knn(k=5))
+        assert Range(r=2.0, c=1.5).merge_key == Range(r=2.0, c=1.5).merge_key
+
+    def test_any_field_difference_splits_the_key(self):
+        assert not Knn(k=5).can_merge_with(Knn(k=6))
+        assert not Knn(k=5).can_merge_with(Knn(k=5, budget=100))
+        assert not Knn(k=5).can_merge_with(Knn(k=5, c=2.0))
+        assert not Range(r=2.0).can_merge_with(Range(r=2.5))
+        assert not Knn(k=5).can_merge_with(Range(r=5.0))
+
+    def test_keys_are_hashable(self):
+        grouped = {spec.merge_key for spec in [Knn(5), Knn(5), Knn(6), Range(r=1.0)]}
+        assert len(grouped) == 3
+
+    def test_base_spec_key(self):
+        assert QuerySpec().merge_key == ("QuerySpec",)
+
+
+class TestProjectedQueryCache:
+    def make_result(self, seed: int):
+        from repro.baselines.base import QueryResult
+
+        rng = np.random.default_rng(seed)
+        return QueryResult(
+            ids=rng.integers(0, 100, size=3), distances=np.sort(rng.random(3))
+        )
+
+    def test_put_get_round_trip_and_counters(self):
+        cache = ProjectedQueryCache(capacity=8)
+        q = np.arange(4, dtype=np.float64)
+        result = self.make_result(0)
+        assert cache.get(q, Knn(k=3)) is None
+        assert cache.put(q, Knn(k=3), result, epoch=0)
+        hit = cache.get(q, Knn(k=3))
+        assert hit is result
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_spec_key_separates_entries(self):
+        cache = ProjectedQueryCache(capacity=8)
+        q = np.arange(4, dtype=np.float64)
+        cache.put(q, Knn(k=3), self.make_result(0), epoch=0)
+        assert cache.get(q, Knn(k=4)) is None
+        assert cache.get(q, Range(r=1.0)) is None
+
+    def test_resolution_collapses_near_duplicates(self):
+        fine = ProjectedQueryCache(capacity=8, resolution=1e-9)
+        coarse = ProjectedQueryCache(capacity=8, resolution=1.0)
+        q = np.zeros(4)
+        near = q + 1e-3
+        result = self.make_result(1)
+        fine.put(q, Knn(k=3), result, epoch=0)
+        coarse.put(q, Knn(k=3), result, epoch=0)
+        assert fine.get(near, Knn(k=3)) is None  # distinct cells
+        assert coarse.get(near, Knn(k=3)) is result  # same cell
+
+    def test_lru_eviction(self):
+        cache = ProjectedQueryCache(capacity=2)
+        queries = [np.full(3, float(i)) for i in range(3)]
+        for i, q in enumerate(queries):
+            cache.put(q, Knn(k=1), self.make_result(i), epoch=0)
+        assert cache.get(queries[0], Knn(k=1)) is None  # evicted
+        assert cache.get(queries[2], Knn(k=1)) is not None
+
+    def test_stale_epoch_put_is_dropped(self):
+        cache = ProjectedQueryCache(capacity=8)
+        q = np.arange(3, dtype=np.float64)
+        cache.invalidate()  # epoch 0 -> 1
+        assert not cache.put(q, Knn(k=1), self.make_result(0), epoch=0)
+        assert len(cache) == 0
+        assert cache.put(q, Knn(k=1), self.make_result(0), epoch=1)
+
+    def test_projector_is_used_for_keys(self, small_clustered):
+        index = create_index("pm-lsh", seed=5).fit(small_clustered[:300])
+        cache = ProjectedQueryCache(capacity=4, projector=index.projection.project)
+        q = small_clustered[0]
+        key = cache.key_for(q, Knn(k=2))
+        cell = np.frombuffer(key[1], dtype=np.int64)
+        assert cell.size == index.params.m  # keyed in projected space, not R^d
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ProjectedQueryCache(capacity=0)
+        with pytest.raises(ValueError, match="resolution"):
+            ProjectedQueryCache(resolution=0.0)
+
+
+class TestServerCacheIntegration:
+    def test_repeat_query_hits_and_is_identical(self, small_clustered):
+        index = create_index("pm-lsh", seed=7).fit(small_clustered[:400])
+        q = small_clustered[5] + 0.01
+
+        async def serve():
+            async with AsyncSearchServer(index, max_batch=4, cache=32) as server:
+                first = await server.submit(q, Knn(k=6))
+                second = await server.submit(q, Knn(k=6))
+                return first, second, server.stats()
+
+        first, second, stats = asyncio.run(serve())
+        assert "served_from_cache" not in first.stats
+        assert second.stats["served_from_cache"] == 1.0
+        np.testing.assert_array_equal(first.ids, second.ids)
+        np.testing.assert_array_equal(first.distances, second.distances)
+        assert (stats.cache_hits, stats.cache_misses) == (1, 1)
+        assert stats.cache_hit_rate == 0.5
+        # The hit never reached the batcher: one batch total.
+        assert stats.batches_served == 1
+
+    def test_prebuilt_cache_with_nonzero_epoch_still_stores(self, small_clustered):
+        """Regression: puts used to be tagged with the *server's* epoch,
+        so a pre-built (or previously invalidated) cache whose own epoch
+        wasn't 0 silently rejected every store."""
+        index = create_index("exact").fit(small_clustered[:150])
+        cache = ProjectedQueryCache(capacity=16)
+        cache.invalidate()  # epoch 1 before the server ever sees it
+        q = small_clustered[2]
+
+        async def serve():
+            async with AsyncSearchServer(index, max_batch=2, cache=cache) as server:
+                await server.submit(q, Knn(k=2))
+                hit = await server.submit(q, Knn(k=2))
+                return hit
+
+        hit = asyncio.run(serve())
+        assert hit.stats["served_from_cache"] == 1.0
+        assert cache.hits == 1
+
+    def test_add_invalidates_cached_answers(self, small_clustered):
+        index = create_index("pm-lsh", seed=8).fit(small_clustered[:300])
+        q = small_clustered[3] + 0.005
+
+        async def serve():
+            async with AsyncSearchServer(index, max_batch=4, cache=32) as server:
+                await server.submit(q, Knn(k=4))  # miss, fills cache
+                await server.add(small_clustered[300:320])
+                refreshed = await server.submit(q, Knn(k=4))  # must recompute
+                return refreshed, server.stats()
+
+        refreshed, stats = asyncio.run(serve())
+        assert "served_from_cache" not in refreshed.stats
+        assert stats.cache_hits == 0
+        assert stats.cache_misses == 2
+        assert stats.epoch == 1
+
+    def test_cached_answers_see_post_add_data_never_pre_add(self, small_clustered):
+        """After a write, a lookup of the same query must reflect the
+        grown dataset (the planted duplicate wins), not the cached
+        pre-write answer."""
+        index = create_index("exact").fit(small_clustered[:200])
+        q = small_clustered[250]  # not indexed yet
+
+        async def serve():
+            async with AsyncSearchServer(index, max_batch=2, cache=16) as server:
+                before = await server.submit(q, Knn(k=1))
+                await server.add(q[None, :])  # plant an exact duplicate
+                after = await server.submit(q, Knn(k=1))
+                return before, after
+
+        before, after = asyncio.run(serve())
+        assert float(before.distances[0]) > 0.0
+        assert int(after.ids[0]) == 200 and float(after.distances[0]) == 0.0
+
+
+class TestLatencyWindow:
+    def test_percentiles_over_recorded_samples(self):
+        window = LatencyWindow(capacity=8)
+        assert np.isnan(window.p50) and np.isnan(window.mean)
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            window.record(value)
+        assert window.p50 == 2.5
+        assert window.count == 4
+        assert window.mean == 2.5
+
+    def test_ring_buffer_evicts_oldest(self):
+        window = LatencyWindow(capacity=4)
+        for value in range(100):
+            window.record(float(value))
+        assert window.count == 100
+        assert window.percentile(0) == 96.0  # only the newest 4 retained
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LatencyWindow(capacity=0)

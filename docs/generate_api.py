@@ -27,8 +27,10 @@ HEADER = """\
 
 Generated from the library's docstrings by [`docs/generate_api.py`](generate_api.py);
 CI fails when this file goes stale.  Start with the
-[architecture overview](architecture.md) for how the pieces fit together
-and the [tuning guide](tuning.md) for the knobs.
+[architecture overview](architecture.md) for how the pieces fit together,
+the [tuning guide](tuning.md) for the knobs, and the
+[lifecycle guide](lifecycle.md) for deletes, compaction and replica
+snapshots.
 
 A minimal end-to-end session:
 
@@ -94,6 +96,14 @@ def build() -> str:
     from repro.core.pmlsh import PMLSH
     from repro.engine.sharded import ShardedIndex
     from repro.engine.stats import EngineStats, LatencyWindow
+    from repro.lifecycle.compaction import (
+        CompactionPolicy,
+        CompactionResult,
+        compact_index,
+    )
+    from repro.lifecycle.replica import Replica
+    from repro.lifecycle.tombstones import TombstoneSet
+    from repro.persistence import snapshot_epoch
     from repro.pmtree.flat import FlatPMTree
     from repro.queries import ClosestPairResult, Knn, Range, RangeResult
     from repro.serving.cache import ProjectedQueryCache
@@ -112,12 +122,16 @@ def build() -> str:
             [
                 "fit",
                 "add",
+                "delete",
+                "compact",
                 "search",
                 "run",
                 "range_search",
                 "closest_pairs",
                 "query",
                 "ntotal",
+                "nlive",
+                "epoch",
             ],
         ),
         "## Query specs\n",
@@ -135,10 +149,28 @@ def build() -> str:
         "## The sharded serving engine\n",
         _class_section(ShardedIndex, ["stats", "locate", "close"]),
         _class_section(EngineStats, ["qps", "as_table"]),
+        "## Index lifecycle: deletes, compaction, replicas\n",
+        _class_section(TombstoneSet, ["mark", "contains", "alive_mask", "live_ids"]),
+        _class_section(CompactionPolicy, ["reason", "should_compact"]),
+        _class_section(CompactionResult, []),
+        _function_section(compact_index),
+        _class_section(Replica, ["refresh"]),
+        _function_section(snapshot_epoch),
         "## The async serving front-end\n",
         _class_section(
             AsyncSearchServer,
-            ["submit", "submit_many", "add", "flush", "close", "stats", "queue_depth"],
+            [
+                "submit",
+                "submit_many",
+                "add",
+                "delete",
+                "compact",
+                "swap_index",
+                "flush",
+                "close",
+                "stats",
+                "queue_depth",
+            ],
         ),
         _class_section(ProjectedQueryCache, ["get", "put", "invalidate", "key_for"]),
         _class_section(ServingStats, ["cache_hit_rate", "as_dict", "as_table"]),

@@ -23,6 +23,12 @@ version's workloads.  The package provides:
   with a deadline-based micro-batcher, interleaves writes epoch-style,
   and caches answers by projected locality
   (:class:`ProjectedQueryCache`);
+* an index lifecycle subsystem (:mod:`repro.lifecycle`): tombstone
+  deletes (``index.delete(ids)``) filtered at verification time so
+  results match an index that never held the dead points, background
+  compaction (:class:`CompactionPolicy`, ``index.compact()``,
+  :func:`compact_index`) and epoch-stamped replica snapshots
+  (:class:`Replica`, :func:`snapshot_epoch`);
 * the substrates: PM-tree (:mod:`repro.pmtree`), R-tree
   (:mod:`repro.rtree`), B+-tree (:mod:`repro.bptree`);
 * synthetic dataset emulations and hardness statistics
@@ -86,7 +92,14 @@ from repro.core import (
 )
 from repro.datasets import load_dataset
 from repro.engine import EngineStats, ShardedIndex
-from repro.persistence import load_index
+from repro.lifecycle import (
+    CompactionPolicy,
+    CompactionResult,
+    Replica,
+    TombstoneSet,
+    compact_index,
+)
+from repro.persistence import load_index, snapshot_epoch
 from repro.pmtree import PMTree
 from repro.queries import (
     ClosestPairResult,
@@ -112,6 +125,8 @@ __all__ = [
     "BatchResult",
     "C2LSH",
     "ClosestPairResult",
+    "CompactionPolicy",
+    "CompactionResult",
     "E2LSH",
     "EngineStats",
     "ExactKNN",
@@ -132,15 +147,19 @@ __all__ = [
     "RTree",
     "Range",
     "RangeResult",
+    "Replica",
     "SRS",
     "ServingStats",
     "ShardedIndex",
+    "TombstoneSet",
     "__version__",
     "available_indexes",
+    "compact_index",
     "create_index",
     "get_index_class",
     "load_dataset",
     "load_index",
     "register_index",
+    "snapshot_epoch",
     "solve_parameters",
 ]

@@ -26,11 +26,14 @@ closest-pair search, and algorithms with a native sublinear path
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+import functools
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.lifecycle.compaction import CompactionResult, dense_id_map
+from repro.lifecycle.tombstones import TombstoneSet
 from repro.queries import (
     ClosestPairResult,
     Knn,
@@ -196,6 +199,40 @@ class ANNIndex(abc.ABC):
     _honours_knn_overrides: bool = False
     _honours_range_overrides: bool = False
 
+    #: Whether :meth:`_run_knn` drops tombstoned ids itself (the exact
+    #: oracle scans live rows only; PM-LSH masks dead leaf members; the
+    #: sharded engine forwards to filtering shards).  When False,
+    #: :meth:`run` over-fetches ``k + #dead`` and strips dead ids before
+    #: the final k cut — correct for any backend, at extra candidate cost.
+    _knn_filters_tombstones: bool = False
+
+    #: Constructor kwargs captured by ``__init_subclass__`` (used by
+    #: :func:`repro.lifecycle.compaction.compact_index` to clone the
+    #: index into a fresh object with identical parameters).
+    _init_kwargs: Optional[Dict] = None
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Wrap each subclass ``__init__`` to record its keyword arguments.
+
+        Every v2.0 constructor is keyword-only, so the outermost call's
+        kwargs fully describe how to build an equivalent index; nested
+        ``super().__init__`` calls must not overwrite them, hence the
+        "first writer wins" guard.
+        """
+        super().__init_subclass__(**kwargs)
+        init = cls.__dict__.get("__init__")
+        if init is None or getattr(init, "_captures_init_kwargs", False):
+            return
+
+        @functools.wraps(init)
+        def wrapper(self, *args, **kw):
+            if "_init_kwargs" not in self.__dict__:
+                self.__dict__["_init_kwargs"] = dict(kw)
+            init(self, *args, **kw)
+
+        wrapper._captures_init_kwargs = True
+        cls.__init__ = wrapper
+
     #: Cap on the entries of one block × n × d difference tensor inside the
     #: brute-force range / closest-pair fallbacks (~32 MB of float64).
     _FALLBACK_BLOCK_ENTRIES = 4_000_000
@@ -206,6 +243,14 @@ class ANNIndex(abc.ABC):
     def __init__(self) -> None:
         self.data: Optional[np.ndarray] = None
         self._built = False
+        self._tombstones = TombstoneSet()
+        #: Monotonically increasing write-epoch: every fit/add/delete/
+        #: compact bumps it, and ``save()`` stamps it into snapshots so
+        #: :class:`~repro.lifecycle.Replica` can order them.
+        self._index_epoch = 0
+        #: Cardinality at the last (re-)fit — the growth-ratio baseline
+        #: for :class:`~repro.lifecycle.CompactionPolicy`.
+        self._fitted_n = 0
 
     # ------------------------------------------------------------------
     # data binding
@@ -235,8 +280,48 @@ class ANNIndex(abc.ABC):
 
     @property
     def ntotal(self) -> int:
-        """Number of indexed vectors (faiss-style); 0 before ``fit``."""
+        """Number of stored vectors, dead rows included; 0 before ``fit``."""
         return 0 if self.data is None else int(self.data.shape[0])
+
+    @property
+    def nlive(self) -> int:
+        """Number of *living* vectors: ``ntotal`` minus the tombstones.
+
+        Queries are answered over the live set — ``search`` validates
+        ``k <= nlive`` — while ``ntotal`` keeps counting storage until a
+        :meth:`compact` reclaims the dead rows.
+        """
+        return self.ntotal - len(self._tombstones)
+
+    @property
+    def num_tombstones(self) -> int:
+        """Number of ids deleted since the last fit/compact."""
+        return len(self._tombstones)
+
+    @property
+    def tombstones(self) -> TombstoneSet:
+        """The tombstone set itself (treat as read-only; use :meth:`delete`)."""
+        return self._tombstones
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic write-epoch: bumps on every fit/add/delete/compact.
+
+        Never reset — ``save()`` stamps it into snapshots, and
+        :meth:`repro.lifecycle.Replica.refresh` swaps only to archives
+        with a strictly greater stamp.
+        """
+        return self._index_epoch
+
+    @property
+    def fitted_n(self) -> int:
+        """Cardinality at the last (re-)fit — the baseline the
+        growth-ratio compaction trigger measures drift against."""
+        return self._fitted_n
+
+    def live_ids(self) -> np.ndarray:
+        """Sorted global ids of the living points."""
+        return self._tombstones.live_ids(self.ntotal)
 
     @property
     def is_built(self) -> bool:
@@ -259,8 +344,11 @@ class ANNIndex(abc.ABC):
         """
         self._set_data(data)
         self._built = False
+        self._tombstones = TombstoneSet()
         self._fit()
         self._built = True
+        self._fitted_n = self.n
+        self._index_epoch += 1
         return self
 
     @abc.abstractmethod
@@ -283,13 +371,79 @@ class ANNIndex(abc.ABC):
             )
         if points.shape[0] == 0:
             return np.empty(0, dtype=np.int64)
-        return self._add(points)
+        ids = self._add(points)
+        self._index_epoch += 1
+        return ids
 
     def _add(self, points: np.ndarray) -> np.ndarray:
         start = self.n
         self._set_data(np.vstack([self.data, points]))
         self._fit()
         return np.arange(start, self.n, dtype=np.int64)
+
+    def delete(self, ids: np.ndarray) -> np.ndarray:
+        """Tombstone the points with the given global *ids*.
+
+        A logical delete: the rows stay in storage (``ntotal`` is
+        unchanged; ``nlive`` shrinks) but every query path filters them
+        out, so results are identical to an index that never held those
+        points.  Deleted ids are **never reused** — ``add()`` keeps
+        assigning from ``ntotal`` — until a :meth:`compact` renumbers the
+        survivors densely.  Returns the deleted ids, sorted and deduplicated.
+
+        Raises ``ValueError`` for out-of-range ids and for ids that are
+        already deleted (a double delete is almost always a caller bug).
+        Deleting every point is allowed; searches then reject any ``k``
+        until new points arrive or the index is re-fitted.
+        """
+        self._require_built()
+        ids = np.unique(np.asarray(ids, dtype=np.int64).ravel())
+        if ids.size == 0:
+            return ids
+        if ids[0] < 0 or ids[-1] >= self.ntotal:
+            raise ValueError(
+                f"{self.name}: delete ids must be in [0, {self.ntotal}), "
+                f"got range [{ids[0]}, {ids[-1]}]"
+            )
+        already = ids[self._tombstones.contains(ids)]
+        if already.size:
+            raise ValueError(
+                f"{self.name}: ids already deleted: {already[:8].tolist()}"
+                + ("..." if already.size > 8 else "")
+            )
+        self._tombstones.mark(ids)
+        self._index_epoch += 1
+        self._on_delete(ids)
+        return ids
+
+    def _on_delete(self, ids: np.ndarray) -> None:
+        """Subclass hook fired after ids were tombstoned (push the dead
+        set into auxiliary structures, forward to shards, ...)."""
+
+    def compact(self) -> CompactionResult:
+        """Physically drop tombstoned rows and re-fit over the survivors.
+
+        Re-fits **in place** over exactly the live rows — reclaiming
+        storage, re-deriving every n-dependent parameter, renumbering ids
+        densely and clearing the tombstone set.  Old global ids translate
+        through the returned result's ``id_map``.  For a non-blocking
+        rebuild into a fresh object (the serving path), use
+        :func:`repro.lifecycle.compact_index` instead.
+        """
+        self._require_built()
+        live = self.live_ids()
+        if live.size == 0:
+            raise ValueError(f"{self.name}: cannot compact with zero live points")
+        before = self.ntotal
+        removed = self.num_tombstones
+        self.fit(self.data[live])
+        return CompactionResult(
+            id_map=dense_id_map(live, before),
+            removed=removed,
+            before_ntotal=before,
+            after_ntotal=self.ntotal,
+            epoch=self.epoch,
+        )
 
     # ------------------------------------------------------------------
     # querying
@@ -314,7 +468,19 @@ class ANNIndex(abc.ABC):
         self._require_built()
         if isinstance(spec, Knn):
             queries = self._validate_queries(queries, spec.k)
-            result = self._run_knn(queries, spec)
+            dead = self.num_tombstones
+            if dead and not self._knn_filters_tombstones:
+                # Generic tombstone path: over-fetch so that even if every
+                # dead id lands in the result window there are still k live
+                # ids behind it, then strip and re-cut.  Exactness of the
+                # final k is inherited from the backend's own ordering.
+                wide = replace(spec, k=min(self.ntotal, spec.k + dead))
+                result = self._strip_dead(self._run_knn(queries, wide), spec.k)
+            else:
+                result = self._run_knn(queries, spec)
+            if dead:
+                result.stats["tombstones"] = float(dead)
+                result.stats["nlive"] = float(self.nlive)
             if spec.has_overrides and not self._honours_knn_overrides:
                 result.stats["overrides_ignored"] = 1.0
             return result
@@ -363,10 +529,36 @@ class ANNIndex(abc.ABC):
         m = int(m)
         if m < 1:
             raise ValueError(f"m must be >= 1, got {m}")
-        if self.n < 2:
-            raise ValueError(f"{self.name}: need at least 2 indexed points, have {self.n}")
-        max_pairs = self.n * (self.n - 1) // 2
+        if self.nlive < 2:
+            raise ValueError(
+                f"{self.name}: need at least 2 live indexed points, have {self.nlive}"
+            )
+        max_pairs = self.nlive * (self.nlive - 1) // 2
         return self._closest_pairs(min(m, max_pairs), budget=budget)
+
+    def _strip_dead(self, batch: BatchResult, k: int) -> BatchResult:
+        """Drop tombstoned ids from an over-fetched *batch*, re-cut to *k*.
+
+        Vectorised row compaction: surviving entries slide left within
+        their row (backend order preserved), rows re-pad with ``-1``/inf.
+        """
+        ids, dists = batch.ids, batch.distances
+        num_queries = ids.shape[0]
+        alive = (ids >= 0) & ~self._tombstones.contains(ids)
+        counts = alive.sum(axis=1)
+        rows = np.repeat(np.arange(num_queries), counts)
+        pos = np.arange(rows.size) - np.repeat(np.cumsum(counts) - counts, counts)
+        keep = pos < k
+        out_ids = np.full((num_queries, k), -1, dtype=np.int64)
+        out_dists = np.full((num_queries, k), np.inf, dtype=np.float64)
+        out_ids[rows[keep], pos[keep]] = ids[alive][keep]
+        out_dists[rows[keep], pos[keep]] = dists[alive][keep]
+        return BatchResult(
+            ids=out_ids,
+            distances=out_dists,
+            stats=dict(batch.stats),
+            per_query_stats=batch.per_query_stats,
+        )
 
     # -- subclass hooks -------------------------------------------------
 
@@ -384,10 +576,15 @@ class ANNIndex(abc.ABC):
         ``(distance, id)`` per query.  Distances come from the row-wise
         kernel, whose floats are independent of how the dataset is
         partitioned — the property behind sharded/single byte-equality.
+        Tombstoned rows are masked *after* the distance computation, so
+        the surviving floats are bit-identical to a tombstone-free index.
         """
         from repro.datasets.distance import pairwise_distances_rowwise
 
         block_rows = self._fallback_block_rows()
+        alive = (
+            self._tombstones.alive_mask(self.ntotal) if self._tombstones else None
+        )
         lims = [0]
         id_chunks: List[np.ndarray] = []
         dist_chunks: List[np.ndarray] = []
@@ -396,14 +593,17 @@ class ANNIndex(abc.ABC):
             block = queries[start : start + block_rows]
             dists = pairwise_distances_rowwise(block, self.data)
             for row in range(block.shape[0]):
-                inside = np.flatnonzero(dists[row] <= spec.r)
+                within = dists[row] <= spec.r
+                if alive is not None:
+                    within &= alive
+                inside = np.flatnonzero(within)
                 row_dists = dists[row][inside]
                 order = np.lexsort((inside, row_dists))
                 id_chunks.append(inside[order].astype(np.int64))
                 dist_chunks.append(row_dists[order])
                 lims.append(lims[-1] + inside.size)
                 per_query.append(
-                    {"candidates": float(self.n), "returned": float(inside.size)}
+                    {"candidates": float(self.nlive), "returned": float(inside.size)}
                 )
         return RangeResult(
             lims=np.asarray(lims, dtype=np.int64),
@@ -422,18 +622,24 @@ class ANNIndex(abc.ABC):
 
         ``budget`` is ignored — every pair is examined.  Keeps a running
         top-m across blocks so memory stays bounded; the row-wise distance
-        kernel keeps the floats partition-independent.
+        kernel keeps the floats partition-independent.  With tombstones,
+        the join runs over the gathered live submatrix and the dense pair
+        ids map back through the (monotonic) live-id array — so the result
+        is byte-identical to an index fitted on the live rows alone.
         """
         from repro.datasets.distance import pairwise_distances_rowwise
 
+        live = self.live_ids() if self._tombstones else None
+        data = self.data if live is None else self.data[live]
+        n = data.shape[0]
         block_rows = self._fallback_block_rows()
         best_pairs = np.empty((0, 2), dtype=np.int64)
         best_dists = np.empty(0, dtype=np.float64)
-        for start in range(0, self.n, block_rows):
-            stop = min(start + block_rows, self.n)
-            dists = pairwise_distances_rowwise(self.data[start:stop], self.data)
+        for start in range(0, n, block_rows):
+            stop = min(start + block_rows, n)
+            dists = pairwise_distances_rowwise(data[start:stop], data)
             rows, cols = np.nonzero(
-                np.arange(self.n)[None, :] > np.arange(start, stop)[:, None]
+                np.arange(n)[None, :] > np.arange(start, stop)[:, None]
             )
             flat = dists[rows, cols]
             # Per-block pre-cut: only pairs at or below the block's m-th
@@ -448,7 +654,9 @@ class ANNIndex(abc.ABC):
             best_pairs = np.concatenate([best_pairs, block_pairs])
             best_dists = np.concatenate([best_dists, flat])
             best_pairs, best_dists = sort_pairs(best_pairs, best_dists, m)
-        pair_count = self.n * (self.n - 1) // 2
+        if live is not None and best_pairs.size:
+            best_pairs = live[best_pairs]
+        pair_count = n * (n - 1) // 2
         return ClosestPairResult(
             pairs=best_pairs,
             distances=best_dists,
@@ -473,8 +681,13 @@ class ANNIndex(abc.ABC):
 
     def _validate_queries(self, queries: np.ndarray, k: int) -> np.ndarray:
         queries = self._validate_range_queries(queries)
-        if not 1 <= k <= self.n:
-            raise ValueError(f"k must be in [1, {self.n}], got {k}")
+        if not 1 <= k <= self.nlive:
+            detail = (
+                f" ({self.num_tombstones} of {self.ntotal} points deleted)"
+                if self._tombstones
+                else ""
+            )
+            raise ValueError(f"k must be in [1, {self.nlive}]{detail}, got {k}")
         return queries
 
     def _validate_range_queries(self, queries: np.ndarray) -> np.ndarray:

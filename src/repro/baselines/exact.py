@@ -23,19 +23,43 @@ class ExactKNN(ANNIndex):
 
     name = "Exact"
 
+    #: Scans live rows only, so tombstones never reach the result window.
+    _knn_filters_tombstones = True
+
     def _fit(self) -> None:
         pass  # brute force needs no structures beyond the data itself
 
     def query(self, q: np.ndarray, k: int) -> QueryResult:
         self._require_built()
         q = self._validate_query(q, k)
+        if self._tombstones:
+            live = self.live_ids()
+            ids, dists = chunked_knn(q[None, :], self.data[live], min(k, live.size))
+            return QueryResult(
+                ids=live[ids[0]],
+                distances=dists[0],
+                stats={"candidates": float(live.size)},
+            )
         ids, dists = chunked_knn(q[None, :], self.data, k)
         return QueryResult(ids=ids[0], distances=dists[0], stats={"candidates": float(self.n)})
 
     def _run_knn(self, queries: np.ndarray, spec: Knn) -> BatchResult:
-        """Vectorised multi-query path (blocked brute force over the batch)."""
-        ids, dists = chunked_knn(queries, self.data, spec.k)
-        per_query = tuple({"candidates": float(self.n)} for _ in range(ids.shape[0]))
+        """Vectorised multi-query path (blocked brute force over the batch).
+
+        With tombstones, the scan runs over the gathered live submatrix and
+        dense neighbour ids map back through the (monotonic, sorted) live-id
+        array — distances and tie order are byte-identical to an index that
+        was fitted on the live rows alone.
+        """
+        if self._tombstones:
+            live = self.live_ids()
+            ids, dists = chunked_knn(queries, self.data[live], spec.k)
+            ids = live[ids]
+            candidates = float(live.size)
+        else:
+            ids, dists = chunked_knn(queries, self.data, spec.k)
+            candidates = float(self.n)
+        per_query = tuple({"candidates": candidates} for _ in range(ids.shape[0]))
         return BatchResult(
             ids=ids,
             distances=dists,
@@ -48,16 +72,27 @@ class ExactKNN(ANNIndex):
     # ------------------------------------------------------------------
 
     def save(self, path: str) -> None:
-        """Persist to ``.npz``: the dataset plus the registry name, so
-        :func:`repro.load_index` can dispatch back to this class."""
+        """Persist to ``.npz``: the dataset, the registry name (so
+        :func:`repro.load_index` can dispatch back to this class), and the
+        lifecycle state (epoch, tombstones, fit-time cardinality)."""
         self._require_built()
+        from repro.persistence import lifecycle_arrays
+
         np.savez_compressed(
-            path, data=self.data, registry_name=np.asarray(self.registry_name)
+            path,
+            data=self.data,
+            registry_name=np.asarray(self.registry_name),
+            **lifecycle_arrays(self),
         )
 
     @classmethod
     def load(cls, path: str) -> "ExactKNN":
-        """Restore an index persisted with :meth:`save`."""
+        """Restore an index persisted with :meth:`save`, deletes included."""
+        from repro.persistence import apply_lifecycle_state, read_lifecycle_state
+
         with np.load(path) as archive:
             data = archive["data"]
-        return cls().fit(data)
+            state = read_lifecycle_state(archive)
+        index = cls().fit(data)
+        apply_lifecycle_state(index, state)
+        return index

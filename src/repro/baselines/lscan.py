@@ -23,6 +23,9 @@ class LinearScan(ANNIndex):
 
     name = "LScan"
 
+    #: The scan subset is intersected with the live set before scanning.
+    _knn_filters_tombstones = True
+
     def __init__(
         self,
         *,
@@ -44,6 +47,14 @@ class LinearScan(ANNIndex):
         self._require_built()
         q = self._validate_query(q, k)
         subset = self._subset
+        if self._tombstones:
+            subset = subset[~self._tombstones.contains(subset)]
+            if subset.size == 0:
+                return QueryResult(
+                    ids=np.empty(0, dtype=np.int64),
+                    distances=np.empty(0, dtype=np.float64),
+                    stats={"candidates": 0.0},
+                )
         dists = point_to_points_distances(q, self.data[subset])
         k_eff = min(k, subset.size)
         part = np.argpartition(dists, k_eff - 1)[:k_eff]

@@ -129,6 +129,10 @@ class PMLSH(ANNIndex):
     name = "PM-LSH"
     _honours_knn_overrides = True
     _honours_range_overrides = True
+    #: Tombstones are dropped inside the probe itself: the flat traversal
+    #: masks dead leaf members, the recursive paths exclude the dead set —
+    #: so dead points never consume candidate budget or reach a result.
+    _knn_filters_tombstones = True
 
     def __init__(
         self,
@@ -257,17 +261,30 @@ class PMLSH(ANNIndex):
         self._require_built()
         if self._flat is None:
             self._flat = self.tree.flatten()
+            if self._tombstones:
+                self._flat.set_tombstones(self._tombstones.ids())
         return self._flat
 
+    def _on_delete(self, ids: np.ndarray) -> None:
+        """Push the grown dead set into the flat snapshot (if one exists;
+        a later lazy flatten picks the set up in :attr:`flat_tree`)."""
+        if self._flat is not None:
+            self._flat.set_tombstones(self._tombstones.ids())
+
+    def _dead_set(self) -> Optional[set]:
+        """The tombstoned ids as a Python set for the recursive tree's
+        ``exclude`` parameter, or None when nothing is deleted."""
+        return self._tombstones.as_set() if self._tombstones else None
+
     def candidate_budget(self, k: int, solved: SolvedParameters | None = None) -> int:
-        """Algorithm 2's verification cap ⌈βn⌉ + k at the *current* n.
+        """Algorithm 2's verification cap ⌈βn⌉ + k at the *current live* n.
 
         Evaluated per query so the budget tracks dataset growth through
-        :meth:`add`; a *solved* bundle from a per-query ``c`` override
-        supplies its own β.
+        :meth:`add` and shrinkage through :meth:`delete`; a *solved*
+        bundle from a per-query ``c`` override supplies its own β.
         """
         beta = (solved or self.solved).beta
-        return int(np.ceil(beta * self.n)) + k
+        return int(np.ceil(beta * self.nlive)) + k
 
     # ------------------------------------------------------------------
     # Algorithm 1: the (r, c)-BC query
@@ -287,6 +304,9 @@ class PMLSH(ANNIndex):
         q = self._validate_query(q, k=1)
         if r <= 0:
             raise ValueError(f"radius r must be positive, got {r}")
+        dead = self._dead_set()
+        if dead:
+            exclude = dead if exclude is None else set(exclude) | dead
         projected_query = self.projection.project(q)
         budget = self.candidate_budget(1)
         candidates = self.tree.range_query(
@@ -336,10 +356,11 @@ class PMLSH(ANNIndex):
         budget = spec.budget if spec.budget is not None else default_budget
         probe_radius = solved.t * c * spec.r
         if self.params.traversal == "recursive":
+            dead = self._dead_set()
             results: List[QueryResult] = []
             for q, projected_query in zip(queries, projected):
                 candidates = self.tree.range_query(
-                    projected_query, probe_radius, limit=budget
+                    projected_query, probe_radius, limit=budget, exclude=dead
                 )
                 stats = {"candidates": float(len(candidates)), "budget": float(budget)}
                 if not candidates:
@@ -438,7 +459,7 @@ class PMLSH(ANNIndex):
     def _initial_radius(self, k: int, solved: SolvedParameters | None = None) -> float:
         return select_initial_radius(
             self.distance_distribution,
-            n=self.n,
+            n=self.nlive,
             beta=(solved or self.solved).beta,
             k=k,
             shrink=self.params.radius_shrink,
@@ -454,7 +475,7 @@ class PMLSH(ANNIndex):
             k,
             budget=self.candidate_budget(k),
             initial_radius=self._initial_radius(k),
-            fetch=self._tree_fetch(projected_query),
+            fetch=self._tree_fetch(projected_query, self._dead_set()),
         )
 
     def _probe(
@@ -606,6 +627,7 @@ class PMLSH(ANNIndex):
         initial_radius = self._initial_radius(k, solved)
         projected = np.atleast_2d(self.projection.project(queries))  # one GEMM
         if self.params.traversal == "recursive":
+            dead = self._dead_set()
             scratch = np.empty((min(budget, self.n), self.d), dtype=np.float64)
             results = [
                 self._probe(
@@ -613,7 +635,7 @@ class PMLSH(ANNIndex):
                     k,
                     budget,
                     initial_radius,
-                    self._tree_fetch(projected_query),
+                    self._tree_fetch(projected_query, dead),
                     scratch,
                     c=c,
                     t=solved.t,
@@ -644,13 +666,15 @@ class PMLSH(ANNIndex):
         tree_work.into_stats(batch.stats, queries.shape[0])
         return batch
 
-    def _tree_fetch(self, projected_query: np.ndarray):
+    def _tree_fetch(self, projected_query: np.ndarray, dead: Optional[set] = None):
         """Candidate source for the per-query pointer-tree probe: the
-        closest unseen points inside the projected ball, ascending."""
+        closest unseen points inside the projected ball, ascending.
+        *dead* (the tombstone set) is excluded alongside the seen set."""
 
         def fetch(radius: float, limit: int, seen: Set[int]) -> np.ndarray:
+            exclude = seen if not dead else seen | dead
             matches = self.tree.range_query(
-                projected_query, radius, limit=limit, exclude=seen
+                projected_query, radius, limit=limit, exclude=exclude
             )
             return np.asarray([pid for pid, _ in matches], dtype=np.int64)
 
@@ -774,31 +798,38 @@ class PMLSH(ANNIndex):
         3. verifies the survivors in the original space and returns the m
            best by ``(distance, i, j)``.
         """
+        # The self-join runs over the live points only: tombstoned rows
+        # neither seed neighbourhoods nor appear as neighbours (the masked
+        # flat traversal skips them; the recursive path joins the gathered
+        # live submatrix and maps dense ids back through the live array).
+        live = self.live_ids() if self._tombstones else None
+        n_live = self.nlive
         budget = (
             int(budget)
             if budget is not None
-            else int(np.ceil(self.solved.beta * self.n)) + 16 * m
+            else int(np.ceil(self.solved.beta * n_live)) + 16 * m
         )
         # Neighbours per point so the candidate pool comfortably covers the
         # budget cut; every point contributes a few edges, and the n - 1
         # cap keeps the projected kNN well-defined on tiny datasets.
-        per_point = min(self.n - 1, max(4, int(np.ceil(2.0 * budget / self.n))))
+        per_point = min(n_live - 1, max(4, int(np.ceil(2.0 * budget / n_live))))
+        source = self.projected if live is None else self.projected[live]
         tree_stats: Dict[str, float] = {}
         if self.params.traversal == "recursive":
-            neighbor_ids, neighbor_dists = chunked_knn(
-                self.projected, self.projected, per_point + 1
-            )
+            neighbor_ids, neighbor_dists = chunked_knn(source, source, per_point + 1)
+            if live is not None:
+                neighbor_ids = live[neighbor_ids]
         else:
             flat = self.flat_tree
             nodes = dist_comps = 0
             id_blocks: List[np.ndarray] = []
             dist_blocks: List[np.ndarray] = []
             block = self._flat_query_block()
-            for start in range(0, self.n, block):
-                stop = min(start + block, self.n)
+            for start in range(0, n_live, block):
+                stop = min(start + block, n_live)
                 flat.reset_counters()
                 block_ids, block_dists = flat.batch_knn(
-                    self.projected[start:stop], per_point + 1
+                    source[start:stop], per_point + 1
                 )
                 id_blocks.append(block_ids)
                 dist_blocks.append(block_dists)
@@ -806,9 +837,12 @@ class PMLSH(ANNIndex):
                 dist_comps += flat.distance_computations
             neighbor_ids = np.concatenate(id_blocks)
             neighbor_dists = np.concatenate(dist_blocks)
-            tree_stats["tree_nodes"] = nodes / self.n
-            tree_stats["tree_dist_comps"] = dist_comps / self.n
-        rows = np.repeat(np.arange(self.n, dtype=np.int64), per_point + 1)
+            tree_stats["tree_nodes"] = nodes / n_live
+            tree_stats["tree_dist_comps"] = dist_comps / n_live
+        row_src = (
+            np.arange(n_live, dtype=np.int64) if live is None else live
+        )
+        rows = np.repeat(row_src, per_point + 1)
         cols = neighbor_ids.ravel()
         proj_dists = neighbor_dists.ravel()
         keep = rows != cols  # drop the self match
@@ -861,6 +895,8 @@ class PMLSH(ANNIndex):
         import json
         from dataclasses import asdict
 
+        from repro.persistence import lifecycle_arrays
+
         flat = self.flat_tree
         params_json = json.dumps(asdict(self.params))
         np.savez_compressed(
@@ -871,6 +907,7 @@ class PMLSH(ANNIndex):
             pivots=flat.pivots,
             distance_samples=self.distance_distribution.samples,
             params_json=np.frombuffer(params_json.encode("utf-8"), dtype=np.uint8),
+            **lifecycle_arrays(self),
             **flat.to_arrays(),
         )
 
@@ -887,12 +924,15 @@ class PMLSH(ANNIndex):
         """
         import json
 
+        from repro.persistence import apply_lifecycle_state, read_lifecycle_state
+
         with np.load(path) as archive:
             data = archive["data"]
             directions = archive["directions"]
             pivots = archive["pivots"]
             samples = archive["distance_samples"]
             params_json = bytes(archive["params_json"]).decode("utf-8")
+            state = read_lifecycle_state(archive)
             flat_arrays = (
                 {key: archive[key] for key in archive.files if key.startswith("flat_")}
                 if "flat_is_leaf" in archive.files
@@ -916,6 +956,8 @@ class PMLSH(ANNIndex):
             index._tree = index._build_tree(index._lazy_pivots)
         index.distance_distribution = DistanceDistribution(samples)
         index._built = True
+        index._fitted_n = index.ntotal  # legacy default; the stored value wins
+        apply_lifecycle_state(index, state)
         return index
 
     # ------------------------------------------------------------------

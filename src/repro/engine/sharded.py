@@ -46,6 +46,8 @@ from repro.baselines.base import ANNIndex, BatchResult, QueryResult
 from repro.engine.merge import merge_shard_range_results, merge_shard_results
 from repro.engine.router import ShardRouter, make_router
 from repro.engine.stats import EngineStats, ShardStats
+from repro.lifecycle.compaction import CompactionResult, dense_id_map
+from repro.lifecycle.tombstones import TombstoneSet
 from repro.queries import ClosestPairResult, Knn, Range, RangeResult, sort_pairs
 from repro.registry import get_index_class, register_index
 from repro.utils.rng import RandomState, spawn_generators
@@ -103,6 +105,10 @@ class ShardedIndex(ANNIndex):
 
     name = "ShardedIndex"
 
+    #: Deletes forward to the owning shards, which filter their own
+    #: tombstones (natively or by over-fetch) before the engine merge.
+    _knn_filters_tombstones = True
+
     def __init__(
         self,
         *,
@@ -156,6 +162,8 @@ class ShardedIndex(ANNIndex):
         self._range_queries_served = 0
         self._closest_pair_calls = 0
         self._points_added = 0
+        self._points_deleted = 0
+        self._compactions = 0
         self._search_time_ms = 0.0
         self._last_batch_ms = 0.0
         self._last_batch_queries = 0
@@ -232,6 +240,11 @@ class ShardedIndex(ANNIndex):
     def shard_sizes(self) -> Tuple[int, ...]:
         return tuple(shard.ntotal for shard in self._shards)
 
+    @property
+    def shard_live_sizes(self) -> Tuple[int, ...]:
+        """Per-shard live counts — what the add() routing balances on."""
+        return tuple(shard.nlive for shard in self._shards)
+
     # ------------------------------------------------------------------
     # dynamic growth
     # ------------------------------------------------------------------
@@ -247,7 +260,12 @@ class ShardedIndex(ANNIndex):
         """
         start = self.n
         count = points.shape[0]
-        loads = np.asarray([shard.ntotal for shard in self._shards], dtype=np.int64)
+        # Routing balances on LIVE counts — a shard whose rows were mostly
+        # tombstoned is genuinely light no matter what its raw ntotal says —
+        # while local id positions still append after the raw sizes
+        # (deleted local slots are never reused).
+        loads = np.asarray([shard.nlive for shard in self._shards], dtype=np.int64)
+        sizes = np.asarray([shard.ntotal for shard in self._shards], dtype=np.int64)
         assignment = self._router.route(count, loads)
         local_ids = np.empty(count, dtype=np.int64)
         for s in range(self.num_shards):
@@ -256,7 +274,7 @@ class ShardedIndex(ANNIndex):
                 continue
             # The shard's own add() re-derives its n-dependent parameters.
             self._shards[s].add(points[rows])
-            local_ids[rows] = loads[s] + np.arange(rows.size, dtype=np.int64)
+            local_ids[rows] = sizes[s] + np.arange(rows.size, dtype=np.int64)
             self._id_maps[s] = np.concatenate([self._id_maps[s], start + rows])
         self._global_shard = np.concatenate(
             [self._global_shard, assignment.astype(np.int64)]
@@ -265,6 +283,76 @@ class ShardedIndex(ANNIndex):
         self._set_data(np.vstack([self.data, points]))
         self._points_added += count
         return np.arange(start, start + count, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # lifecycle: deletes and compaction
+    # ------------------------------------------------------------------
+
+    def _on_delete(self, ids: np.ndarray) -> None:
+        """Forward tombstoned global ids to their owning shards.
+
+        Each shard marks (and filters) its own local tombstones; the
+        engine's global set — already updated by :meth:`delete` — keeps
+        ``nlive`` and the base fallbacks consistent.
+        """
+        owners = self._global_shard[ids]
+        for s in range(self.num_shards):
+            local = self._global_local[ids[owners == s]]
+            if local.size:
+                self._shards[s].delete(local)
+        self._points_deleted += int(ids.size)
+
+    def compact(self) -> CompactionResult:
+        """Shard-independent compaction: each shard re-fits over its own
+        live rows, no cross-shard data movement.
+
+        Surviving global ids renumber densely (in their original order);
+        each shard keeps exactly its surviving points, so the per-shard
+        rebuilds are independent and the routing tables re-base on the new
+        live counts.  If some shard lost *every* point, the engine instead
+        re-stripes the live rows across all shards (a full re-fit) so no
+        shard is left empty.
+        """
+        self._require_built()
+        live = self.live_ids()
+        if live.size < self.num_shards:
+            raise ValueError(
+                f"{self.name}: cannot compact {live.size} live points over "
+                f"{self.num_shards} shards; every shard needs at least one point"
+            )
+        before = self.ntotal
+        removed = self.num_tombstones
+        if removed == 0 or any(shard.nlive < 1 for shard in self._shards):
+            # Nothing shard-local to reclaim, or a shard would re-fit
+            # empty: re-stripe the live rows across all shards instead.
+            self.fit(self.data[live])
+        else:
+            survivors: List[np.ndarray] = []
+            for s, shard in enumerate(self._shards):
+                # Capture the shard's surviving global ids (in local order)
+                # BEFORE its compact() clears the local tombstone set.
+                survivors.append(self._id_maps[s][shard.live_ids()])
+                shard.compact()
+            id_map = dense_id_map(live, before)
+            self._id_maps = [id_map[gids] for gids in survivors]
+            self._global_shard = np.empty(live.size, dtype=np.int64)
+            self._global_local = np.empty(live.size, dtype=np.int64)
+            for s, gids in enumerate(self._id_maps):
+                self._global_shard[gids] = s
+                self._global_local[gids] = np.arange(gids.size, dtype=np.int64)
+            self._set_data(self.data[live])
+            self._tombstones = TombstoneSet()
+            self._fitted_n = self.n
+            self._index_epoch += 1
+            self._router.reset([shard.nlive for shard in self._shards])
+        self._compactions += 1
+        return CompactionResult(
+            id_map=dense_id_map(live, before),
+            removed=removed,
+            before_ntotal=before,
+            after_ntotal=self.ntotal,
+            epoch=self.epoch,
+        )
 
     # ------------------------------------------------------------------
     # querying
@@ -347,9 +435,19 @@ class ShardedIndex(ANNIndex):
         (budget, c) apply inside every shard.
         """
         wall_start = time.perf_counter()
-        shard_batches, shard_ms = self._fan_out(
-            lambda shard: shard.run(queries, replace(spec, k=min(spec.k, shard.ntotal)))
-        )
+
+        def knn_job(shard: ANNIndex) -> BatchResult:
+            # Clamp to the shard's LIVE count; a fully-tombstoned shard
+            # contributes an empty (Q, 0) block that the merge ignores.
+            k_s = min(spec.k, shard.nlive)
+            if k_s < 1:
+                return BatchResult(
+                    ids=np.full((queries.shape[0], 0), -1, dtype=np.int64),
+                    distances=np.full((queries.shape[0], 0), np.inf),
+                )
+            return shard.run(queries, replace(spec, k=k_s))
+
+        shard_batches, shard_ms = self._fan_out(knn_job)
 
         merge_start = time.perf_counter()
         merged = merge_shard_results(shard_batches, self._id_maps, spec.k)
@@ -423,12 +521,12 @@ class ShardedIndex(ANNIndex):
         self._closest_pair_calls += 1
 
         def intra_job(shard: ANNIndex) -> ClosestPairResult:
-            if shard.ntotal < 2:  # a one-point shard holds no pairs
+            if shard.nlive < 2:  # fewer than two live points: no pairs
                 return ClosestPairResult(
                     pairs=np.empty((0, 2), dtype=np.int64),
                     distances=np.empty(0, dtype=np.float64),
                 )
-            shard_max = shard.ntotal * (shard.ntotal - 1) // 2
+            shard_max = shard.nlive * (shard.nlive - 1) // 2
             return shard.closest_pairs(min(m, shard_max), budget=budget)
 
         intra_results, _ = self._fan_out(intra_job)
@@ -467,16 +565,19 @@ class ShardedIndex(ANNIndex):
         # it), so the jobs parallelise through the worker pool while each
         # shard object still serves exactly one querying thread — the same
         # concurrency contract as the kNN/range fan-outs.
-        def sweep_target(t: int) -> List[Tuple[int, RangeResult]]:
-            return [
-                (
-                    s,
-                    self._shards[t].range_search(
-                        self._shards[s].data, sweep_radius, budget=budget
-                    ),
+        def sweep_target(t: int) -> List[Tuple[int, np.ndarray, RangeResult]]:
+            # Source points are each earlier shard's LIVE rows only (the
+            # target shard filters its own tombstones inside range_search).
+            results = []
+            for s in range(t):
+                src_local = self._shards[s].live_ids()
+                if src_local.size == 0 or self._shards[t].nlive == 0:
+                    continue
+                swept = self._shards[t].range_search(
+                    self._shards[s].data[src_local], sweep_radius, budget=budget
                 )
-                for s in range(t)
-            ]
+                results.append((s, src_local, swept))
+            return results
 
         targets = list(range(1, self.num_shards))
         if min(self.num_workers, self.num_shards) > 1 and len(targets) > 1:
@@ -488,9 +589,9 @@ class ShardedIndex(ANNIndex):
         cross_dists: List[np.ndarray] = []
         verified = 0
         for t, sweeps in zip(targets, swept_lists):
-            for s, swept in sweeps:
+            for s, src_local, swept in sweeps:
                 verified += int(swept.lims[-1])
-                gid_s = np.repeat(self._id_maps[s], swept.counts)
+                gid_s = np.repeat(self._id_maps[s][src_local], swept.counts)
                 gid_t = self._id_maps[t][swept.ids]
                 if gid_s.size == 0:
                     continue
@@ -527,6 +628,7 @@ class ShardedIndex(ANNIndex):
                 search_ms=self._last_shard_ms[s],
                 mean_candidates=self._last_shard_candidates[s],
                 mean_tree_nodes=self._last_shard_tree_nodes[s],
+                nlive=shard.nlive,
             )
             for s, shard in enumerate(self._shards)
         )
@@ -544,6 +646,10 @@ class ShardedIndex(ANNIndex):
             range_queries_served=self._range_queries_served,
             closest_pair_calls=self._closest_pair_calls,
             shards=shard_stats,
+            nlive=self.nlive,
+            tombstones=self.num_tombstones,
+            points_deleted=self._points_deleted,
+            compactions=self._compactions,
         )
 
     def __repr__(self) -> str:

@@ -92,12 +92,20 @@ class ShardStats:
     #: PM-tree nodes visited per query in the last batch (flat-traversal
     #: backends report it; NaN for backends without a tree).
     mean_tree_nodes: float = float("nan")
+    #: Live points (``ntotal`` minus tombstones); defaults to ``ntotal``
+    #: for callers constructing stats without lifecycle information.
+    nlive: int = -1
+
+    def __post_init__(self) -> None:
+        if self.nlive < 0:
+            object.__setattr__(self, "nlive", self.ntotal)
 
     def as_row(self) -> List[object]:
         return [
             self.shard,
             self.backend,
             self.ntotal,
+            self.nlive,
             self.search_ms,
             self.mean_candidates,
             self.mean_tree_nodes,
@@ -124,6 +132,16 @@ class EngineStats:
     range_queries_served: int = 0
     closest_pair_calls: int = 0
     shards: Tuple[ShardStats, ...] = field(default_factory=tuple)
+    #: Lifecycle counters: live points, outstanding tombstones, points
+    #: logically deleted over the engine's lifetime, compactions run.
+    nlive: int = -1
+    tombstones: int = 0
+    points_deleted: int = 0
+    compactions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nlive < 0:
+            object.__setattr__(self, "nlive", self.ntotal)
 
     @property
     def qps(self) -> float:
@@ -151,6 +169,10 @@ class EngineStats:
             "qps": float(self.qps),
             "range_queries_served": float(self.range_queries_served),
             "closest_pair_calls": float(self.closest_pair_calls),
+            "nlive": float(self.nlive),
+            "tombstones": float(self.tombstones),
+            "points_deleted": float(self.points_deleted),
+            "compactions": float(self.compactions),
         }
 
     def as_table(self) -> str:
@@ -158,14 +180,16 @@ class EngineStats:
         rows = [shard.as_row() for shard in self.shards]
         note = (
             f"workers={self.num_workers} router={self.router} "
-            f"ntotal={self.ntotal} batches={self.batches_served} "
+            f"ntotal={self.ntotal} nlive={self.nlive} "
+            f"tombstones={self.tombstones} batches={self.batches_served} "
             f"queries={self.queries_served} (range={self.range_queries_served}) "
             f"cp_calls={self.closest_pair_calls} added={self.points_added} "
+            f"deleted={self.points_deleted} compactions={self.compactions} "
             f"lifetime QPS={self.qps:.1f}"
         )
         return format_table(
             f"Engine stats ({self.num_shards} shards)",
-            ["Shard", "Backend", "ntotal", "Last ms", "Cand/query", "Tree nodes/query", "Index"],
+            ["Shard", "Backend", "ntotal", "nlive", "Last ms", "Cand/query", "Tree nodes/query", "Index"],
             rows,
             note=note,
         )

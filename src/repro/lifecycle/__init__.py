@@ -1,0 +1,30 @@
+"""Index lifecycle: tombstone deletes, compaction, replica shipping.
+
+The write-path layer over the fit/add/search core:
+
+* :class:`TombstoneSet` — the logical-delete bookkeeping behind
+  :meth:`repro.ANNIndex.delete`;
+* :class:`CompactionPolicy` / :class:`CompactionResult` /
+  :func:`compact_index` — when and how to physically reclaim dead rows
+  and re-fit drifted n-dependent parameters;
+* :class:`Replica` — hot-swap a serving index from newer ``save()``
+  snapshots (each stamped with a monotonically increasing epoch).
+"""
+
+from repro.lifecycle.compaction import (
+    CompactionPolicy,
+    CompactionResult,
+    compact_index,
+    dense_id_map,
+)
+from repro.lifecycle.replica import Replica
+from repro.lifecycle.tombstones import TombstoneSet
+
+__all__ = [
+    "CompactionPolicy",
+    "CompactionResult",
+    "Replica",
+    "TombstoneSet",
+    "compact_index",
+    "dense_id_map",
+]

@@ -1,0 +1,154 @@
+"""Compaction: physically reclaim tombstoned rows and re-fit drifted indexes.
+
+Tombstone deletes (:mod:`repro.lifecycle.tombstones`) are logical, so two
+things accumulate in a long-lived index: dead rows that still occupy
+memory and consume candidate budget, and n-dependent parameters (the
+⌈βn⌉ + k budget, r_min's target mass, QALSH's derived m/α) that were
+solved for the *fit-time* cardinality while ``add()`` kept growing the
+dataset.  Compaction fixes both at once: re-fit over exactly the live
+rows, renumber ids densely, and reset the tombstone set.
+
+Two entry points:
+
+* :meth:`repro.ANNIndex.compact` — in place: the index re-fits itself.
+* :func:`compact_index` — into a **fresh object** built from the same
+  constructor parameters, leaving the original untouched; this is what
+  :meth:`repro.serving.AsyncSearchServer.compact` runs on a background
+  thread so the old index keeps answering queries until the swap.
+
+:class:`CompactionPolicy` decides *when*: tombstone-ratio and
+growth-ratio thresholds, evaluated against any fitted index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """What one compaction did.
+
+    ``id_map`` maps every pre-compaction global id to its post-compaction
+    id (``-1`` for deleted rows) — callers holding old ids translate them
+    through it.  ``epoch`` is the index epoch after the compaction; it is
+    strictly greater than any epoch the old ids were valid under.
+    """
+
+    id_map: np.ndarray
+    removed: int
+    before_ntotal: int
+    after_ntotal: int
+    epoch: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "id_map", np.asarray(self.id_map, dtype=np.int64))
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """Thresholds that trigger a compaction.
+
+    ``max_tombstone_ratio`` fires when at least that fraction of the
+    stored rows is dead (and at least ``min_tombstones`` rows are, so a
+    tiny index does not thrash).  ``max_growth_ratio`` fires when
+    ``ntotal`` has grown past that multiple of the fit-time cardinality —
+    the point where n-dependent parameters solved at fit time have
+    drifted enough to be worth a re-fit.  Either threshold can be
+    disabled with ``None``.
+
+    >>> from repro.lifecycle import CompactionPolicy
+    >>> policy = CompactionPolicy(max_tombstone_ratio=0.3)
+    >>> policy.max_tombstone_ratio
+    0.3
+    """
+
+    max_tombstone_ratio: Optional[float] = 0.25
+    max_growth_ratio: Optional[float] = 2.0
+    min_tombstones: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_tombstone_ratio is not None and not (
+            0.0 < self.max_tombstone_ratio <= 1.0
+        ):
+            raise ValueError(
+                f"max_tombstone_ratio must be in (0, 1], got {self.max_tombstone_ratio}"
+            )
+        if self.max_growth_ratio is not None and self.max_growth_ratio <= 1.0:
+            raise ValueError(
+                f"max_growth_ratio must be > 1, got {self.max_growth_ratio}"
+            )
+        if self.min_tombstones < 1:
+            raise ValueError(f"min_tombstones must be >= 1, got {self.min_tombstones}")
+
+    def reason(self, index) -> Optional[str]:
+        """Why *index* should compact, or ``None`` if it should not."""
+        if index.ntotal == 0:
+            return None
+        dead = index.num_tombstones
+        if (
+            self.max_tombstone_ratio is not None
+            and dead >= self.min_tombstones
+            and dead / index.ntotal >= self.max_tombstone_ratio
+        ):
+            return (
+                f"tombstone ratio {dead / index.ntotal:.3f} >= "
+                f"{self.max_tombstone_ratio:.3f}"
+            )
+        fitted = max(1, index.fitted_n)
+        if (
+            self.max_growth_ratio is not None
+            and index.ntotal / fitted >= self.max_growth_ratio
+        ):
+            return (
+                f"growth ratio {index.ntotal / fitted:.2f} >= "
+                f"{self.max_growth_ratio:.2f}"
+            )
+        return None
+
+    def should_compact(self, index) -> bool:
+        """Whether either threshold has been crossed for *index*."""
+        return self.reason(index) is not None
+
+
+def dense_id_map(live_ids: np.ndarray, before_ntotal: int) -> np.ndarray:
+    """old id -> new dense id over *live_ids* (sorted); ``-1`` for dead."""
+    id_map = np.full(int(before_ntotal), -1, dtype=np.int64)
+    id_map[live_ids] = np.arange(live_ids.size, dtype=np.int64)
+    return id_map
+
+
+def compact_index(index) -> Tuple["object", CompactionResult]:
+    """Compact *index* into a fresh object; the original is untouched.
+
+    The clone is built from the same constructor parameters (captured at
+    construction time), fitted over exactly the live rows, and its epoch
+    is advanced past the source's so replica shipping stays monotonic.
+    Returns ``(fresh_index, result)``.
+
+    Only reads the source index (``data``, the tombstone set), so it is
+    safe to run on a background thread while the source keeps serving
+    queries — the pattern behind
+    :meth:`repro.serving.AsyncSearchServer.compact`.
+    """
+    if not index.is_built:
+        raise RuntimeError(f"{index.name}: cannot compact an unfitted index")
+    live = index.live_ids()
+    if live.size == 0:
+        raise ValueError(f"{index.name}: cannot compact with zero live points")
+    before = index.ntotal
+    removed = index.num_tombstones
+    fresh = type(index)(**(getattr(index, "_init_kwargs", None) or {}))
+    fresh.fit(index.data[live])
+    fresh._index_epoch = max(fresh.epoch, index.epoch + 1)
+    result = CompactionResult(
+        id_map=dense_id_map(live, before),
+        removed=removed,
+        before_ntotal=before,
+        after_ntotal=fresh.ntotal,
+        epoch=fresh.epoch,
+    )
+    return fresh, result

@@ -9,6 +9,20 @@ saved index without knowing which class wrote it:
 >>> import repro
 >>> repro.create_index("pm-lsh", seed=0).fit(data).save("index.npz")  # doctest: +SKIP
 >>> index = repro.load_index("index.npz")                             # doctest: +SKIP
+
+Snapshot format versioning
+--------------------------
+Archives carry a ``format_version`` stamp (:data:`FORMAT_VERSION`).
+:func:`load_index` refuses archives written by a *newer* library with a
+clear error instead of silently dropping fields it does not understand;
+archives from *older* libraries (no stamp at all, or a lower version)
+keep loading — missing lifecycle state defaults to "no deletes, epoch 0".
+
+Lifecycle state (:mod:`repro.lifecycle`) rides along in every archive:
+the monotonically increasing index epoch, the tombstone set, and the
+fit-time cardinality — enough for :class:`~repro.lifecycle.Replica` to
+order snapshots and for a restored index to answer exactly like the one
+that was saved, deletes included.
 """
 
 from __future__ import annotations
@@ -16,6 +30,67 @@ from __future__ import annotations
 import numpy as np
 
 from repro.registry import get_index_class
+
+#: Version stamp written into every archive.  Bump when the archive
+#: layout changes in a way an older loader would silently misread.
+#: Version 1 introduced the stamp itself plus the lifecycle state keys
+#: (``index_epoch``, ``tombstone_ids``, ``fitted_n``); unstamped
+#: archives are version 0 (pre-lifecycle) and stay loadable.
+FORMAT_VERSION = 1
+
+#: Archive keys that carry lifecycle state (see :func:`lifecycle_arrays`).
+_LIFECYCLE_KEYS = ("format_version", "index_epoch", "tombstone_ids", "fitted_n")
+
+
+def lifecycle_arrays(index) -> dict:
+    """The lifecycle archive entries for *index*: format version, epoch,
+    tombstone ids and fit-time cardinality.  Index ``save()``
+    implementations splat this into their ``np.savez`` call."""
+    return {
+        "format_version": np.asarray(FORMAT_VERSION, dtype=np.int64),
+        "index_epoch": np.asarray(index.epoch, dtype=np.int64),
+        "tombstone_ids": index.tombstones.ids(),
+        "fitted_n": np.asarray(index.fitted_n, dtype=np.int64),
+    }
+
+
+def read_lifecycle_state(archive) -> dict:
+    """Lifecycle state out of an open archive; legacy defaults when absent."""
+    files = set(archive.files)
+    return {
+        "epoch": int(archive["index_epoch"]) if "index_epoch" in files else 0,
+        "tombstone_ids": (
+            np.asarray(archive["tombstone_ids"], dtype=np.int64)
+            if "tombstone_ids" in files
+            else np.empty(0, dtype=np.int64)
+        ),
+        "fitted_n": int(archive["fitted_n"]) if "fitted_n" in files else None,
+    }
+
+
+def apply_lifecycle_state(index, state: dict) -> None:
+    """Install :func:`read_lifecycle_state` output on a restored index.
+
+    Runs after the index is otherwise fully built: it resets the epoch to
+    the stored one, re-marks the tombstones, and fires the index's
+    ``_on_delete`` hook so structure-level filters (the flat tree's dead
+    mask) match the saved index exactly.
+    """
+    from repro.lifecycle.tombstones import TombstoneSet
+
+    index._index_epoch = int(state["epoch"])
+    if state["fitted_n"] is not None:
+        index._fitted_n = int(state["fitted_n"])
+    dead = state["tombstone_ids"]
+    if dead.size:
+        index._tombstones = TombstoneSet(dead)
+        index._on_delete(dead)
+
+
+def _archive_format_version(archive) -> int:
+    return (
+        int(archive["format_version"]) if "format_version" in archive.files else 0
+    )
 
 
 def saved_registry_name(path: str) -> str:
@@ -31,16 +106,41 @@ def saved_registry_name(path: str) -> str:
         return str(archive["registry_name"])
 
 
+def snapshot_epoch(path: str) -> int:
+    """The index epoch stamped into the archive at *path* (0 for legacy
+    pre-lifecycle archives) — the cheap newer-than test behind
+    :meth:`repro.lifecycle.Replica.refresh`."""
+    with np.load(path) as archive:
+        return int(archive["index_epoch"]) if "index_epoch" in archive.files else 0
+
+
 def load_index(path: str):
     """Restore a saved index, dispatching on the registry name it recorded.
 
     Reads the ``registry_name`` stored by ``save()``, resolves the class
     through :func:`repro.registry.get_index_class`, and returns
     ``cls.load(path)``.  Raises ``ValueError`` for archives without a
-    recorded name and ``TypeError`` when the resolved class has no
-    ``load`` classmethod.
+    recorded name, for archives whose ``format_version`` is newer than
+    this library's :data:`FORMAT_VERSION` (a newer library wrote them),
+    and ``TypeError`` when the resolved class has no ``load``
+    classmethod.  Legacy archives without a version stamp load normally.
     """
-    name = saved_registry_name(path)
+    with np.load(path) as archive:
+        if "registry_name" not in archive:
+            raise ValueError(
+                f"{path!r} has no 'registry_name' entry — it was not written by "
+                "an ANNIndex.save() that supports load_index() dispatch "
+                "(archives saved before v2.0 must be loaded through their "
+                "class's load() directly)"
+            )
+        name = str(archive["registry_name"])
+        version = _archive_format_version(archive)
+    if version > FORMAT_VERSION:
+        raise ValueError(
+            f"{path!r} has snapshot format version {version}, newer than this "
+            f"library's {FORMAT_VERSION} — it was written by a newer release; "
+            "upgrade the library to load it"
+        )
     cls = get_index_class(name)
     loader = getattr(cls, "load", None)
     if loader is None:

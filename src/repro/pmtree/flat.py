@@ -153,6 +153,11 @@ class FlatPMTree:
         #: ``PMTree.node_accesses`` (summed over batches since last reset)
         self.distance_computations = 0
         self.node_accesses = 0
+        #: per-leaf-slot liveness mask (parallel to ``leaf_ids``), or None
+        #: when no point is tombstoned.  Installed by :meth:`set_tombstones`;
+        #: dead members drop out of every traversal before any distance
+        #: computation or candidate-limit cut.
+        self.leaf_alive: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -336,6 +341,23 @@ class FlatPMTree:
     def __len__(self) -> int:
         return int(self.leaf_ids.size)
 
+    @property
+    def num_live(self) -> int:
+        """Leaf members that are not tombstoned."""
+        if self.leaf_alive is None:
+            return int(self.leaf_ids.size)
+        return int(self.leaf_alive.sum())
+
+    def set_tombstones(self, dead_ids: np.ndarray) -> None:
+        """Install the dead-id set; traversals skip those leaf members.
+
+        *dead_ids* are global point ids (the owner's tombstone array);
+        passing an empty array clears the mask and restores the
+        tombstone-free fast path.
+        """
+        dead = np.asarray(dead_ids, dtype=np.int64)
+        self.leaf_alive = None if dead.size == 0 else ~np.isin(self.leaf_ids, dead)
+
     def reset_counters(self) -> None:
         self.distance_computations = 0
         self.node_accesses = 0
@@ -469,13 +491,23 @@ class FlatPMTree:
         if member.size == 0:
             return
         rep_q = np.repeat(lq, counts)
+        rep_pd = np.repeat(lpd, counts) if self.use_parent_filter else None
+        # Tombstoned members drop out first, before any filter or distance
+        # computation — dead points never consume dist_comps or limits, so
+        # the traversal behaves as if the tree never held them.
+        if self.leaf_alive is not None:
+            alive = self.leaf_alive[member]
+            member, rep_q = member[alive], rep_q[alive]
+            if rep_pd is not None:
+                rep_pd = rep_pd[alive]
+            if member.size == 0:
+                return
         ids = self.leaf_ids[member]
         # Parent-distance filter: |d(q, par) − o.PD| ≤ r (root leaf: no
         # parent).  It runs first — two scalar gathers — so the wider
         # ring-matrix gather below only touches its survivors.
         keep = np.ones(member.size, dtype=bool)
         if self.use_parent_filter:
-            rep_pd = np.repeat(lpd, counts)
             known = ~np.isnan(rep_pd)
             keep[known] &= (
                 np.abs(self.leaf_pd[member[known]] - rep_pd[known]) <= radius
@@ -627,7 +659,7 @@ class FlatPMTree:
         """
         queries = np.ascontiguousarray(np.atleast_2d(queries))
         num_queries = queries.shape[0]
-        n = self.leaf_ids.size
+        n = self.num_live  # dead members never match, so k must fit the live set
         if not 1 <= k <= n:
             raise ValueError(f"k must be in [1, {n}], got {k}")
         out_ids = np.empty((num_queries, k), dtype=np.int64)

@@ -32,14 +32,24 @@ Life of a request
    (``serving_batch_size``, ``serving_wait_ms``) are woven into the
    result stats.
 
-Writes interleave epoch-style: ``add(points)`` first drains every
-pending queue (requests already submitted are answered against pre-write
-data), bumps the epoch — invalidating the
-:class:`~repro.serving.cache.ProjectedQueryCache` — and then runs the
+Writes interleave epoch-style: ``add(points)`` and ``delete(ids)`` first
+drain every pending queue (requests already submitted are answered
+against pre-write data), bump the epoch — invalidating the
+:class:`~repro.serving.cache.ProjectedQueryCache` — and then run the
 index mutation through the same single-worker executor, strictly *after*
 the drained batches.  An in-flight batch is therefore never torpedoed by
 an ingest, and a cached answer computed before a write is never served
 after it.
+
+Background compaction rides the same machinery from the other side:
+``compact()`` rebuilds the index into a **fresh object** on a separate
+rebuild thread (:func:`repro.lifecycle.compact_index` only reads the
+source), so the serving executor keeps answering queries against the old
+index the whole time; when the rebuild finishes, :meth:`swap_index`
+drains pending batches, bumps the epoch, invalidates the cache and
+atomically re-points ``self.index`` — no served request ever blocks on
+the rebuild.  :class:`~repro.lifecycle.Replica` uses the same
+``swap_index`` door to hot-swap in indexes loaded from newer snapshots.
 """
 
 from __future__ import annotations
@@ -176,6 +186,11 @@ class AsyncSearchServer:
         self._deadline_flushes = 0
         self._drain_flushes = 0
         self._points_added = 0
+        self._points_deleted = 0
+        self._compactions = 0
+        self._index_swaps = 0
+        self._compacting = False
+        self._rebuild_executor: Optional[ThreadPoolExecutor] = None
         #: serving-annotated ``stats`` dict of the most recent batch result.
         self.last_batch_stats: Dict[str, float] = {}
 
@@ -269,6 +284,7 @@ class AsyncSearchServer:
         on the executor — never in the middle of a dispatched batch.
         """
         self._require_open()
+        self._require_not_compacting("add")
         loop = self._bind_loop()
         points = np.asarray(points, dtype=np.float64)
         self.flush()
@@ -278,6 +294,79 @@ class AsyncSearchServer:
         ids = await loop.run_in_executor(self._executor, self.index.add, points)
         self._points_added += int(ids.size)
         return ids
+
+    async def delete(self, ids: np.ndarray) -> np.ndarray:
+        """Tombstone points in the served index; returns the deleted ids.
+
+        Same epoch-style interleaving as :meth:`add`: pending queues
+        drain first, the cache invalidates, and the tombstone marking
+        runs on the executor strictly after the drained batches — so no
+        already-submitted request ever sees a half-applied delete, and
+        every request submitted afterwards never sees the dead ids.
+        """
+        self._require_open()
+        self._require_not_compacting("delete")
+        loop = self._bind_loop()
+        self.flush()
+        self._epoch += 1
+        if self.cache is not None:
+            self.cache.invalidate()
+        deleted = await loop.run_in_executor(self._executor, self.index.delete, ids)
+        self._points_deleted += int(deleted.size)
+        return deleted
+
+    def swap_index(self, new_index: ANNIndex) -> None:
+        """Atomically re-point the server at *new_index*.
+
+        Drains pending queues (their executor jobs run against the old
+        index, which stays valid — it is a separate object), bumps the
+        epoch, invalidates the cache, and assigns.  Used by background
+        compaction and by :class:`~repro.lifecycle.Replica` refreshes.
+        """
+        self._require_open()
+        self.flush()
+        self._epoch += 1
+        if self.cache is not None:
+            self.cache.invalidate()
+        self.index = new_index
+        self._index_swaps += 1
+
+    async def compact(self, policy=None):
+        """Rebuild the served index without deleted points, in the background.
+
+        When *policy* (a :class:`~repro.lifecycle.CompactionPolicy`) is
+        given and does not vote to compact, returns ``None`` without
+        touching anything.  Otherwise the rebuild runs
+        :func:`~repro.lifecycle.compact_index` — which only *reads* the
+        source index — on a dedicated rebuild thread, so the serving
+        executor keeps answering queries against the old index for the
+        whole build; the finished replacement is installed via
+        :meth:`swap_index` and the :class:`~repro.lifecycle.CompactionResult`
+        is returned.  ``add``/``delete`` raise while a compaction is in
+        flight (the rebuild snapshots the source once); reads are never
+        blocked.
+        """
+        from repro.lifecycle.compaction import compact_index
+
+        self._require_open()
+        self._require_not_compacting("compact")
+        loop = self._bind_loop()
+        if policy is not None and not policy.should_compact(self.index):
+            return None
+        if self._rebuild_executor is None:
+            self._rebuild_executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-rebuild"
+            )
+        self._compacting = True
+        try:
+            fresh, result = await loop.run_in_executor(
+                self._rebuild_executor, compact_index, self.index
+            )
+        finally:
+            self._compacting = False
+        self.swap_index(fresh)
+        self._compactions += 1
+        return result
 
     # ------------------------------------------------------------------
     # batching machinery
@@ -379,6 +468,9 @@ class AsyncSearchServer:
             await asyncio.gather(*list(self._inflight), return_exceptions=True)
         if self._owns_executor:
             self._executor.shutdown(wait=True)
+        if self._rebuild_executor is not None:
+            self._rebuild_executor.shutdown(wait=True)
+            self._rebuild_executor = None
 
     async def __aenter__(self) -> "AsyncSearchServer":
         return self
@@ -389,6 +481,14 @@ class AsyncSearchServer:
     def _require_open(self) -> None:
         if self._closed:
             raise RuntimeError("AsyncSearchServer is closed")
+
+    def _require_not_compacting(self, op: str) -> None:
+        if self._compacting:
+            raise RuntimeError(
+                f"AsyncSearchServer: cannot {op} while a compaction is in "
+                f"flight — the rebuild snapshots the index once; retry after "
+                f"compact() returns"
+            )
 
     def _bind_loop(self) -> asyncio.AbstractEventLoop:
         loop = asyncio.get_running_loop()
@@ -433,6 +533,9 @@ class AsyncSearchServer:
             latency_p50_ms=self._latency.p50,
             latency_p99_ms=self._latency.p99,
             latency_mean_ms=self._latency.mean,
+            points_deleted=self._points_deleted,
+            compactions=self._compactions,
+            index_swaps=self._index_swaps,
         )
 
     def __repr__(self) -> str:

@@ -46,6 +46,12 @@ class ServingStats:
     latency_p50_ms: float
     latency_p99_ms: float
     latency_mean_ms: float
+    #: Lifecycle counters: points logically deleted through the server,
+    #: background compactions completed, and index hot-swaps (compaction
+    #: swap-ins plus replica refreshes) since construction.
+    points_deleted: int = 0
+    compactions: int = 0
+    index_swaps: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -75,6 +81,9 @@ class ServingStats:
             "latency_p50_ms": float(self.latency_p50_ms),
             "latency_p99_ms": float(self.latency_p99_ms),
             "latency_mean_ms": float(self.latency_mean_ms),
+            "points_deleted": float(self.points_deleted),
+            "compactions": float(self.compactions),
+            "index_swaps": float(self.index_swaps),
         }
 
     def as_table(self) -> str:
@@ -83,8 +92,9 @@ class ServingStats:
             f"flushes: size={self.size_flushes} deadline={self.deadline_flushes} "
             f"drain={self.drain_flushes} | cache: hits={self.cache_hits} "
             f"misses={self.cache_misses} | added={self.points_added} "
-            f"epoch={self.epoch} queue={self.queue_depth} "
-            f"inflight={self.inflight_batches}"
+            f"deleted={self.points_deleted} compactions={self.compactions} "
+            f"swaps={self.index_swaps} epoch={self.epoch} "
+            f"queue={self.queue_depth} inflight={self.inflight_batches}"
         )
         return format_table(
             "Serving stats (async micro-batcher)",

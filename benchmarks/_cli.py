@@ -56,6 +56,26 @@ def bench_main(
         default=None,
         help="queries per workload (default: REPRO_BENCH_QUERIES or 15)",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="also write a machine-readable BENCH_<name>.json next to each table",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="dump the bench's metrics registry in Prometheus text format to FILE "
+        "(benches that build a registry honour it; see repro.obs)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="head-sampling rate in [0, 1] for per-request trace spans "
+        "(default 0: tracing off)",
+    )
     args = parser.parse_args(argv)
     if args.seed is not None:
         os.environ["REPRO_BENCH_SEED"] = str(args.seed)
@@ -65,6 +85,12 @@ def bench_main(
         os.environ["REPRO_BENCH_N"] = str(args.n)
     if args.queries is not None:
         os.environ["REPRO_BENCH_QUERIES"] = str(args.queries)
+    if args.json:
+        os.environ["REPRO_BENCH_JSON"] = "1"
+    if args.metrics_out is not None:
+        os.environ["REPRO_BENCH_METRICS_OUT"] = str(args.metrics_out)
+    if args.trace_sample is not None:
+        os.environ["REPRO_BENCH_TRACE_SAMPLE"] = str(args.trace_sample)
 
     # `repro` must be importable exactly as under `PYTHONPATH=src`.
     src = os.path.join(os.path.dirname(os.path.abspath(bench_file)), "..", "src")

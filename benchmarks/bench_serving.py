@@ -28,9 +28,15 @@ import time
 
 import numpy as np
 
-from conftest import bench_n, bench_queries, bench_seed  # noqa: I001 (script-mode sys.path bootstrap)
+from conftest import (  # noqa: I001 (script-mode sys.path bootstrap)
+    bench_n,
+    bench_queries,
+    bench_seed,
+    bench_trace_sample,
+    write_metrics,
+)
 
-from repro import Knn, create_index
+from repro import Knn, MetricsRegistry, Tracer, create_index
 from repro.datasets.synthetic import gaussian_mixture
 from repro.evaluation.tables import format_table
 from repro.serving import AsyncSearchServer, open_loop_arrivals
@@ -59,10 +65,25 @@ def _single_request_seconds(index, queries) -> float:
     return float(np.median(samples))
 
 
-async def _play(index, queries, *, max_batch, max_delay_ms, rate_per_s, cache=None):
+async def _play(
+    index,
+    queries,
+    *,
+    max_batch,
+    max_delay_ms,
+    rate_per_s,
+    cache=None,
+    metrics=None,
+    tracer=None,
+):
     """One open-loop run; returns (served QPS, ServingStats, results)."""
     async with AsyncSearchServer(
-        index, max_batch=max_batch, max_delay_ms=max_delay_ms, cache=cache
+        index,
+        max_batch=max_batch,
+        max_delay_ms=max_delay_ms,
+        cache=cache,
+        metrics=metrics,
+        tracer=tracer,
     ) as server:
         loop = asyncio.get_running_loop()
         start = loop.time()
@@ -74,7 +95,7 @@ async def _play(index, queries, *, max_batch, max_delay_ms, rate_per_s, cache=No
     return len(results) / wall_s, stats, results
 
 
-def test_bench_serving_microbatch(write_result, benchmark):
+def test_bench_serving_microbatch(write_result, write_json, benchmark):
     n = max(bench_n(), 400)
     requests = min(max(10 * bench_queries(), 60), 300)
     data = gaussian_mixture(n, DIM, num_clusters=25, cluster_std=0.8, seed=bench_seed(5))
@@ -87,6 +108,12 @@ def test_bench_serving_microbatch(write_result, benchmark):
     index.search(queries[:8], K)  # warm the flat traversal buffers
     t_single = _single_request_seconds(index, queries)
     capacity = 1.0 / t_single
+
+    # One registry + tracer across every cell: the servers and the index
+    # publish into it, and --metrics-out / --trace-sample expose it.
+    registry = MetricsRegistry()
+    sample_rate = bench_trace_sample()
+    tracer = Tracer(sample_rate=sample_rate, seed=bench_seed(11)) if sample_rate > 0 else None
 
     rows = []
     qps_by_cell = {}
@@ -101,6 +128,8 @@ def test_bench_serving_microbatch(write_result, benchmark):
                     max_batch=max_batch,
                     max_delay_ms=max_delay_ms,
                     rate_per_s=rate,
+                    metrics=registry,
+                    tracer=tracer,
                 )
             )
             qps_by_cell[(label, factor)] = qps
@@ -153,6 +182,8 @@ def test_bench_serving_microbatch(write_result, benchmark):
                 max_delay_ms=2.0,
                 rate_per_s=capacity * overload,
                 cache=capacity_arg,
+                metrics=registry,
+                tracer=tracer,
             )
         )
         cache_qps[cached] = qps
@@ -171,6 +202,34 @@ def test_bench_serving_microbatch(write_result, benchmark):
         note=cache_note,
     )
     write_result("serving", table + "\n" + cache_table)
+    write_json(
+        "serving",
+        {
+            "n": n,
+            "dim": DIM,
+            "k": K,
+            "requests_per_cell": requests,
+            "capacity_req_per_s": capacity,
+            "trace_sample_rate": sample_rate,
+            "cells": [
+                {
+                    "config": label,
+                    "load_factor": factor,
+                    "qps": qps_by_cell[(label, factor)],
+                    "occupancy": occupancy_by_cell[(label, factor)],
+                }
+                for factor in LOAD_FACTORS
+                for label, _, _ in CONFIGS
+            ],
+            "overload_best_config": best_label,
+            "overload_speedup": best / baseline,
+            "cache_speedup": cache_qps["on"] / cache_qps["off"],
+            "requests_served": int(registry.total("requests_served")),
+            "tree_nodes_visited": int(registry.total("tree_nodes_visited")),
+            "candidates_verified": int(registry.total("candidates_verified")),
+        },
+    )
+    write_metrics(registry)
 
     benchmark.pedantic(
         lambda: asyncio.run(

@@ -10,6 +10,13 @@ Scale knobs (environment variables, or the ``--n``/``--queries``/
   stream (unset: each bench's built-in seeds).
 * ``REPRO_BENCH_OUT`` — directory for the result tables (default
   ``results/`` at the repo root).
+* ``REPRO_BENCH_JSON`` — when ``1`` (the ``--json`` flag), each bench
+  also writes a machine-readable ``BENCH_<name>.json`` next to its table.
+* ``REPRO_BENCH_METRICS_OUT`` — a file path (the ``--metrics-out``
+  flag): benches that build a metrics registry dump it there in
+  Prometheus text format on completion.
+* ``REPRO_BENCH_TRACE_SAMPLE`` — head-sampling rate for per-request
+  trace spans in serving benches (the ``--trace-sample`` flag; default 0).
 
 Every bench writes its paper-style table to ``<out>/<bench>.txt`` and
 registers at least one timed region with pytest-benchmark, so
@@ -19,10 +26,11 @@ reports timings.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from pathlib import Path
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 # Script mode (`python benchmarks/bench_X.py`): make `repro` importable
 # exactly as under `PYTHONPATH=src` before anything pulls it in.  Bench
@@ -93,6 +101,46 @@ def write_result(results_dir: Path) -> Callable[[str, str], None]:
         print(text)
 
     return _write
+
+
+def bench_trace_sample() -> float:
+    """Head-sampling rate for serving benches (``--trace-sample``)."""
+    return float(os.environ.get("REPRO_BENCH_TRACE_SAMPLE", "0"))
+
+
+@pytest.fixture(scope="session")
+def write_json(results_dir: Path) -> Callable[[str, dict], Optional[Path]]:
+    """Write ``BENCH_<name>.json`` when ``--json`` / ``REPRO_BENCH_JSON`` is set.
+
+    Returns the written path, or ``None`` when JSON output is off — every
+    bench calls this unconditionally with its headline numbers.
+    """
+
+    def _write(name: str, payload: dict) -> Optional[Path]:
+        if os.environ.get("REPRO_BENCH_JSON") != "1":
+            return None
+        path = results_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {path}")
+        return path
+
+    return _write
+
+
+def write_metrics(registry) -> Optional[Path]:
+    """Dump *registry* to ``REPRO_BENCH_METRICS_OUT`` (``--metrics-out``).
+
+    Prometheus text exposition format; parent directories are created.
+    Returns the written path, or ``None`` when the knob is unset.
+    """
+    out = os.environ.get("REPRO_BENCH_METRICS_OUT")
+    if not out:
+        return None
+    path = Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(registry.to_prometheus())
+    print(f"\nwrote {path}")
+    return path
 
 
 class WorkloadCache:

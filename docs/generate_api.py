@@ -103,6 +103,16 @@ def build() -> str:
     )
     from repro.lifecycle.replica import Replica
     from repro.lifecycle.tombstones import TombstoneSet
+    from repro.obs.export import parse_prometheus, render_prometheus
+    from repro.obs.metrics import (
+        Counter,
+        Gauge,
+        Histogram,
+        MetricsRegistry,
+        default_registry,
+    )
+    from repro.obs.slowlog import SlowQueryLog
+    from repro.obs.tracing import Trace, Tracer, current_trace, use_trace
     from repro.persistence import snapshot_epoch
     from repro.pmtree.flat import FlatPMTree
     from repro.queries import ClosestPairResult, Knn, Range, RangeResult
@@ -174,7 +184,23 @@ def build() -> str:
         ),
         _class_section(ProjectedQueryCache, ["get", "put", "invalidate", "key_for"]),
         _class_section(ServingStats, ["cache_hit_rate", "as_dict", "as_table"]),
-        _class_section(LatencyWindow, ["record", "percentile"]),
+        _class_section(LatencyWindow, ["record", "percentile", "snapshot", "reset"]),
+        "## Observability\n",
+        _class_section(
+            MetricsRegistry,
+            ["counter", "gauge", "histogram", "scope", "collect", "to_prometheus", "to_json"],
+        ),
+        _function_section(default_registry),
+        _class_section(Counter, []),
+        _class_section(Gauge, []),
+        _class_section(Histogram, ["observe", "cumulative_buckets"]),
+        _class_section(Tracer, ["start", "finish", "drain"]),
+        _class_section(Trace, ["span", "anchored", "add_span", "span_names", "as_dict"]),
+        _function_section(current_trace),
+        _function_section(use_trace),
+        _class_section(SlowQueryLog, ["observe", "bind_window", "records", "to_json"]),
+        _function_section(render_prometheus),
+        _function_section(parse_prometheus),
     ]
     body = "\n".join(section.rstrip() + "\n" for section in sections)
     return textwrap.dedent(body).rstrip() + "\n"

@@ -23,6 +23,11 @@ version's workloads.  The package provides:
   with a deadline-based micro-batcher, interleaves writes epoch-style,
   and caches answers by projected locality
   (:class:`ProjectedQueryCache`);
+* a unified observability layer (:mod:`repro.obs`): a process-wide
+  metrics registry with Prometheus/JSON export
+  (:class:`MetricsRegistry`), head-sampled per-query trace spans
+  (:class:`Tracer`) covering serving → engine → tree, and a bounded
+  slow-query log (:class:`SlowQueryLog`);
 * an index lifecycle subsystem (:mod:`repro.lifecycle`): tombstone
   deletes (``index.delete(ids)``) filtered at verification time so
   results match an index that never held the dead points, background
@@ -99,6 +104,16 @@ from repro.lifecycle import (
     TombstoneSet,
     compact_index,
 )
+from repro.obs import (
+    LatencyWindow,
+    MetricsRegistry,
+    SlowQueryLog,
+    Trace,
+    Tracer,
+    current_trace,
+    default_registry,
+    use_trace,
+)
 from repro.persistence import load_index, snapshot_epoch
 from repro.pmtree import PMTree
 from repro.queries import (
@@ -134,7 +149,9 @@ __all__ = [
     "Knn",
     "LSBForest",
     "LSHFunction",
+    "LatencyWindow",
     "LinearScan",
+    "MetricsRegistry",
     "MultiProbeLSH",
     "PMLSH",
     "PMLSHParams",
@@ -151,15 +168,21 @@ __all__ = [
     "SRS",
     "ServingStats",
     "ShardedIndex",
+    "SlowQueryLog",
     "TombstoneSet",
+    "Trace",
+    "Tracer",
     "__version__",
     "available_indexes",
     "compact_index",
     "create_index",
+    "current_trace",
+    "default_registry",
     "get_index_class",
     "load_dataset",
     "load_index",
     "register_index",
     "snapshot_epoch",
     "solve_parameters",
+    "use_trace",
 ]

@@ -251,6 +251,32 @@ class ANNIndex(abc.ABC):
         #: Cardinality at the last (re-)fit — the growth-ratio baseline
         #: for :class:`~repro.lifecycle.CompactionPolicy`.
         self._fitted_n = 0
+        #: Injected metrics registry (None -> the process default); see
+        #: the :attr:`metrics` property.
+        self._metrics = None
+
+    @property
+    def metrics(self):
+        """The :class:`~repro.obs.metrics.MetricsRegistry` this index
+        publishes into — the process-global default unless one was
+        injected (directly, or by the engine/server wrapping it)."""
+        if self._metrics is None:
+            from repro.obs.metrics import default_registry
+
+            self._metrics = default_registry()
+            self._on_metrics_changed()
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        if registry is self._metrics:
+            return  # already bound — keep the existing instrument scope
+        self._metrics = registry
+        self._on_metrics_changed()
+
+    def _on_metrics_changed(self) -> None:
+        """Subclass hook fired when the registry is (re)bound — rebuild
+        cached instrument references, forward the registry to shards."""
 
     # ------------------------------------------------------------------
     # data binding
@@ -413,6 +439,9 @@ class ANNIndex(abc.ABC):
             )
         self._tombstones.mark(ids)
         self._index_epoch += 1
+        self.metrics.counter(
+            "index_points_deleted", "Points tombstoned across all indexes"
+        ).inc(ids.size)
         self._on_delete(ids)
         return ids
 
@@ -437,6 +466,12 @@ class ANNIndex(abc.ABC):
         before = self.ntotal
         removed = self.num_tombstones
         self.fit(self.data[live])
+        self.metrics.counter(
+            "index_compactions", "In-place compactions across all indexes"
+        ).inc()
+        self.metrics.counter(
+            "index_rows_reclaimed", "Dead rows physically dropped by compaction"
+        ).inc(removed)
         return CompactionResult(
             id_map=dense_id_map(live, before),
             removed=removed,
@@ -475,6 +510,14 @@ class ANNIndex(abc.ABC):
                 # ids behind it, then strip and re-cut.  Exactness of the
                 # final k is inherited from the backend's own ordering.
                 wide = replace(spec, k=min(self.ntotal, spec.k + dead))
+                self.metrics.counter(
+                    "overfetch_queries",
+                    "Queries widened by the generic tombstone overfetch path",
+                ).inc(queries.shape[0])
+                self.metrics.counter(
+                    "overfetch_extra_k",
+                    "Extra result slots fetched to cover tombstones",
+                ).inc(queries.shape[0] * (wide.k - spec.k))
                 result = self._strip_dead(self._run_knn(queries, wide), spec.k)
             else:
                 result = self._run_knn(queries, spec)

@@ -36,6 +36,7 @@ the equivalence tests compare the two).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import replace
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -56,6 +57,7 @@ from repro.datasets.distance import (
     point_to_points_distances,
     sample_distance_distribution,
 )
+from repro.obs.tracing import current_trace
 from repro.pmtree.flat import FlatPMTree
 from repro.pmtree.tree import PMTree
 from repro.queries import (
@@ -159,6 +161,23 @@ class PMLSH(ANNIndex):
             self.params.c: self.solved
         }
         self.distance_distribution: Optional[DistanceDistribution] = None
+        self.metrics  # bind the registry so the probe counters exist
+
+    def _on_metrics_changed(self) -> None:
+        """(Re)bind the probe counters.  Deliberately *unlabeled*: every
+        PM-LSH instance in the process (each engine shard included)
+        publishes into the same series, so ``tree_nodes_visited`` and
+        ``candidates_verified`` read as whole-process probe work."""
+        registry = self.metrics
+        self._c_tree_nodes = registry.counter(
+            "tree_nodes_visited", "PM-tree nodes visited by flat traversals"
+        )
+        self._c_verified = registry.counter(
+            "candidates_verified", "Candidates verified by original-space distance"
+        )
+        self._c_rounds = registry.counter(
+            "probe_rounds", "Radius-enlarging probe rounds executed"
+        )
 
     def _solve_for(self, c: float) -> SolvedParameters:
         solved = solve_parameters(
@@ -450,6 +469,7 @@ class PMLSH(ANNIndex):
             per_query_stats=per_query,
         )
         tree_work.into_stats(result.stats, num_queries)
+        self._c_tree_nodes.inc(tree_work.nodes)
         return result
 
     # ------------------------------------------------------------------
@@ -543,6 +563,7 @@ class PMLSH(ANNIndex):
         reuses one buffer across all queries instead of allocating a fresh
         difference matrix per round)."""
         rows = self.data[ids]
+        self._c_verified.inc(ids.size)
         if scratch is not None and rows.shape[0] <= scratch.shape[0]:
             buffer = scratch[: rows.shape[0]]
             np.subtract(rows, q, out=buffer)
@@ -589,6 +610,7 @@ class PMLSH(ANNIndex):
             rows = self.data[ids[start : start + step]]
             np.subtract(rows, queries[rep[start : start + step]], out=rows)
             out[start : start + step] = np.sqrt(np.einsum("ij,ij->i", rows, rows))
+        self._c_verified.inc(ids.size)
         return out
 
     def _run_knn(self, queries: np.ndarray, spec: Knn) -> BatchResult:
@@ -664,6 +686,7 @@ class PMLSH(ANNIndex):
             )
         batch = BatchResult.from_queries(results, k=k)
         tree_work.into_stats(batch.stats, queries.shape[0])
+        self._c_tree_nodes.inc(tree_work.nodes)
         return batch
 
     def _tree_fetch(self, projected_query: np.ndarray, dead: Optional[set] = None):
@@ -700,6 +723,7 @@ class PMLSH(ANNIndex):
         verification kernel.
         """
         num_queries = queries.shape[0]
+        trace = current_trace()
         schedule = radius_schedule(initial_radius, c, self.params.max_iterations)
         seen = np.zeros(num_queries, dtype=np.int64)
         rounds = np.zeros(num_queries, dtype=np.int64)
@@ -714,6 +738,7 @@ class PMLSH(ANNIndex):
                 break
             r = float(schedule[round_index])
             rounds[idx] += 1
+            self._c_rounds.inc()
             # Termination test 1 (line 4): k verified points within c·r.
             threshold = c * r
             for q in idx:
@@ -727,9 +752,20 @@ class PMLSH(ANNIndex):
             if idx.size == 0:
                 break
             limits = np.maximum(budget - seen[idx], 0)
-            lims, ids, _, stats = flat.batch_range(
-                projected[idx], t * r, limits=limits, lower=previous_fetch, sort=False
+            traversal_span = (
+                trace.span(
+                    "tree_traversal",
+                    round=round_index,
+                    active_queries=int(idx.size),
+                    levels=flat.height,
+                )
+                if trace is not None
+                else nullcontext()
             )
+            with traversal_span:
+                lims, ids, _, stats = flat.batch_range(
+                    projected[idx], t * r, limits=limits, lower=previous_fetch, sort=False
+                )
             tree_work.add(stats)
             counts = np.diff(lims)
             if ids.size:
@@ -741,7 +777,13 @@ class PMLSH(ANNIndex):
                 rep = np.repeat(idx, counts)
                 id_order = np.lexsort((ids, rep))
                 rep, ids = rep[id_order], ids[id_order]
-                true_dists = self._verify_distances(ids, rep, queries)
+                verify_span = (
+                    trace.span("verification", round=round_index, candidates=int(ids.size))
+                    if trace is not None
+                    else nullcontext()
+                )
+                with verify_span:
+                    true_dists = self._verify_distances(ids, rep, queries)
                 for position, q in enumerate(idx):
                     lo, hi = int(lims[position]), int(lims[position + 1])
                     if hi > lo:
@@ -839,6 +881,7 @@ class PMLSH(ANNIndex):
             neighbor_dists = np.concatenate(dist_blocks)
             tree_stats["tree_nodes"] = nodes / n_live
             tree_stats["tree_dist_comps"] = dist_comps / n_live
+            self._c_tree_nodes.inc(nodes)
         row_src = (
             np.arange(n_live, dtype=np.int64) if live is None else live
         )

@@ -48,6 +48,7 @@ from repro.engine.router import ShardRouter, make_router
 from repro.engine.stats import EngineStats, ShardStats
 from repro.lifecycle.compaction import CompactionResult, dense_id_map
 from repro.lifecycle.tombstones import TombstoneSet
+from repro.obs.tracing import current_trace, use_trace
 from repro.queries import ClosestPairResult, Knn, Range, RangeResult, sort_pairs
 from repro.registry import get_index_class, register_index
 from repro.utils.rng import RandomState, spawn_generators
@@ -156,17 +157,74 @@ class ShardedIndex(ANNIndex):
         self._executor: Optional[ThreadPoolExecutor] = None
         self._reset_counters()
 
+    # -- metrics plumbing ----------------------------------------------
+
+    #: (attr, metric name, help) for every lifetime engine counter; the
+    #: ``engine_`` prefix keeps these series distinct from the serving
+    #: front-end's (which wraps the engine and counts *requests*).
+    _COUNTERS = (
+        ("_batches_served", "engine_batches_served", "Query batches merged"),
+        ("_queries_served", "engine_queries_served", "Queries answered (all types)"),
+        (
+            "_range_queries_served",
+            "engine_range_queries_served",
+            "Queries answered through the ragged range path",
+        ),
+        (
+            "_closest_pair_calls",
+            "engine_closest_pair_calls",
+            "Closest-pair calls answered",
+        ),
+        ("_points_added", "engine_points_added", "Points routed to shards by add()"),
+        ("_points_deleted", "engine_points_deleted", "Points tombstoned via delete()"),
+        ("_compactions", "engine_compactions", "Engine compactions run"),
+        (
+            "_search_time_ms",
+            "engine_search_time_ms",
+            "Cumulative wall time across served batches",
+        ),
+    )
+
+    def _on_metrics_changed(self) -> None:
+        """(Re)build the engine's instrument references in the bound registry.
+
+        Values carry over on a rebind (e.g. when an ``AsyncSearchServer``
+        injects its registry into an engine that already served traffic),
+        so the stats view never appears to jump backwards.
+        """
+        registry = self.metrics
+        scope = registry.scope("engine")
+        self._obs_labels = scope
+        for attr, metric, help_text in self._COUNTERS:
+            fresh = registry.counter(metric, help_text, scope)
+            old = getattr(self, attr, None)
+            if old is not None:
+                fresh.value = old.value
+            setattr(self, attr, fresh)
+        for attr, metric, help_text in (
+            ("_last_batch_ms", "engine_last_batch_ms", "Wall time of the last batch"),
+            (
+                "_last_batch_queries",
+                "engine_last_batch_queries",
+                "Queries in the last batch",
+            ),
+        ):
+            fresh = registry.gauge(metric, help_text, scope)
+            old = getattr(self, attr, None)
+            if old is not None:
+                fresh.value = old.value
+            setattr(self, attr, fresh)
+        # Shards publish into the same registry (PM-LSH's probe counters,
+        # the baselines' overfetch path) regardless of backend.
+        for shard in getattr(self, "_shards", ()):  # may precede first fit
+            shard.metrics = registry
+
     def _reset_counters(self) -> None:
-        self._batches_served = 0
-        self._queries_served = 0
-        self._range_queries_served = 0
-        self._closest_pair_calls = 0
-        self._points_added = 0
-        self._points_deleted = 0
-        self._compactions = 0
-        self._search_time_ms = 0.0
-        self._last_batch_ms = 0.0
-        self._last_batch_queries = 0
+        self.metrics  # bind the default registry (and instruments) if needed
+        for attr, _, _ in self._COUNTERS:
+            getattr(self, attr).reset()
+        self._last_batch_ms.set(0.0)
+        self._last_batch_queries.set(0)
         self._last_shard_ms: List[float] = [0.0] * self.num_shards
         self._last_shard_candidates: List[float] = [float("nan")] * self.num_shards
         self._last_shard_tree_nodes: List[float] = [float("nan")] * self.num_shards
@@ -211,6 +269,7 @@ class ShardedIndex(ANNIndex):
         for s in range(self.num_shards):
             global_ids = np.arange(s, n, self.num_shards, dtype=np.int64)
             shard = self._make_shard(shard_rngs[s])
+            shard.metrics = self.metrics
             shard.fit(self.data[global_ids])
             self._shards.append(shard)
             self._id_maps.append(global_ids)
@@ -281,7 +340,7 @@ class ShardedIndex(ANNIndex):
         )
         self._global_local = np.concatenate([self._global_local, local_ids])
         self._set_data(np.vstack([self.data, points]))
-        self._points_added += count
+        self._points_added.inc(count)
         return np.arange(start, start + count, dtype=np.int64)
 
     # ------------------------------------------------------------------
@@ -300,7 +359,7 @@ class ShardedIndex(ANNIndex):
             local = self._global_local[ids[owners == s]]
             if local.size:
                 self._shards[s].delete(local)
-        self._points_deleted += int(ids.size)
+        self._points_deleted.inc(int(ids.size))
 
     def compact(self) -> CompactionResult:
         """Shard-independent compaction: each shard re-fits over its own
@@ -345,7 +404,7 @@ class ShardedIndex(ANNIndex):
             self._fitted_n = self.n
             self._index_epoch += 1
             self._router.reset([shard.nlive for shard in self._shards])
-        self._compactions += 1
+        self._compactions.inc()
         return CompactionResult(
             id_map=dense_id_map(live, before),
             removed=removed,
@@ -390,17 +449,37 @@ class ShardedIndex(ANNIndex):
         self, job: Callable[[ANNIndex], T]
     ) -> Tuple[List[T], List[float]]:
         """Run *job* on every shard (worker pool when configured), returning
-        per-shard results and wall times in shard order."""
+        per-shard results and wall times in shard order.
 
-        def timed(shard: ANNIndex) -> Tuple[T, float]:
+        The calling thread's active trace (if any) is carried into the
+        pool workers, each shard's work wrapped in a ``shard_search``
+        span anchored under the caller's open span — so a sampled
+        request's tree shows every shard's probe nested in place.
+        """
+        trace = current_trace()
+
+        def timed(item: Tuple[int, ANNIndex]) -> Tuple[T, float]:
+            idx, shard = item
             start = time.perf_counter()
-            result = job(shard)
+            if trace is not None:
+                with use_trace(trace), trace.span("shard_search", shard=idx):
+                    result = job(shard)
+            else:
+                result = job(shard)
             return result, (time.perf_counter() - start) * 1e3
 
-        if min(self.num_workers, self.num_shards) > 1:
-            outcomes = list(self._pool().map(timed, self._shards))
+        items = list(enumerate(self._shards))
+        parallel = min(self.num_workers, self.num_shards) > 1
+        if trace is not None:
+            with trace.anchored(trace.current_span()):
+                if parallel:
+                    outcomes = list(self._pool().map(timed, items))
+                else:
+                    outcomes = [timed(item) for item in items]
+        elif parallel:
+            outcomes = list(self._pool().map(timed, items))
         else:
-            outcomes = [timed(shard) for shard in self._shards]
+            outcomes = [timed(item) for item in items]
         return [result for result, _ in outcomes], [elapsed for _, elapsed in outcomes]
 
     def _record_batch(
@@ -410,11 +489,11 @@ class ShardedIndex(ANNIndex):
         shard_ms: Sequence[float],
         shard_stats_batches: Sequence,
     ) -> None:
-        self._batches_served += 1
-        self._queries_served += num_queries
-        self._search_time_ms += wall_ms
-        self._last_batch_ms = wall_ms
-        self._last_batch_queries = num_queries
+        self._batches_served.inc()
+        self._queries_served.inc(num_queries)
+        self._search_time_ms.inc(wall_ms)
+        self._last_batch_ms.set(wall_ms)
+        self._last_batch_queries.set(num_queries)
         self._last_shard_ms = list(shard_ms)
         self._last_shard_candidates = [
             float(batch.stats.get("candidates", float("nan")))
@@ -449,8 +528,13 @@ class ShardedIndex(ANNIndex):
 
         shard_batches, shard_ms = self._fan_out(knn_job)
 
+        trace = current_trace()
         merge_start = time.perf_counter()
-        merged = merge_shard_results(shard_batches, self._id_maps, spec.k)
+        if trace is not None:
+            with trace.span("merge", num_shards=self.num_shards, k=spec.k):
+                merged = merge_shard_results(shard_batches, self._id_maps, spec.k)
+        else:
+            merged = merge_shard_results(shard_batches, self._id_maps, spec.k)
         merge_ms = (time.perf_counter() - merge_start) * 1e3
         wall_ms = (time.perf_counter() - wall_start) * 1e3
 
@@ -479,14 +563,19 @@ class ShardedIndex(ANNIndex):
         wall_start = time.perf_counter()
         shard_results, shard_ms = self._fan_out(lambda shard: shard.run(queries, spec))
 
+        trace = current_trace()
         merge_start = time.perf_counter()
-        merged = merge_shard_range_results(shard_results, self._id_maps)
+        if trace is not None:
+            with trace.span("merge", num_shards=self.num_shards):
+                merged = merge_shard_range_results(shard_results, self._id_maps)
+        else:
+            merged = merge_shard_range_results(shard_results, self._id_maps)
         merge_ms = (time.perf_counter() - merge_start) * 1e3
         wall_ms = (time.perf_counter() - wall_start) * 1e3
 
         num_queries = queries.shape[0]
         self._record_batch(num_queries, wall_ms, shard_ms, shard_results)
-        self._range_queries_served += num_queries
+        self._range_queries_served.inc(num_queries)
         merged.stats.update(
             {
                 "num_shards": float(self.num_shards),
@@ -518,7 +607,7 @@ class ShardedIndex(ANNIndex):
         fewer than m intra pairs (tiny shards), the engine falls back to
         the exact self-join over the global dataset.
         """
-        self._closest_pair_calls += 1
+        self._closest_pair_calls.inc()
 
         def intra_job(shard: ANNIndex) -> ClosestPairResult:
             if shard.nlive < 2:  # fewer than two live points: no pairs
@@ -616,9 +705,56 @@ class ShardedIndex(ANNIndex):
     # diagnostics
     # ------------------------------------------------------------------
 
+    def refresh_metrics(self) -> None:
+        """Publish the engine's point-in-time values into the registry.
+
+        Lifetime counters are written inline by the query paths; the
+        derived and sampled values (sizes, QPS, per-shard last-batch
+        work) are gauges refreshed here — called by :meth:`stats` and by
+        the serving front-end before an export, so a scrape reflects the
+        same numbers the stats table prints.
+        """
+        registry, scope = self.metrics, self._obs_labels
+        gauge = lambda name, help: registry.gauge(name, help, scope)  # noqa: E731
+        gauge("engine_ntotal", "Stored vectors, dead rows included").set(self.ntotal)
+        gauge("engine_nlive", "Live vectors").set(self.nlive)
+        gauge("engine_tombstones", "Outstanding tombstones").set(self.num_tombstones)
+        gauge("engine_num_shards", "Data partitions").set(self.num_shards)
+        gauge("engine_num_workers", "Fan-out worker threads").set(
+            min(self.num_workers, self.num_shards)
+        )
+        search_ms = self._search_time_ms.value
+        gauge("engine_qps", "Lifetime queries per second of search wall time").set(
+            self._queries_served.value / (search_ms / 1e3) if search_ms > 0 else 0.0
+        )
+        last_ms = self._last_batch_ms.value
+        gauge("engine_last_batch_qps", "Throughput of the last batch").set(
+            self._last_batch_queries.value / (last_ms / 1e3) if last_ms > 0 else 0.0
+        )
+        for s, shard in enumerate(self._shards):
+            labels = {**scope, "shard": str(s)}
+            registry.gauge(
+                "engine_shard_search_ms", "Shard wall time in the last batch", labels
+            ).set(self._last_shard_ms[s])
+            registry.gauge(
+                "engine_shard_candidates", "Candidates per query, last batch", labels
+            ).set(self._last_shard_candidates[s])
+            registry.gauge(
+                "engine_shard_tree_nodes", "Tree nodes per query, last batch", labels
+            ).set(self._last_shard_tree_nodes[s])
+            registry.gauge("engine_shard_nlive", "Live points on the shard", labels).set(
+                shard.nlive
+            )
+
     def stats(self) -> EngineStats:
-        """Current serving statistics (per-shard table + lifetime QPS)."""
+        """Current serving statistics (per-shard table + lifetime QPS).
+
+        A view over the metrics registry: every counter field is read
+        back from its instrument (gauges refreshed first), so this
+        snapshot and ``registry.to_json()`` can never disagree.
+        """
         self._require_built()
+        self.refresh_metrics()
         shard_stats = tuple(
             ShardStats(
                 shard=s,
@@ -637,19 +773,19 @@ class ShardedIndex(ANNIndex):
             num_workers=min(self.num_workers, self.num_shards),
             router=self._router.policy,
             ntotal=self.ntotal,
-            batches_served=self._batches_served,
-            queries_served=self._queries_served,
-            points_added=self._points_added,
-            search_time_ms=self._search_time_ms,
-            last_batch_ms=self._last_batch_ms,
-            last_batch_queries=self._last_batch_queries,
-            range_queries_served=self._range_queries_served,
-            closest_pair_calls=self._closest_pair_calls,
+            batches_served=int(self._batches_served.value),
+            queries_served=int(self._queries_served.value),
+            points_added=int(self._points_added.value),
+            search_time_ms=self._search_time_ms.value,
+            last_batch_ms=self._last_batch_ms.value,
+            last_batch_queries=int(self._last_batch_queries.value),
+            range_queries_served=int(self._range_queries_served.value),
+            closest_pair_calls=int(self._closest_pair_calls.value),
             shards=shard_stats,
             nlive=self.nlive,
             tombstones=self.num_tombstones,
-            points_deleted=self._points_deleted,
-            compactions=self._compactions,
+            points_deleted=int(self._points_deleted.value),
+            compactions=int(self._compactions.value),
         )
 
     def __repr__(self) -> str:

@@ -11,10 +11,10 @@ The engine keeps two levels of diagnostics:
 monospace style the benchmark layer uses, so examples and benches can
 print engine state with one call.
 
-:class:`LatencyWindow` is the shared latency digest behind the per-request
-percentiles: the async serving front-end (:mod:`repro.serving`) records
-every request's queue-to-answer latency into one, and
-:class:`~repro.serving.stats.ServingStats` reads the p50/p99 out of it.
+:class:`LatencyWindow` — the shared latency digest behind the
+per-request percentiles — now lives in :mod:`repro.obs.metrics` as the
+histogram backend of the metrics registry; it is re-exported here so
+existing imports keep working.
 """
 
 from __future__ import annotations
@@ -22,61 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-import numpy as np
-
 from repro.evaluation.tables import format_table
+from repro.obs.metrics import LatencyWindow
 
-
-class LatencyWindow:
-    """Bounded ring buffer of per-request latencies with percentile readout.
-
-    Keeps the most recent ``capacity`` samples (milliseconds) in a fixed
-    NumPy buffer — recording is O(1), a percentile readout sorts only the
-    filled portion.  Serving layers record every request into one window
-    and surface ``p50`` / ``p99`` in their stats snapshots; an empty
-    window reads as NaN so stats stay printable before the first request.
-    """
-
-    def __init__(self, capacity: int = 4096) -> None:
-        if capacity < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity}")
-        self._buffer = np.empty(int(capacity), dtype=np.float64)
-        self._cursor = 0
-        self._count = 0  # lifetime samples (filled = min(count, capacity))
-
-    @property
-    def count(self) -> int:
-        """Lifetime number of samples recorded (not capped by capacity)."""
-        return self._count
-
-    def record(self, latency_ms: float) -> None:
-        """Add one latency sample, evicting the oldest when full."""
-        self._buffer[self._cursor] = float(latency_ms)
-        self._cursor = (self._cursor + 1) % self._buffer.size
-        self._count += 1
-
-    def _filled(self) -> np.ndarray:
-        return self._buffer[: min(self._count, self._buffer.size)]
-
-    def percentile(self, p: float) -> float:
-        """The p-th percentile (0–100) of the retained window; NaN if empty."""
-        filled = self._filled()
-        if filled.size == 0:
-            return float("nan")
-        return float(np.percentile(filled, p))
-
-    @property
-    def p50(self) -> float:
-        return self.percentile(50.0)
-
-    @property
-    def p99(self) -> float:
-        return self.percentile(99.0)
-
-    @property
-    def mean(self) -> float:
-        filled = self._filled()
-        return float(filled.mean()) if filled.size else float("nan")
+__all__ = ["EngineStats", "LatencyWindow", "ShardStats"]
 
 
 @dataclass(frozen=True)
@@ -111,6 +60,20 @@ class ShardStats:
             self.mean_tree_nodes,
             self.repr,
         ]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat form matching ``EngineStats.as_dict``/``ServingStats.as_dict``
+        (numbers stay numbers; ``backend``/``repr`` stay strings)."""
+        return {
+            "shard": self.shard,
+            "backend": self.backend,
+            "ntotal": self.ntotal,
+            "nlive": self.nlive,
+            "search_ms": self.search_ms,
+            "mean_candidates": self.mean_candidates,
+            "mean_tree_nodes": self.mean_tree_nodes,
+            "repr": self.repr,
+        }
 
 
 @dataclass(frozen=True)
@@ -167,6 +130,9 @@ class EngineStats:
             "points_added": float(self.points_added),
             "search_time_ms": float(self.search_time_ms),
             "qps": float(self.qps),
+            "last_batch_ms": float(self.last_batch_ms),
+            "last_batch_queries": float(self.last_batch_queries),
+            "last_batch_qps": float(self.last_batch_qps),
             "range_queries_served": float(self.range_queries_served),
             "closest_pair_calls": float(self.closest_pair_calls),
             "nlive": float(self.nlive),

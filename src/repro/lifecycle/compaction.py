@@ -142,6 +142,10 @@ def compact_index(index) -> Tuple["object", CompactionResult]:
     before = index.ntotal
     removed = index.num_tombstones
     fresh = type(index)(**(getattr(index, "_init_kwargs", None) or {}))
+    # The registry binding is not a constructor parameter; carry it over so
+    # the fresh index keeps publishing into the same registry as the source.
+    if getattr(index, "_metrics", None) is not None:
+        fresh.metrics = index._metrics
     fresh.fit(index.data[live])
     fresh._index_epoch = max(fresh.epoch, index.epoch + 1)
     result = CompactionResult(

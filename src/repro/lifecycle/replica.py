@@ -55,9 +55,20 @@ class Replica:
         self.epoch = int(self.index.epoch)
         self.path = str(path)
         self.refreshes += 1
+        self._metrics_registry().counter(
+            "replica_refreshes", "Snapshot archives adopted by a replica"
+        ).inc()
         if self.server is not None:
             self.server.swap_index(self.index)
         return True
+
+    def _metrics_registry(self):
+        """The server's registry when attached, else the process default."""
+        from repro.obs.metrics import default_registry
+
+        if self.server is not None and hasattr(self.server, "metrics_registry"):
+            return self.server.metrics_registry
+        return default_registry()
 
     def __repr__(self) -> str:
         if self.index is None:

@@ -1,0 +1,167 @@
+"""Prometheus text-format rendering and a grammar-checking parser.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.metrics.MetricsRegistry`
+into the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ a
+scraper ingests: one ``# HELP`` / ``# TYPE`` pair per metric name,
+histograms expanded into cumulative ``_bucket{le=...}`` series plus
+``_sum`` / ``_count``.
+
+:func:`parse_prometheus` is the inverse direction *for validation*: it
+checks every line against the text-format grammar (metric-name and
+label-name charsets, quoted-and-escaped label values, float syntax
+including ``NaN``/``+Inf``) and returns the parsed samples.  The CI
+smoke step runs a benchmark with ``--metrics-out`` and feeds the file
+through this parser — a malformed exposition fails the build before a
+real scraper ever sees it.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Dict, List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (metrics -> export)
+    from repro.obs.metrics import MetricsRegistry
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One sample line: name, optional {labels}, value, optional timestamp.
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+# One label pair inside the braces; values are quoted with \\, \", \n escapes.
+_LABEL_PAIR = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\[\\"n])*)"'
+)
+_VALUE = re.compile(r"^[+-]?(?:\d+(?:\.\d*)?|\.\d+)(?:[eE][+-]?\d+)?$")
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _render_labels(labels: Dict[str, str], extra: Dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in sorted(merged.items())
+    )
+    return "{" + pairs + "}"
+
+
+def render_prometheus(registry: "MetricsRegistry") -> str:
+    """The registry in Prometheus text exposition format (sorted, stable)."""
+    from repro.obs.metrics import Histogram
+
+    lines: List[str] = []
+    seen_header: set[str] = set()
+    for instrument in registry.collect():
+        name = instrument.name
+        if name not in seen_header:
+            seen_header.add(name)
+            help_text = (instrument.help or name).replace("\n", " ")
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+        if isinstance(instrument, Histogram):
+            for edge, cumulative in instrument.cumulative_buckets():
+                le = "+Inf" if math.isinf(edge) else _format_value(edge)
+                labels = _render_labels(instrument.label_dict(), {"le": le})
+                lines.append(f"{name}_bucket{labels} {cumulative}")
+            labels = _render_labels(instrument.label_dict())
+            lines.append(f"{name}_sum{labels} {_format_value(instrument.sum)}")
+            lines.append(f"{name}_count{labels} {instrument.count}")
+        else:
+            labels = _render_labels(instrument.label_dict())
+            lines.append(f"{name}{labels} {_format_value(instrument.value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+@dataclass(frozen=True)
+class PromSample:
+    """One parsed sample line: series name, labels, value."""
+
+    name: str
+    labels: Dict[str, str]
+    value: float
+
+
+def _parse_label_block(block: str, lineno: int) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    pos = 0
+    while pos < len(block):
+        match = _LABEL_PAIR.match(block, pos)
+        if match is None:
+            raise ValueError(f"line {lineno}: bad label syntax near {block[pos:]!r}")
+        name = match.group("name")
+        if not _LABEL_NAME.match(name):
+            raise ValueError(f"line {lineno}: bad label name {name!r}")
+        raw = match.group("value")
+        labels[name] = (
+            raw.replace(r"\n", "\n").replace(r"\"", '"').replace(r"\\", "\\")
+        )
+        pos = match.end()
+        if pos < len(block):
+            if block[pos] != ",":
+                raise ValueError(
+                    f"line {lineno}: expected ',' between labels, got {block[pos]!r}"
+                )
+            pos += 1
+    return labels
+
+
+def parse_prometheus(text: str) -> List[PromSample]:
+    """Parse (and thereby validate) a text-format exposition.
+
+    Every non-comment line must match the sample grammar; any violation
+    raises ``ValueError`` naming the line.  ``# TYPE`` lines are checked
+    for a known metric type.  Returns the samples in document order.
+    """
+    samples: List[PromSample] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not _METRIC_NAME.match(parts[2]):
+                    raise ValueError(f"line {lineno}: malformed {parts[1]} line")
+                if parts[1] == "TYPE":
+                    kind = parts[3].strip() if len(parts) > 3 else ""
+                    if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                        raise ValueError(f"line {lineno}: unknown metric type {kind!r}")
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: not a valid sample line: {line!r}")
+        name = match.group("name")
+        label_block = match.group("labels")
+        labels = _parse_label_block(label_block, lineno) if label_block else {}
+        raw_value = match.group("value")
+        if raw_value in ("NaN", "+Inf", "-Inf", "Inf"):
+            value = float(raw_value.replace("Inf", "inf"))
+        elif _VALUE.match(raw_value):
+            value = float(raw_value)
+        else:
+            raise ValueError(f"line {lineno}: bad sample value {raw_value!r}")
+        samples.append(PromSample(name=name, labels=labels, value=value))
+    return samples

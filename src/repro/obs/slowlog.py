@@ -1,0 +1,193 @@
+"""The slow-query log: a bounded ring of outlier requests with evidence.
+
+When a request's queue-to-answer latency crosses the trigger, the log
+captures everything needed to explain it after the fact: the latency,
+the query knobs (the ``QuerySpec`` repr), and — when the request was
+sampled — its full span tree.  Entries live in a ``deque(maxlen=...)``
+ring, so the log is O(capacity) memory forever and always holds the
+most recent offenders.
+
+Two trigger modes, combinable (either firing records the entry):
+
+* **absolute** — ``threshold_ms``: anything slower than a fixed wall
+  time (an SLO bound);
+* **relative** — ``p99_multiple``: anything slower than ``multiple ×``
+  the rolling p99 of a shared :class:`~repro.obs.metrics.LatencyWindow`
+  (catches regressions on a service whose "normal" drifts with load).
+
+The relative trigger needs ~32 samples of history before it arms, so a
+cold service doesn't log its warm-up as "slow".
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import LatencyWindow
+from repro.obs.tracing import Trace
+
+#: Minimum window samples before the rolling-p99 trigger arms.
+_MIN_HISTORY = 32
+
+#: Observations between rolling-p99 recomputations.  The percentile is a
+#: sort over the whole window — refreshing it on every request would put
+#: an O(window) scan on the serving hot path for a bound that drifts
+#: slowly; every 32 requests tracks load shifts closely enough.
+_P99_REFRESH = 32
+
+
+@dataclass
+class SlowQueryRecord:
+    """One captured slow request: when, how slow, why, and the evidence."""
+
+    latency_ms: float
+    threshold_ms: float
+    reason: str  # "absolute" or "p99_multiple"
+    spec: str = ""  # repr of the QuerySpec (knobs at request time)
+    meta: Dict = field(default_factory=dict)
+    trace: Optional[Dict] = None  # span tree as_dict(), when sampled
+
+    def as_dict(self) -> Dict:
+        out = {
+            "latency_ms": self.latency_ms,
+            "threshold_ms": self.threshold_ms,
+            "reason": self.reason,
+            "spec": self.spec,
+        }
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        if self.trace is not None:
+            out["trace"] = self.trace
+        return out
+
+
+class SlowQueryLog:
+    """Bounded ring of slow requests, dumpable as JSON.
+
+    Feed every served request through :meth:`observe`; the log decides
+    whether to keep it.  Reads (:meth:`records`, :meth:`to_json`) are
+    non-destructive; :meth:`clear` empties the ring.
+
+    ``window`` is the latency history the relative trigger reads.  Pass
+    the *serving layer's own* window (the one every request is recorded
+    into) so "slow" means slow relative to actual recent traffic; if
+    omitted, the log keeps a private window fed by :meth:`observe`.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        threshold_ms: Optional[float] = None,
+        p99_multiple: Optional[float] = None,
+        window: Optional[LatencyWindow] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if threshold_ms is None and p99_multiple is None:
+            threshold_ms = 100.0  # a sane default SLO bound
+        if threshold_ms is not None and threshold_ms <= 0:
+            raise ValueError(f"threshold_ms must be > 0, got {threshold_ms}")
+        if p99_multiple is not None and p99_multiple <= 1.0:
+            raise ValueError(f"p99_multiple must be > 1, got {p99_multiple}")
+        self.threshold_ms = threshold_ms
+        self.p99_multiple = p99_multiple
+        self._owns_window = window is None
+        self._window = window if window is not None else LatencyWindow(1024)
+        self._records: deque[SlowQueryRecord] = deque(maxlen=int(capacity))
+        self._observed = 0
+        self._p99_bound = float("nan")  # cached p99_multiple * rolling p99
+        self._p99_stamp = -1  # observation count at last refresh
+
+    @property
+    def observed(self) -> int:
+        """Requests fed through :meth:`observe` (slow or not)."""
+        return self._observed
+
+    def bind_window(self, window: LatencyWindow) -> None:
+        """Re-point the relative trigger at an externally-fed window.
+
+        The serving layer binds its own per-request latency window here
+        at construction, so the rolling p99 reflects every served
+        request — not just the ones this log observed.
+        """
+        self._window = window
+        self._owns_window = False
+        self._p99_stamp = -1  # stale: recompute against the new window
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def _relative_bound(self) -> float:
+        """``p99_multiple × rolling p99``, cached and refreshed periodically."""
+        if self._p99_stamp < 0 or self._observed - self._p99_stamp >= _P99_REFRESH:
+            filled = min(self._window.count, self._window.capacity)
+            self._p99_bound = (
+                self.p99_multiple * self._window.p99
+                if filled >= _MIN_HISTORY
+                else float("nan")
+            )
+            self._p99_stamp = self._observed
+        return self._p99_bound
+
+    def _trigger(self, latency_ms: float) -> Optional[tuple]:
+        """(threshold_ms, reason) if the request qualifies, else None."""
+        if self.threshold_ms is not None and latency_ms > self.threshold_ms:
+            return self.threshold_ms, "absolute"
+        if self.p99_multiple is not None:
+            bound = self._relative_bound()
+            if not math.isnan(bound) and latency_ms > bound:
+                return bound, "p99_multiple"
+        return None
+
+    def observe(
+        self,
+        latency_ms: float,
+        spec: str = "",
+        trace: Optional[Trace] = None,
+        **meta,
+    ) -> Optional[SlowQueryRecord]:
+        """Consider one served request; capture and return a record if slow.
+
+        The trigger is evaluated against history *excluding* this
+        request, then the latency is added to the (privately owned)
+        window — a single spike can't raise the bar that judges it.
+        """
+        self._observed += 1
+        hit = self._trigger(float(latency_ms))
+        if self._owns_window:
+            self._window.record(float(latency_ms))
+        if hit is None:
+            return None
+        bound, reason = hit
+        record = SlowQueryRecord(
+            latency_ms=float(latency_ms),
+            threshold_ms=float(bound),
+            reason=reason,
+            spec=spec,
+            meta=dict(meta),
+            trace=trace.as_dict() if trace is not None else None,
+        )
+        self._records.append(record)
+        return record
+
+    def records(self) -> List[SlowQueryRecord]:
+        """The retained records, oldest first (non-destructive)."""
+        return list(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The ring as a JSON document (an object with ``slow_queries``)."""
+        payload = {
+            "observed": self._observed,
+            "captured": len(self._records),
+            "threshold_ms": self.threshold_ms,
+            "p99_multiple": self.p99_multiple,
+            "slow_queries": [record.as_dict() for record in self._records],
+        }
+        return json.dumps(payload, indent=indent)

@@ -1,0 +1,278 @@
+"""Per-query trace spans across serving → engine → tree.
+
+A :class:`Trace` is one request's (or one batch's) tree of timed
+:class:`Span` s — submit, queue wait, batch assembly, per-shard search,
+tree traversal, verification, merge, scatter.  The :class:`Tracer`
+decides *which* requests get one (head-based sampling at ``submit``
+time) and keeps a bounded ring of finished traces for the slow-query
+log and post-hoc inspection.
+
+Two design rules keep the hot path honest:
+
+* **Sampling off ⇒ zero allocations.**  ``Tracer(sample_rate=0)``
+  (the default) returns ``None`` from :meth:`Tracer.start` without
+  drawing a random number; every instrumentation site is a
+  ``if trace is not None`` guard around otherwise-unchanged code.
+* **Thread-local propagation.**  The serving layer hands batches to a
+  worker thread via ``run_in_executor``, which does not carry
+  contextvars; the active trace travels in a ``threading.local``
+  (:func:`use_trace` / :func:`current_trace`), so deep layers (the
+  PM-LSH probe, shard workers) pick it up without signature changes.
+
+Determinism: sampling uses a seeded generator, so the same seed and the
+same request order reproduce the same sampled set and byte-identical
+span *structure* (names, nesting, order); only wall-clock durations
+vary run to run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+
+class Span:
+    """One timed operation inside a trace: a name, a duration, children.
+
+    Spans nest: ``trace.span("shard_search")`` opened while another span
+    is active on the same thread becomes its child.  ``meta`` carries
+    small scalars (shard id, candidate counts, level) — never arrays.
+    """
+
+    __slots__ = ("name", "start_s", "end_s", "meta", "children")
+
+    def __init__(self, name: str, start_s: float, meta: Dict) -> None:
+        self.name = name
+        self.start_s = start_s
+        self.end_s = start_s
+        self.meta = meta
+        self.children: List["Span"] = []
+
+    @property
+    def duration_ms(self) -> float:
+        return (self.end_s - self.start_s) * 1e3
+
+    def as_dict(self) -> Dict:
+        """JSON-ready form: name, duration_ms, meta, nested children."""
+        out: Dict = {"name": self.name, "duration_ms": self.duration_ms}
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        if self.children:
+            out["children"] = [child.as_dict() for child in self.children]
+        return out
+
+    def iter_spans(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration_ms:.3f}ms, children={len(self.children)})"
+
+
+class Trace:
+    """One sampled request's span tree plus its identifying metadata.
+
+    The trace object is shared across threads (the event loop opens
+    serving spans, the executor worker opens engine/tree spans), so the
+    *open-span stack* is kept per thread and child attachment is guarded
+    by a lock.  Spans opened on a thread with no local parent attach to
+    ``anchor`` — the span designated (via :meth:`span` 's running scope)
+    as the cross-thread attachment point — or to the root.
+    """
+
+    __slots__ = ("trace_id", "root", "meta", "_local", "_lock", "_anchor")
+
+    def __init__(self, trace_id: int, name: str = "request", **meta) -> None:
+        self.trace_id = trace_id
+        now = time.perf_counter()
+        self.root = Span(name, now, {})
+        self.meta = dict(meta)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._anchor: Optional[Span] = None
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **meta) -> Iterator[Span]:
+        """Open a child span of this thread's innermost open span.
+
+        On a thread that has no open span yet, the new span attaches to
+        the current anchor (see :meth:`anchored`) or the root — that is
+        how executor-thread spans land under the right serving span.
+        """
+        span = Span(name, time.perf_counter(), meta)
+        stack = self._stack()
+        parent = stack[-1] if stack else (self._anchor or self.root)
+        with self._lock:
+            parent.children.append(span)
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end_s = time.perf_counter()
+            stack.pop()
+
+    def current_span(self) -> Optional[Span]:
+        """This thread's innermost open span (None outside any span)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def anchored(self, span: Span) -> Iterator[None]:
+        """Make ``span`` the attachment point for other threads' spans.
+
+        The serving layer anchors its ``index_run`` span while the batch
+        executes on the worker thread, so shard/tree spans opened there
+        nest underneath it instead of dangling off the root.
+        """
+        previous = self._anchor
+        self._anchor = span
+        try:
+            yield
+        finally:
+            self._anchor = previous
+
+    def add_span(
+        self, name: str, start_s: float, end_s: float, parent: Optional[Span] = None, **meta
+    ) -> Span:
+        """Attach an already-measured span (e.g. queue wait, known after
+        the fact from enqueue/dequeue timestamps)."""
+        span = Span(name, start_s, meta)
+        span.end_s = end_s
+        target = parent or self.root
+        with self._lock:
+            target.children.append(span)
+        return span
+
+    def attach(self, span: Span) -> None:
+        """Graft a finished span (sub)tree under this trace's root —
+        used to share one batch's engine subtree across the batch's
+        sampled requests at scatter time."""
+        with self._lock:
+            self.root.children.append(span)
+
+    def finish(self) -> None:
+        self.root.end_s = time.perf_counter()
+
+    @property
+    def duration_ms(self) -> float:
+        return self.root.duration_ms
+
+    def span_names(self) -> List[str]:
+        """Depth-first span names — the deterministic trace *structure*."""
+        return [span.name for span in self.root.iter_spans()]
+
+    def find(self, name: str) -> Optional[Span]:
+        """The first span (depth-first) with the given name, or None."""
+        for span in self.root.iter_spans():
+            if span.name == name:
+                return span
+        return None
+
+    def as_dict(self) -> Dict:
+        out = {"trace_id": self.trace_id, **({"meta": self.meta} if self.meta else {})}
+        out["spans"] = self.root.as_dict()
+        return out
+
+
+class Tracer:
+    """Head-based sampling trace factory with a bounded finished ring.
+
+    ``sample_rate`` is the probability a request gets a trace, decided
+    once at :meth:`start`:
+
+    * ``0`` (default) — never: returns ``None`` without allocating or
+      drawing randomness, so untraced deployments pay one comparison;
+    * ``1`` — always;
+    * in between — a seeded Bernoulli draw, reproducible per seed.
+
+    Finished traces (:meth:`finish`) land in a ``deque(maxlen=keep)``
+    ring; :meth:`drain` hands them out for inspection or export.
+    """
+
+    def __init__(self, sample_rate: float = 0.0, seed: int = 0, keep: int = 256) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate}")
+        self.sample_rate = float(sample_rate)
+        self._rng = np.random.default_rng(seed)
+        self._next_id = 0
+        self._finished: deque[Trace] = deque(maxlen=int(keep))
+        self._started = 0
+        self._sampled = 0
+
+    @property
+    def started(self) -> int:
+        """Sampling decisions made (sampled or not)."""
+        return self._started
+
+    @property
+    def sampled(self) -> int:
+        """Traces actually created."""
+        return self._sampled
+
+    def start(self, name: str = "request", **meta) -> Optional[Trace]:
+        """A new :class:`Trace` if this request is sampled, else None."""
+        self._started += 1
+        if self.sample_rate <= 0.0:
+            return None
+        if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
+            return None
+        self._sampled += 1
+        trace = Trace(self._next_id, name, **meta)
+        self._next_id += 1
+        return trace
+
+    def finish(self, trace: Trace) -> None:
+        """Close the trace's root and retain it in the finished ring."""
+        trace.finish()
+        self._finished.append(trace)
+
+    def drain(self) -> List[Trace]:
+        """Remove and return every retained finished trace (oldest first)."""
+        out = list(self._finished)
+        self._finished.clear()
+        return out
+
+    def peek(self) -> List[Trace]:
+        """The retained finished traces without clearing the ring."""
+        return list(self._finished)
+
+
+_ACTIVE = threading.local()
+
+
+def current_trace() -> Optional[Trace]:
+    """The trace active on this thread, or None.
+
+    Deep layers (shard workers, the PM-LSH probe) call this instead of
+    taking a trace parameter; it is set by :func:`use_trace`.
+    """
+    return getattr(_ACTIVE, "trace", None)
+
+
+@contextmanager
+def use_trace(trace: Optional[Trace]) -> Iterator[Optional[Trace]]:
+    """Make ``trace`` the active trace on this thread for the block.
+
+    Passing None is allowed and simply clears the slot — callers wrap
+    work unconditionally and the instrumentation sites no-op.
+    """
+    previous = getattr(_ACTIVE, "trace", None)
+    _ACTIVE.trace = trace
+    try:
+        yield trace
+    finally:
+        _ACTIVE.trace = previous

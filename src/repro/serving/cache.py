@@ -71,9 +71,29 @@ class ProjectedQueryCache:
         self.epoch = 0
         self.hits = 0
         self.misses = 0
+        self._c_evictions = None
+        self._c_invalidations = None
+        self._c_stale_puts = None
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def bind_metrics(self, registry, labels=None) -> None:
+        """Publish eviction/invalidation/stale-put counters into *registry*.
+
+        Hit/miss totals stay plain attributes (the server exports them as
+        gauges); the counters here are the events only the cache sees.
+        """
+        labels = labels or {}
+        self._c_evictions = registry.counter(
+            "cache_evictions", "Entries evicted by LRU capacity pressure", labels
+        )
+        self._c_invalidations = registry.counter(
+            "cache_invalidations", "Epoch bumps that dropped every entry", labels
+        )
+        self._c_stale_puts = registry.counter(
+            "cache_stale_puts", "Answers dropped for being computed pre-write", labels
+        )
 
     def key_for(self, query: np.ndarray, spec: QuerySpec) -> Tuple:
         """The ``(merge key, quantized projected cell)`` key of one request."""
@@ -105,15 +125,21 @@ class ProjectedQueryCache:
         Returns whether the entry was stored.
         """
         if epoch != self.epoch:
+            if self._c_stale_puts is not None:
+                self._c_stale_puts.inc()
             return False
         key = self.key_for(query, spec)
         self._entries[key] = result
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            if self._c_evictions is not None:
+                self._c_evictions.inc()
         return True
 
     def invalidate(self) -> None:
         """Drop every entry and bump the epoch (called on every ``add()``)."""
         self._entries.clear()
         self.epoch += 1
+        if self._c_invalidations is not None:
+            self._c_invalidations.inc()

@@ -61,23 +61,31 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.baselines.base import ANNIndex, QueryResult
-from repro.engine.stats import LatencyWindow
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.tracing import Trace, Tracer, use_trace
 from repro.queries import QuerySpec, as_query_spec
 from repro.serving.cache import ProjectedQueryCache
 from repro.serving.stats import ServingStats
 
 
 class _PendingRequest:
-    """One queued query: its vector, its future, and when it arrived."""
+    """One queued query: its vector, its future, when it arrived, and its
+    trace (None unless head-sampled at submit time)."""
 
-    __slots__ = ("query", "future", "enqueued_at")
+    __slots__ = ("query", "future", "enqueued_at", "trace")
 
     def __init__(
-        self, query: np.ndarray, future: "asyncio.Future[QueryResult]", enqueued_at: float
+        self,
+        query: np.ndarray,
+        future: "asyncio.Future[QueryResult]",
+        enqueued_at: float,
+        trace: Optional[Trace] = None,
     ) -> None:
         self.query = query
         self.future = future
         self.enqueued_at = enqueued_at
+        self.trace = trace
 
 
 class _PendingBatch:
@@ -127,6 +135,20 @@ class AsyncSearchServer:
         both ride on it.
     latency_capacity:
         Retained samples of the per-request latency window.
+    metrics:
+        The :class:`~repro.obs.metrics.MetricsRegistry` the server
+        publishes into (defaults to the process-global registry).  The
+        server takes an ``instance`` label scope so two servers sharing
+        a registry keep distinct series, and forwards the registry to
+        the served index.
+    tracer:
+        A :class:`~repro.obs.tracing.Tracer` for per-request span trees
+        (``None``, the default, disables tracing entirely — the hot
+        path stays allocation-free).
+    slow_log:
+        A :class:`~repro.obs.slowlog.SlowQueryLog` fed every request's
+        queue-to-answer latency (with the span tree when sampled).  Its
+        rolling-p99 trigger reads the server's own latency window.
 
     Examples
     --------
@@ -155,6 +177,9 @@ class AsyncSearchServer:
         cache_resolution: float = 1e-9,
         executor: Optional[Executor] = None,
         latency_capacity: int = 4096,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        slow_log: Optional[SlowQueryLog] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -163,6 +188,8 @@ class AsyncSearchServer:
         self.index = index
         self.max_batch = int(max_batch)
         self.max_delay_ms = float(max_delay_ms)
+        self.metrics_registry = metrics if metrics is not None else default_registry()
+        self.tracer = tracer
         self.cache = (
             self._build_cache(index, cache, cache_resolution)
             if isinstance(cache, int)
@@ -172,27 +199,55 @@ class AsyncSearchServer:
             max_workers=1, thread_name_prefix="repro-serving"
         )
         self._owns_executor = executor is None
-        self._latency = LatencyWindow(latency_capacity)
         self._queues: Dict[Tuple, _PendingBatch] = {}
         self._inflight: set = set()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._closed = False
         self._epoch = 0
-        self._requests_submitted = 0
-        self._requests_served = 0
-        self._batches_served = 0
-        self._requests_batched = 0
-        self._size_flushes = 0
-        self._deadline_flushes = 0
-        self._drain_flushes = 0
-        self._points_added = 0
-        self._points_deleted = 0
-        self._compactions = 0
-        self._index_swaps = 0
         self._compacting = False
         self._rebuild_executor: Optional[ThreadPoolExecutor] = None
         #: serving-annotated ``stats`` dict of the most recent batch result.
         self.last_batch_stats: Dict[str, float] = {}
+        # Every serving number lives in the registry: the counters below
+        # are the instruments themselves (held directly so the hot path
+        # pays one attribute walk, no registry lookups), and ``stats()``
+        # is a view over them — the table and a scrape can't disagree.
+        scope = self.metrics_registry.scope("serving")
+        self._labels = scope
+        counter = lambda name, help: self.metrics_registry.counter(name, help, scope)  # noqa: E731
+        self._requests_submitted = counter(
+            "requests_submitted", "Requests accepted by submit()"
+        )
+        self._requests_served = counter(
+            "requests_served", "Requests answered (cache hits included)"
+        )
+        self._batches_served = counter("batches_served", "Coalesced batches executed")
+        self._requests_batched = counter(
+            "requests_batched", "Requests answered through a batch"
+        )
+        self._size_flushes = counter("size_flushes", "Dispatches on max_batch")
+        self._deadline_flushes = counter("deadline_flushes", "Dispatches on deadline")
+        self._drain_flushes = counter("drain_flushes", "Dispatches on flush()/writes")
+        self._points_added = counter("points_added", "Points ingested via add()")
+        self._points_deleted = counter("points_deleted", "Points tombstoned via delete()")
+        self._compactions = counter("compactions", "Background compactions completed")
+        self._index_swaps = counter("index_swaps", "swap_index() installs")
+        self._latency_hist = self.metrics_registry.histogram(
+            "request_latency_ms",
+            "Queue-to-answer latency per served request",
+            scope,
+            window_capacity=latency_capacity,
+        )
+        self._latency = self._latency_hist.window
+        self.slow_log = slow_log
+        if slow_log is not None:
+            slow_log.bind_window(self._latency)
+        if self.cache is not None:
+            self.cache.bind_metrics(self.metrics_registry, scope)
+        # The served index publishes into the same registry (covers the
+        # sharded engine, PM-LSH's probe counters, the overfetch path).
+        if hasattr(index, "metrics"):
+            index.metrics = self.metrics_registry
 
     @staticmethod
     def _build_cache(
@@ -230,13 +285,24 @@ class AsyncSearchServer:
             raise ValueError(
                 f"submit takes one (d,) query vector, got shape {vector.shape}"
             )
-        self._requests_submitted += 1
+        self._requests_submitted.inc()
         enqueued_at = loop.time()
+        trace = self.tracer.start("request") if self.tracer is not None else None
+        if trace is not None:
+            trace.meta["spec"] = repr(spec)
         if self.cache is not None:
             cached = self.cache.get(vector, spec)
             if cached is not None:
-                self._requests_served += 1
-                self._latency.record((loop.time() - enqueued_at) * 1e3)
+                self._requests_served.inc()
+                latency_ms = (loop.time() - enqueued_at) * 1e3
+                self._latency_hist.observe(latency_ms)
+                if trace is not None:
+                    trace.add_span("cache_hit", enqueued_at, loop.time())
+                    self.tracer.finish(trace)
+                if self.slow_log is not None:
+                    self.slow_log.observe(
+                        latency_ms, spec=repr(spec), trace=trace, cache_hit=1
+                    )
                 return QueryResult(
                     ids=cached.ids,
                     distances=cached.distances,
@@ -256,7 +322,7 @@ class AsyncSearchServer:
                 batch.timer = loop.call_later(
                     self.max_delay_ms / 1e3, self._on_deadline, key
                 )
-        batch.requests.append(_PendingRequest(vector, future, enqueued_at))
+        batch.requests.append(_PendingRequest(vector, future, enqueued_at, trace))
         if len(batch.requests) >= self.max_batch:
             self._dispatch(key, "size")
         return await future
@@ -292,7 +358,7 @@ class AsyncSearchServer:
         if self.cache is not None:
             self.cache.invalidate()
         ids = await loop.run_in_executor(self._executor, self.index.add, points)
-        self._points_added += int(ids.size)
+        self._points_added.inc(int(ids.size))
         return ids
 
     async def delete(self, ids: np.ndarray) -> np.ndarray:
@@ -312,7 +378,7 @@ class AsyncSearchServer:
         if self.cache is not None:
             self.cache.invalidate()
         deleted = await loop.run_in_executor(self._executor, self.index.delete, ids)
-        self._points_deleted += int(deleted.size)
+        self._points_deleted.inc(int(deleted.size))
         return deleted
 
     def swap_index(self, new_index: ANNIndex) -> None:
@@ -329,7 +395,9 @@ class AsyncSearchServer:
         if self.cache is not None:
             self.cache.invalidate()
         self.index = new_index
-        self._index_swaps += 1
+        if hasattr(new_index, "metrics"):
+            new_index.metrics = self.metrics_registry
+        self._index_swaps.inc()
 
     async def compact(self, policy=None):
         """Rebuild the served index without deleted points, in the background.
@@ -365,7 +433,7 @@ class AsyncSearchServer:
         finally:
             self._compacting = False
         self.swap_index(fresh)
-        self._compactions += 1
+        self._compactions.inc()
         return result
 
     # ------------------------------------------------------------------
@@ -394,11 +462,11 @@ class AsyncSearchServer:
         if not batch.requests:
             return
         if reason == "size":
-            self._size_flushes += 1
+            self._size_flushes.inc()
         elif reason == "deadline":
-            self._deadline_flushes += 1
+            self._deadline_flushes.inc()
         else:
-            self._drain_flushes += 1
+            self._drain_flushes.inc()
         loop = self._loop
         queries = np.stack([request.query for request in batch.requests])
         dispatched_at = loop.time()
@@ -406,11 +474,37 @@ class AsyncSearchServer:
         # a pre-built or reused cache may start at any epoch, and only
         # its own counter decides staleness.
         cache_epoch = self.cache.epoch if self.cache is not None else 0
-        run_future = loop.run_in_executor(
-            self._executor, self.index.run, queries, batch.spec
-        )
+        # One shared batch trace carries the engine-side spans when any
+        # member of the batch was sampled; its subtree is grafted into
+        # every sampled request at scatter.  Unsampled batches submit the
+        # index call directly — zero tracing work on that path.
+        batch_trace: Optional[Trace] = None
+        if any(request.trace is not None for request in batch.requests):
+            batch_trace = Trace(
+                -1, "batch", merge_key=repr(key), reason=reason, size=len(batch.requests)
+            )
+            batch_trace.add_span(
+                "batch_assembly",
+                min(request.enqueued_at for request in batch.requests),
+                dispatched_at,
+                reason=reason,
+                batch_size=len(batch.requests),
+            )
+            index, spec = self.index, batch.spec
+
+            def run_traced(queries=queries, trace=batch_trace):
+                with use_trace(trace), trace.span("index_run"):
+                    return index.run(queries, spec)
+
+            run_future = loop.run_in_executor(self._executor, run_traced)
+        else:
+            run_future = loop.run_in_executor(
+                self._executor, self.index.run, queries, batch.spec
+            )
         task = loop.create_task(
-            self._scatter(batch, run_future, self._epoch, cache_epoch, dispatched_at)
+            self._scatter(
+                batch, run_future, self._epoch, cache_epoch, dispatched_at, batch_trace
+            )
         )
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)
@@ -422,6 +516,7 @@ class AsyncSearchServer:
         epoch: int,
         cache_epoch: int,
         dispatched_at: float,
+        batch_trace: Optional[Trace] = None,
     ) -> None:
         """Await the batch answer and resolve every request's future."""
         requests = batch.requests
@@ -440,16 +535,35 @@ class AsyncSearchServer:
         result.stats["serving_wait_ms_max"] = float(np.max(waits_ms))
         result.stats["serving_epoch"] = float(epoch)
         self.last_batch_stats = dict(result.stats)
-        self._batches_served += 1
-        self._requests_batched += len(requests)
+        self._batches_served.inc()
+        self._requests_batched.inc(len(requests))
+        spec_repr = repr(batch.spec) if self.slow_log is not None else ""
         for i, request in enumerate(requests):
             answer = result[i]
             answer.stats["serving_batch_size"] = float(len(requests))
             answer.stats["serving_wait_ms"] = waits_ms[i]
             if self.cache is not None:
                 self.cache.put(request.query, batch.spec, answer, cache_epoch)
-            self._requests_served += 1
-            self._latency.record((now - request.enqueued_at) * 1e3)
+            self._requests_served.inc()
+            latency_ms = (now - request.enqueued_at) * 1e3
+            self._latency_hist.observe(latency_ms)
+            trace = request.trace
+            if trace is not None:
+                trace.add_span("queue_wait", request.enqueued_at, dispatched_at)
+                if batch_trace is not None:
+                    # The engine subtree (batch assembly + index_run with
+                    # shard/tree/verify spans) is shared, not copied.
+                    for span in batch_trace.root.children:
+                        trace.attach(span)
+                trace.add_span("scatter", now, loop.time(), row=i)
+                self.tracer.finish(trace)
+            if self.slow_log is not None:
+                self.slow_log.observe(
+                    latency_ms,
+                    spec=spec_repr,
+                    trace=trace,
+                    batch_size=len(requests),
+                )
             if not request.future.cancelled():
                 request.future.set_result(answer)
 
@@ -510,33 +624,88 @@ class AsyncSearchServer:
         """Requests currently queued and not yet dispatched."""
         return sum(len(batch.requests) for batch in self._queues.values())
 
-    def stats(self) -> ServingStats:
-        """Current serving statistics snapshot (see :class:`ServingStats`)."""
-        return ServingStats(
-            requests_submitted=self._requests_submitted,
-            requests_served=self._requests_served,
-            batches_served=self._batches_served,
-            queue_depth=self.queue_depth,
-            inflight_batches=len(self._inflight),
-            size_flushes=self._size_flushes,
-            deadline_flushes=self._deadline_flushes,
-            drain_flushes=self._drain_flushes,
-            cache_hits=self.cache.hits if self.cache is not None else 0,
-            cache_misses=self.cache.misses if self.cache is not None else 0,
-            points_added=self._points_added,
-            epoch=self._epoch,
-            mean_occupancy=(
-                self._requests_batched / self._batches_served
-                if self._batches_served
-                else float("nan")
-            ),
-            latency_p50_ms=self._latency.p50,
-            latency_p99_ms=self._latency.p99,
-            latency_mean_ms=self._latency.mean,
-            points_deleted=self._points_deleted,
-            compactions=self._compactions,
-            index_swaps=self._index_swaps,
+    def _refresh_gauges(self) -> None:
+        """Publish the point-in-time serving values into the registry.
+
+        Counters and the latency histogram are written inline on the hot
+        path; everything derived or sampled (queue depth, epoch, cache
+        hit state, occupancy, window percentiles) is refreshed here so a
+        snapshot/scrape and :meth:`stats` read the same numbers.
+        """
+        gauge = lambda name, help: self.metrics_registry.gauge(name, help, self._labels)  # noqa: E731
+        gauge("queue_depth", "Requests queued, not yet dispatched").set(self.queue_depth)
+        gauge("inflight_batches", "Dispatched batches not yet scattered").set(
+            len(self._inflight)
         )
+        gauge("serving_epoch", "Write epoch of the served index").set(self._epoch)
+        gauge("cache_hits", "Cache hits (lifetime)").set(
+            self.cache.hits if self.cache is not None else 0
+        )
+        gauge("cache_misses", "Cache misses (lifetime)").set(
+            self.cache.misses if self.cache is not None else 0
+        )
+        batches = self._batches_served.value
+        gauge("mean_occupancy", "Mean requests per served batch").set(
+            self._requests_batched.value / batches if batches else float("nan")
+        )
+        window = self._latency.snapshot()
+        gauge("latency_p50_ms", "p50 queue-to-answer latency (window)").set(window.p50)
+        gauge("latency_p99_ms", "p99 queue-to-answer latency (window)").set(window.p99)
+        gauge("latency_mean_ms", "Mean queue-to-answer latency (window)").set(
+            window.mean
+        )
+        refresh = getattr(self.index, "refresh_metrics", None)
+        if refresh is not None:
+            refresh()
+
+    def stats(self) -> ServingStats:
+        """Current serving statistics snapshot (see :class:`ServingStats`).
+
+        A view over the metrics registry: gauges are refreshed, then
+        every field is read back from its instrument — the snapshot and
+        the registry's exports can never disagree.
+        """
+        self._refresh_gauges()
+        value = lambda name: self.metrics_registry.value(name, self._labels)  # noqa: E731
+        window = self._latency.snapshot()
+        return ServingStats(
+            requests_submitted=int(self._requests_submitted.value),
+            requests_served=int(self._requests_served.value),
+            batches_served=int(self._batches_served.value),
+            queue_depth=int(value("queue_depth")),
+            inflight_batches=int(value("inflight_batches")),
+            size_flushes=int(self._size_flushes.value),
+            deadline_flushes=int(self._deadline_flushes.value),
+            drain_flushes=int(self._drain_flushes.value),
+            cache_hits=int(value("cache_hits")),
+            cache_misses=int(value("cache_misses")),
+            points_added=int(self._points_added.value),
+            epoch=int(value("serving_epoch")),
+            mean_occupancy=value("mean_occupancy"),
+            latency_p50_ms=window.p50,
+            latency_p99_ms=window.p99,
+            latency_mean_ms=window.mean,
+            points_deleted=int(self._points_deleted.value),
+            compactions=int(self._compactions.value),
+            index_swaps=int(self._index_swaps.value),
+        )
+
+    async def metrics(self, format: str = "prometheus") -> str | Dict:
+        """The registry snapshot as an awaitable endpoint.
+
+        ``format="prometheus"`` returns the text exposition (what a
+        scrape handler would serve); ``format="json"`` returns the
+        snapshot dict.  Gauges (including the served index's) are
+        refreshed first, so the export reflects this instant.
+        """
+        self._require_open()
+        self._bind_loop()
+        self._refresh_gauges()
+        if format == "prometheus":
+            return self.metrics_registry.to_prometheus()
+        if format == "json":
+            return self.metrics_registry.to_json()
+        raise ValueError(f"unknown metrics format {format!r}")
 
     def __repr__(self) -> str:
         cache = "off" if self.cache is None else f"cap={self.cache.capacity}"

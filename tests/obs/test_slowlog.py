@@ -1,0 +1,132 @@
+"""Tests for the slow-query log: triggers, arming, the bounded ring, JSON."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import LatencyWindow
+from repro.obs.slowlog import _MIN_HISTORY, SlowQueryLog
+from repro.obs.tracing import Trace
+
+
+class TestAbsoluteTrigger:
+    def test_threshold_splits_fast_from_slow(self):
+        log = SlowQueryLog(threshold_ms=10.0)
+        assert log.observe(5.0) is None
+        record = log.observe(15.0, spec="Knn(k=10)")
+        assert record is not None
+        assert record.reason == "absolute"
+        assert record.threshold_ms == 10.0
+        assert record.latency_ms == 15.0
+        assert record.spec == "Knn(k=10)"
+        assert len(log) == 1
+        assert log.observed == 2
+
+    def test_default_is_absolute_100ms(self):
+        log = SlowQueryLog()
+        assert log.threshold_ms == 100.0
+        assert log.observe(99.0) is None
+        assert log.observe(101.0) is not None
+
+    def test_meta_and_trace_are_captured(self):
+        log = SlowQueryLog(threshold_ms=1.0)
+        trace = Trace(7, "request")
+        with trace.span("index_run"):
+            pass
+        record = log.observe(5.0, trace=trace, batch_size=4)
+        assert record.meta == {"batch_size": 4}
+        assert record.trace["trace_id"] == 7
+        assert record.trace["spans"]["children"][0]["name"] == "index_run"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_ms=-1.0)
+        with pytest.raises(ValueError):
+            SlowQueryLog(p99_multiple=1.0)
+
+
+class TestRingCapacity:
+    def test_ring_keeps_most_recent(self):
+        log = SlowQueryLog(capacity=2, threshold_ms=1.0)
+        for latency in (10.0, 20.0, 30.0):
+            log.observe(latency)
+        latencies = [record.latency_ms for record in log.records()]
+        assert latencies == [20.0, 30.0]
+        log.clear()
+        assert len(log) == 0
+        assert log.observed == 3  # lifetime count survives clear()
+
+
+class TestRelativeTrigger:
+    def test_unarmed_before_min_history(self):
+        log = SlowQueryLog(p99_multiple=3.0)
+        for _ in range(_MIN_HISTORY - 1):
+            log.observe(1.0)
+        # history too thin: even a 100x outlier is not recorded
+        assert log.observe(100.0) is None
+
+    def test_armed_after_min_history(self):
+        log = SlowQueryLog(p99_multiple=3.0)
+        for _ in range(_MIN_HISTORY + 10):
+            log.observe(1.0)
+        record = log.observe(100.0)
+        assert record is not None
+        assert record.reason == "p99_multiple"
+        assert record.threshold_ms == pytest.approx(3.0, rel=0.01)
+
+    def test_spike_judged_before_it_enters_history(self):
+        """The trigger reads history excluding the request it judges."""
+        log = SlowQueryLog(p99_multiple=2.0)
+        for _ in range(_MIN_HISTORY * 2):
+            log.observe(1.0)
+        first_spike = log.observe(50.0)
+        assert first_spike is not None
+
+    def test_bound_window_is_read_not_fed(self):
+        window = LatencyWindow(256)
+        log = SlowQueryLog(p99_multiple=2.0, window=window)
+        # The external window is the serving layer's; observe() must not
+        # record into it (the server already does).
+        for _ in range(_MIN_HISTORY * 2):
+            window.record(1.0)
+            log.observe(1.0)
+        assert window.count == _MIN_HISTORY * 2
+        assert log.observe(10.0) is not None
+
+    def test_bind_window_repoints_the_trigger(self):
+        log = SlowQueryLog(p99_multiple=2.0)
+        window = LatencyWindow(256)
+        log.bind_window(window)
+        for _ in range(_MIN_HISTORY * 2):
+            window.record(2.0)
+            log.observe(2.0)
+        record = log.observe(100.0)
+        assert record is not None
+        assert record.threshold_ms == pytest.approx(4.0, rel=0.01)
+
+    def test_combined_absolute_wins_first(self):
+        log = SlowQueryLog(threshold_ms=10.0, p99_multiple=2.0)
+        for _ in range(_MIN_HISTORY * 2):
+            log.observe(1.0)
+        record = log.observe(50.0)
+        assert record.reason == "absolute"
+
+
+class TestJsonDump:
+    def test_to_json_round_trips(self):
+        log = SlowQueryLog(threshold_ms=1.0, capacity=8)
+        trace = Trace(0)
+        log.observe(0.5)
+        log.observe(5.0, spec="Range(r=2.0)", trace=trace, batch_size=2)
+        payload = json.loads(log.to_json(indent=2))
+        assert payload["observed"] == 2
+        assert payload["captured"] == 1
+        assert payload["threshold_ms"] == 1.0
+        entry = payload["slow_queries"][0]
+        assert entry["spec"] == "Range(r=2.0)"
+        assert entry["meta"] == {"batch_size": 2}
+        assert "trace" in entry

@@ -1,0 +1,196 @@
+"""Tests for trace spans: sampling, nesting, cross-thread attachment,
+and the determinism contract (same seed + queries → same structure)."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import Knn, create_index
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span, Trace, Tracer, current_trace, use_trace
+
+
+class TestSampling:
+    def test_rate_zero_returns_none_and_allocates_nothing(self):
+        tracer = Tracer(sample_rate=0.0)
+        for _ in range(50):
+            assert tracer.start() is None
+        assert tracer.started == 50
+        assert tracer.sampled == 0
+        assert tracer.peek() == []
+
+    def test_rate_one_samples_everything(self):
+        tracer = Tracer(sample_rate=1.0)
+        traces = [tracer.start() for _ in range(10)]
+        assert all(t is not None for t in traces)
+        assert tracer.sampled == 10
+        assert [t.trace_id for t in traces] == list(range(10))
+
+    def test_partial_rate_is_seed_deterministic(self):
+        decisions = []
+        for _ in range(2):
+            tracer = Tracer(sample_rate=0.5, seed=42)
+            decisions.append([tracer.start() is not None for _ in range(100)])
+        assert decisions[0] == decisions[1]
+        assert 10 < sum(decisions[0]) < 90  # actually partial
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=-0.1)
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+
+    def test_finished_ring_is_bounded(self):
+        tracer = Tracer(sample_rate=1.0, keep=4)
+        for _ in range(10):
+            tracer.finish(tracer.start())
+        kept = tracer.peek()
+        assert len(kept) == 4
+        assert [t.trace_id for t in kept] == [6, 7, 8, 9]
+        assert len(tracer.drain()) == 4
+        assert tracer.peek() == []
+
+
+class TestSpanTree:
+    def test_nesting_and_depth_first_names(self):
+        trace = Trace(0, "request")
+        with trace.span("a"):
+            with trace.span("b", detail=1):
+                pass
+            with trace.span("c"):
+                pass
+        assert trace.span_names() == ["request", "a", "b", "c"]
+        assert trace.find("b").meta == {"detail": 1}
+        assert trace.find("missing") is None
+
+    def test_durations_are_nonnegative(self):
+        trace = Trace(0)
+        with trace.span("work") as span:
+            pass
+        assert span.duration_ms >= 0.0
+        trace.finish()
+        assert trace.duration_ms >= span.duration_ms
+
+    def test_add_span_attaches_measured_interval(self):
+        trace = Trace(0)
+        span = trace.add_span("queue_wait", 1.0, 1.5, reason="deadline")
+        assert span.duration_ms == pytest.approx(500.0)
+        assert trace.root.children == [span]
+        assert span.meta == {"reason": "deadline"}
+
+    def test_as_dict_shape(self):
+        trace = Trace(3, "request", spec="Knn(k=5)")
+        with trace.span("a"):
+            pass
+        payload = trace.as_dict()
+        assert payload["trace_id"] == 3
+        assert payload["meta"] == {"spec": "Knn(k=5)"}
+        assert payload["spans"]["name"] == "request"
+        assert payload["spans"]["children"][0]["name"] == "a"
+
+    def test_cross_thread_spans_attach_under_anchor(self):
+        """A pool thread with an empty stack lands under the anchored span —
+        the mechanism that nests shard spans under the serving span."""
+        trace = Trace(0)
+        with trace.span("index_run") as run_span:
+            with trace.anchored(run_span):
+
+                def worker(i):
+                    with trace.span("shard_search", shard=i):
+                        pass
+
+                threads = [threading.Thread(target=worker, args=(i,)) for i in range(3)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+        names = trace.span_names()
+        assert names[0:2] == ["request", "index_run"]
+        assert names.count("shard_search") == 3
+        assert all(child.name == "shard_search" for child in run_span.children)
+
+    def test_attach_grafts_shared_subtree(self):
+        batch = Trace(-1, "batch")
+        with batch.span("batch_assembly"):
+            pass
+        request = Trace(0)
+        for child in batch.root.children:
+            request.attach(child)
+        assert request.span_names() == ["request", "batch_assembly"]
+        # shared by reference, not copied
+        assert request.root.children[0] is batch.root.children[0]
+
+
+class TestThreadLocalPropagation:
+    def test_current_trace_default_none(self):
+        assert current_trace() is None
+
+    def test_use_trace_scopes_and_restores(self):
+        trace = Trace(0)
+        with use_trace(trace):
+            assert current_trace() is trace
+            with use_trace(None):
+                assert current_trace() is None
+            assert current_trace() is trace
+        assert current_trace() is None
+
+    def test_other_threads_see_nothing(self):
+        trace = Trace(0)
+        seen = []
+        with use_trace(trace):
+            thread = threading.Thread(target=lambda: seen.append(current_trace()))
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+
+class TestTracedProbeDeterminism:
+    """Same seed + same queries → identical span structure and counters."""
+
+    def _run_once(self, data, queries):
+        registry = MetricsRegistry()
+        index = create_index("pm-lsh", seed=9)
+        index.metrics = registry
+        index.fit(data)
+        trace = Tracer(sample_rate=1.0, seed=1).start("request")
+        with use_trace(trace), trace.span("index_run"):
+            batch = index.run(queries, Knn(k=5))
+        trace.finish()
+        counters = {
+            name: registry.total(name)
+            for name in ("tree_nodes_visited", "candidates_verified", "probe_rounds")
+        }
+        return trace.span_names(), counters, batch.ids
+
+    def test_two_runs_identical(self, small_clustered):
+        data = small_clustered[:500]
+        queries = small_clustered[500:508]
+        names_a, counters_a, ids_a = self._run_once(data, queries)
+        names_b, counters_b, ids_b = self._run_once(data, queries)
+        assert names_a == names_b
+        assert counters_a == counters_b
+        np.testing.assert_array_equal(ids_a, ids_b)
+        # the structure actually covers the probe
+        assert "tree_traversal" in names_a
+        assert "verification" in names_a
+        assert counters_a["tree_nodes_visited"] > 0
+        assert counters_a["candidates_verified"] > 0
+
+    def test_sampling_off_produces_zero_spans(self, small_clustered):
+        data = small_clustered[:300]
+        registry = MetricsRegistry()
+        index = create_index("pm-lsh", seed=9)
+        index.metrics = registry
+        index.fit(data)
+        tracer = Tracer(sample_rate=0.0)
+        trace = tracer.start("request")
+        assert trace is None
+        with use_trace(trace):
+            index.run(small_clustered[300:305], Knn(k=3))
+        assert tracer.sampled == 0
+        assert tracer.peek() == []
+        # counters still tick with tracing off
+        assert registry.total("tree_nodes_visited") > 0

@@ -1,0 +1,73 @@
+"""Validate a Prometheus metrics dump: grammar plus non-zero core counters.
+
+CI's observability smoke step runs ``bench_serving`` with full trace
+sampling and ``--metrics-out``, then feeds the dump through this script::
+
+    python tools/check_metrics.py results/metrics_smoke.prom \
+        --nonzero requests_served tree_nodes_visited candidates_verified
+
+Exit 1 (with a message naming the offender) when the file violates the
+text exposition grammar or any ``--nonzero`` counter sums to zero across
+its label sets — either means a layer stopped publishing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.strip().splitlines()[0])
+    parser.add_argument("metrics_file", help="Prometheus text-format dump to validate")
+    parser.add_argument(
+        "--nonzero",
+        nargs="*",
+        default=[],
+        metavar="NAME",
+        help="metric names whose summed value must be > 0",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.export import parse_prometheus
+
+    path = Path(args.metrics_file)
+    if not path.exists():
+        print(f"{path}: no such file", file=sys.stderr)
+        return 1
+    try:
+        samples = parse_prometheus(path.read_text())
+    except ValueError as exc:
+        print(f"{path}: invalid Prometheus exposition: {exc}", file=sys.stderr)
+        return 1
+
+    totals: dict[str, float] = defaultdict(float)
+    for sample in samples:
+        totals[sample.name] += sample.value
+
+    failures = []
+    for name in args.nonzero:
+        if totals.get(name, 0.0) <= 0.0:
+            failures.append(
+                f"{path}: counter {name!r} is "
+                f"{'absent' if name not in totals else 'zero'} "
+                f"— a layer stopped publishing"
+            )
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        return 1
+
+    print(
+        f"{path}: OK — {len(samples)} samples, "
+        + ", ".join(f"{name}={totals[name]:.0f}" for name in args.nonzero)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,18 +1,24 @@
 """Engine scaling (beyond the paper: Algorithm 2 as a serving layer) — batch QPS vs shards/workers.
 
 For a fixed PM-LSH-backed workload the bench sweeps (num_shards,
-num_workers) configurations of ``create_index("sharded", ...)``, measures
-batch-search throughput (median of paired repeats), checks quality stays
-level (recall against exact ground truth), and writes the paper-style
-table to ``results/engine_scaling.txt``.
+num_workers) configurations of ``create_index("sharded", ...)`` under
+**both** fan-out pools — the in-process thread pool and the
+shared-memory worker pool (``pool_backend="process"``, PR 8) — measures
+batch-search throughput (median of paired repeats), checks the two
+pools return byte-identical results, checks quality stays level (recall
+against exact ground truth), and writes the paper-style table to
+``results/engine_scaling.txt``.
 
 Scale with ``REPRO_BENCH_N`` / ``REPRO_BENCH_QUERIES`` (see conftest).
-The thread-pool fan-out only buys wall-clock speedup when the host has
-cores to run shards on, and only once shards are big enough that their
-GEMM-heavy searches dominate per-shard dispatch overhead — so the bench
-always records the table, but enforces the multi-shard speedup only on a
-multi-core host at n >= MIN_SCALING_N (the tiny CI smoke run stays a
-smoke test, not a flaky performance gate on shared runners).
+Either fan-out only buys wall-clock speedup when the host has cores to
+run shards on, and only once shards are big enough that their GEMM-heavy
+searches dominate dispatch overhead (thread) or query pickling and pipe
+round-trips (process) — so the bench always records the table, but
+enforces the multi-shard speedup only on a multi-core host at
+n >= MIN_SCALING_N (the tiny CI smoke run stays a smoke test, not a
+flaky performance gate on shared runners).  Identity, by contrast, is
+asserted unconditionally: the process pool must return exactly what the
+serial engine returns, ids and distances, on every config.
 """
 
 from __future__ import annotations
@@ -29,16 +35,20 @@ from repro.datasets.synthetic import gaussian_mixture
 from repro.evaluation.ground_truth import compute_ground_truth
 from repro.evaluation.metrics import recall
 from repro.evaluation.tables import format_table
+from repro.parallel.shm import leaked_segments
 
 
 K = 10
 DIM = 64
 REPEATS = 5
-#: Below this dataset size per-shard dispatch overhead can mask the
-#: parallel win; the speedup assertion only applies at or above it.
+#: Below this dataset size fan-out overhead can mask the parallel win;
+#: the speedup assertions only apply at or above it.
 MIN_SCALING_N = 2000
 #: (num_shards, num_workers) grid; (1, 1) is the unsharded baseline.
 CONFIGS = [(1, 1), (2, 1), (2, 2), (4, 1), (4, 2), (4, 4)]
+#: Required process-pool speedup over the serial baseline at the
+#: (4, 4) config on a multi-core host (the PR's acceptance bar).
+PROCESS_SPEEDUP_FLOOR = 2.0
 
 
 def _timed_search(engine, queries, k) -> float:
@@ -47,7 +57,7 @@ def _timed_search(engine, queries, k) -> float:
     return time.perf_counter() - start
 
 
-def test_bench_engine_scaling(write_result, benchmark):
+def test_bench_engine_scaling(write_result, write_json, benchmark):
     n = max(bench_n(), 200)
     num_queries = max(4 * bench_queries(), 32)
     data = gaussian_mixture(n, DIM, num_clusters=25, cluster_std=0.8, seed=bench_seed(5))
@@ -59,69 +69,114 @@ def test_bench_engine_scaling(write_result, benchmark):
     truth = compute_ground_truth(data, queries, k_max=K)
 
     rows = []
-    qps_by_config = {}
+    qps = {}  # (pool, shards, workers) -> QPS
+    reference = None  # serial (1, 1) results: the identity oracle
     for shards, workers in CONFIGS:
-        engine = create_index(
-            "sharded",
-            backend="pm-lsh",
-            num_shards=shards,
-            num_workers=workers,
-            seed=bench_seed(7),
-        ).fit(data)
-        batch = engine.search(queries, K)  # warm-up + quality check
-        recalls = [
-            recall(batch.ids[i][batch.ids[i] >= 0], truth.for_query(i, K)[0], k=K)
-            for i in range(num_queries)
-        ]
-        seconds = float(np.median([_timed_search(engine, queries, K) for _ in range(REPEATS)]))
-        qps = num_queries / seconds
-        qps_by_config[(shards, workers)] = qps
-        rows.append(
-            [
-                shards,
-                workers,
-                seconds * 1e3,
-                qps,
-                qps / qps_by_config[(1, 1)],
-                float(np.mean(recalls)),
-                batch.stats["shard_time_ms_max"],
-                batch.stats["merge_time_ms"],
+        for pool in ("thread", "process"):
+            engine = create_index(
+                "sharded",
+                backend="pm-lsh",
+                pool_backend=pool,
+                num_shards=shards,
+                num_workers=workers,
+                seed=bench_seed(7),
+            ).fit(data)
+            batch = engine.search(queries, K)  # warm-up + quality/identity check
+            if reference is None:
+                reference = batch
+            np.testing.assert_array_equal(batch.ids, reference.ids)
+            np.testing.assert_array_equal(batch.distances, reference.distances)
+            recalls = [
+                recall(batch.ids[i][batch.ids[i] >= 0], truth.for_query(i, K)[0], k=K)
+                for i in range(num_queries)
             ]
-        )
-        engine.close()
+            seconds = float(
+                np.median([_timed_search(engine, queries, K) for _ in range(REPEATS)])
+            )
+            qps[(pool, shards, workers)] = num_queries / seconds
+            rows.append(
+                [
+                    shards,
+                    workers,
+                    pool,
+                    seconds * 1e3,
+                    qps[(pool, shards, workers)],
+                    qps[(pool, shards, workers)] / qps[("thread", 1, 1)],
+                    float(np.mean(recalls)),
+                    batch.stats["shard_time_ms_max"],
+                    batch.stats["merge_time_ms"],
+                ]
+            )
+            engine.close()
+    assert leaked_segments() == (), "process pool leaked shared-memory segments"
 
-    best = max(qps_by_config, key=qps_by_config.get)
+    serial_qps = qps[("thread", 1, 1)]
+    best = max(qps, key=qps.get)
     cores = os.cpu_count() or 1
     note = (
         f"backend=pm-lsh, n={n}, Q={num_queries}, d={DIM}, k={K}, "
         f"median of {REPEATS} repeats on {cores} core(s); best config "
-        f"S={best[0]}/W={best[1]} at {qps_by_config[best]:.0f} QPS "
-        f"({qps_by_config[best] / qps_by_config[(1, 1)]:.2f}x the 1-shard baseline)."
+        f"{best[0]} S={best[1]}/W={best[2]} at {qps[best]:.0f} QPS "
+        f"({qps[best] / serial_qps:.2f}x the serial 1-shard baseline). "
+        f"Both pools return byte-identical results on every config."
     )
     table = format_table(
-        "Sharded engine scaling: batch QPS vs shards / workers",
-        ["Shards", "Workers", "Batch (ms)", "QPS", "Speedup", "Recall", "Slowest shard (ms)", "Merge (ms)"],
+        "Sharded engine scaling: batch QPS vs shards / workers / pool",
+        ["Shards", "Workers", "Pool", "Batch (ms)", "QPS", "Speedup", "Recall", "Slowest shard (ms)", "Merge (ms)"],
         rows,
         note=note,
     )
     write_result("engine_scaling", table)
+    write_json(
+        "engine_scaling",
+        {
+            "n": n,
+            "num_queries": num_queries,
+            "dim": DIM,
+            "k": K,
+            "cores": cores,
+            "serial_qps": serial_qps,
+            "configs": [
+                {
+                    "pool": pool,
+                    "shards": shards,
+                    "workers": workers,
+                    "qps": value,
+                    "speedup": value / serial_qps,
+                }
+                for (pool, shards, workers), value in sorted(qps.items())
+            ],
+            "best": {"pool": best[0], "shards": best[1], "workers": best[2], "qps": qps[best]},
+        },
+    )
 
     engine = create_index(
-        "sharded", backend="pm-lsh", num_shards=best[0], num_workers=best[1], seed=bench_seed(7)
+        "sharded",
+        backend="pm-lsh",
+        pool_backend=best[0],
+        num_shards=best[1],
+        num_workers=best[2],
+        seed=bench_seed(7),
     ).fit(data)
     benchmark.pedantic(lambda: engine.search(queries, K), rounds=3, iterations=1)
     engine.close()
 
-    assert all(qps > 0 for qps in qps_by_config.values())
+    assert all(value > 0 for value in qps.values())
     # Quality must not collapse under sharding (same c, per-shard top-k merge).
-    assert all(row[5] >= 0.5 for row in rows), "sharded recall collapsed"
+    assert all(row[6] >= 0.5 for row in rows), "sharded recall collapsed"
     if cores > 1 and n >= MIN_SCALING_N:
         multi = max(
-            qps for (shards, _), qps in qps_by_config.items() if shards > 1
+            value for (_, shards, _), value in qps.items() if shards > 1
         )
-        assert multi > qps_by_config[(1, 1)], (
+        assert multi > serial_qps, (
             f"multi-shard QPS ({multi:.0f}) should beat the 1-shard baseline "
-            f"({qps_by_config[(1, 1)]:.0f}) on a {cores}-core host at n={n}"
+            f"({serial_qps:.0f}) on a {cores}-core host at n={n}"
+        )
+        process_4x4 = qps[("process", 4, 4)]
+        assert process_4x4 >= PROCESS_SPEEDUP_FLOOR * serial_qps, (
+            f"process pool at 4 shards/4 workers reached only "
+            f"{process_4x4 / serial_qps:.2f}x the serial baseline "
+            f"(floor {PROCESS_SPEEDUP_FLOOR:.1f}x on a {cores}-core host at n={n})"
         )
 
 

@@ -14,6 +14,10 @@ size/deadline windows — at two offered loads calibrated against the
 measured single-request service time (≈ capacity, and ≈ 4× capacity,
 where queueing discipline decides throughput).  A second table replays a
 hot/repeated request mix with the projected-locality cache on and off.
+A third table re-runs the 4x-overload cell against the sharded engine
+with both fan-out pools — in-process threads vs the shared-memory worker
+pool (``pool_backend="process"``) — asserting the two serve identical
+results.
 
 Writes ``results/serving.txt``.  Asserts that under overload the
 micro-batched server (a) coalesces at all (mean batch occupancy > 1) and
@@ -201,7 +205,55 @@ def test_bench_serving_microbatch(write_result, write_json, benchmark):
         cache_rows,
         note=cache_note,
     )
-    write_result("serving", table + "\n" + cache_table)
+    # ---- engine table: 4x overload against the sharded engine, thread
+    # vs process fan-out (PR 8's shared-memory worker pool) ----
+    engine_rows = []
+    engine_qps = {}
+    engine_reference = None
+    for pool in ("thread", "process"):
+        engine = create_index(
+            "sharded",
+            backend="pm-lsh",
+            pool_backend=pool,
+            num_shards=2,
+            num_workers=2,
+            seed=bench_seed(7),
+        ).fit(data)
+        engine.search(queries[:8], K)  # warm shards (and the worker pool)
+        qps, stats, results = asyncio.run(
+            _play(
+                engine,
+                queries,
+                max_batch=32,
+                max_delay_ms=2.0,
+                rate_per_s=capacity * overload,
+                metrics=registry,
+                tracer=tracer,
+            )
+        )
+        served_ids = np.stack([r.ids for r in results])
+        if engine_reference is None:
+            engine_reference = served_ids
+        else:
+            # The worker pool must serve exactly what the thread pool serves.
+            np.testing.assert_array_equal(served_ids, engine_reference)
+        engine_qps[pool] = qps
+        engine_rows.append(
+            [pool, qps, stats.latency_p50_ms, stats.latency_p99_ms, stats.mean_occupancy]
+        )
+        engine.close()
+    engine_note = (
+        f"sharded engine (2 shards / 2 workers, batch 32 / 2 ms) at "
+        f"{overload:.0f}x capacity; process/thread served identical results; "
+        f"process/thread QPS ratio {engine_qps['process'] / engine_qps['thread']:.2f}."
+    )
+    engine_table = format_table(
+        "Async serving: sharded engine under 4x overload, thread vs process pool",
+        ["Engine pool", "QPS", "p50 (ms)", "p99 (ms)", "Occupancy"],
+        engine_rows,
+        note=engine_note,
+    )
+    write_result("serving", table + "\n" + cache_table + "\n" + engine_table)
     write_json(
         "serving",
         {
@@ -224,6 +276,7 @@ def test_bench_serving_microbatch(write_result, write_json, benchmark):
             "overload_best_config": best_label,
             "overload_speedup": best / baseline,
             "cache_speedup": cache_qps["on"] / cache_qps["off"],
+            "engine_overload_qps": engine_qps,
             "requests_served": int(registry.total("requests_served")),
             "tree_nodes_visited": int(registry.total("tree_nodes_visited")),
             "candidates_verified": int(registry.total("candidates_verified")),

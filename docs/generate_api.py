@@ -112,6 +112,13 @@ def build() -> str:
         default_registry,
     )
     from repro.obs.slowlog import SlowQueryLog
+    from repro.parallel.pool import WorkerPool
+    from repro.parallel.shm import (
+        SegmentHandle,
+        attach_segment,
+        leaked_segments,
+        publish_arrays,
+    )
     from repro.obs.tracing import Trace, Tracer, current_trace, use_trace
     from repro.persistence import snapshot_epoch
     from repro.pmtree.flat import FlatPMTree
@@ -159,6 +166,15 @@ def build() -> str:
         "## The sharded serving engine\n",
         _class_section(ShardedIndex, ["stats", "locate", "close"]),
         _class_section(EngineStats, ["qps", "as_table"]),
+        "## The process-parallel worker pool\n",
+        _class_section(
+            WorkerPool,
+            ["start", "publish", "run", "ping", "owner", "close", "terminate"],
+        ),
+        _function_section(publish_arrays),
+        _function_section(attach_segment),
+        _function_section(leaked_segments),
+        _class_section(SegmentHandle, []),
         "## Index lifecycle: deletes, compaction, replicas\n",
         _class_section(TombstoneSet, ["mark", "contains", "alive_mask", "live_ids"]),
         _class_section(CompactionPolicy, ["reason", "should_compact"]),

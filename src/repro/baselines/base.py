@@ -481,6 +481,46 @@ class ANNIndex(abc.ABC):
         )
 
     # ------------------------------------------------------------------
+    # shared-memory snapshots
+    # ------------------------------------------------------------------
+
+    def to_shm(self) -> Tuple[Dict[str, np.ndarray], Dict]:
+        """Export the index as ``(arrays, state)`` for shared-memory serving.
+
+        The counterpart of ``save()``'s ``to_arrays`` machinery for the
+        process-pool engine (:mod:`repro.parallel`): *arrays* is a flat
+        ``{key: ndarray}`` mapping holding everything bulky (published
+        once into a named segment), *state* a small picklable dict with
+        the rest (parameters, epoch, fit cardinality).  :meth:`from_shm`
+        must rebuild an equivalent read-only index from zero-copy views
+        over those arrays — no dataset copy, no structure rebuild.
+
+        Backends without an implementation cannot serve behind
+        ``ShardedIndex(..., backend="process")``; PM-LSH and the exact
+        oracle implement it, everything else keeps the thread fan-out.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the shared-memory "
+            "snapshot protocol (to_shm/from_shm), so it cannot serve behind "
+            "the process-pool engine — use the thread fan-out "
+            '(pool_backend="thread") or a backend that does (pm-lsh, exact)'
+        )
+
+    @classmethod
+    def from_shm(cls, arrays: Dict[str, np.ndarray], state: Dict) -> "ANNIndex":
+        """Rebuild a read-only replica from :meth:`to_shm` output.
+
+        *arrays* values are typically read-only shared-memory views; the
+        restored index must treat them as immutable (serving replicas
+        never ``fit``/``add`` — writes happen in the parent, which then
+        re-publishes the snapshot under a bumped epoch).
+        """
+        raise NotImplementedError(
+            f"{cls.__name__} does not implement the shared-memory snapshot "
+            "protocol (to_shm/from_shm)"
+        )
+
+    # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------
 

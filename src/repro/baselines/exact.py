@@ -96,3 +96,35 @@ class ExactKNN(ANNIndex):
         index = cls().fit(data)
         apply_lifecycle_state(index, state)
         return index
+
+    # ------------------------------------------------------------------
+    # shared-memory snapshots
+    # ------------------------------------------------------------------
+
+    def to_shm(self):
+        """Export ``(arrays, state)`` for shared-memory serving replicas —
+        brute force needs only the dataset and the lifecycle state."""
+        self._require_built()
+        arrays = {"data": self.data, "tombstone_ids": self._tombstones.ids()}
+        state = {"epoch": self.epoch, "fitted_n": self.fitted_n}
+        return arrays, state
+
+    @classmethod
+    def from_shm(cls, arrays, state) -> "ExactKNN":
+        """Rebuild a replica over (read-only) :meth:`to_shm` views; the
+        dataset stays a zero-copy view into the shared segment."""
+        from repro.persistence import apply_lifecycle_state
+
+        index = cls()
+        index._set_data(arrays["data"])
+        index._built = True
+        index._fitted_n = index.ntotal
+        apply_lifecycle_state(
+            index,
+            {
+                "epoch": int(state["epoch"]),
+                "fitted_n": int(state["fitted_n"]),
+                "tombstone_ids": np.asarray(arrays["tombstone_ids"], dtype=np.int64),
+            },
+        )
+        return index

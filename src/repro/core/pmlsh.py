@@ -1003,6 +1003,78 @@ class PMLSH(ANNIndex):
         apply_lifecycle_state(index, state)
         return index
 
+    def to_shm(self):
+        """Export ``(arrays, state)`` for shared-memory serving replicas.
+
+        Everything :meth:`save` persists rides along — plus ``projected``
+        itself, which ``load`` re-derives with a GEMM: a worker process
+        attaching the snapshot does **zero** numerical work.  The flat
+        arrays are the exact matrices queries prune against, so a replica
+        restored by :meth:`from_shm` traverses bit-identically to this
+        index.
+        """
+        self._require_built()
+        import json
+        from dataclasses import asdict
+
+        flat = self.flat_tree
+        arrays = {
+            "data": self.data,
+            "projected": self.projected,
+            "directions": self.projection.directions,
+            "pivots": flat.pivots,
+            "distance_samples": self.distance_distribution.samples,
+            "tombstone_ids": self._tombstones.ids(),
+            **flat.to_arrays(),
+        }
+        state = {
+            "params_json": json.dumps(asdict(self.params)),
+            "epoch": self.epoch,
+            "fitted_n": self.fitted_n,
+        }
+        return arrays, state
+
+    @classmethod
+    def from_shm(cls, arrays, state) -> "PMLSH":
+        """Rebuild a serving replica over (read-only) :meth:`to_shm` views.
+
+        The :meth:`load` restore path minus every copy: ``data``,
+        ``projected``, the flat-tree arrays and the F(x) sample stay
+        zero-copy views into the shared segment (all already contiguous
+        float64, so the dtype coercions below are no-ops); only the
+        per-replica leaf re-packs (``leaf_points``) materialise privately.
+        The pointer tree stays lazy and is never needed read-only.
+        """
+        import json
+
+        from repro.persistence import apply_lifecycle_state
+
+        params = PMLSHParams(**json.loads(state["params_json"]))
+        index = cls(params=params, seed=0)
+        index._set_data(arrays["data"])
+        index.projection = GaussianProjection.from_directions(arrays["directions"])
+        index.projected = np.asarray(arrays["projected"], dtype=np.float64)
+        index._lazy_pivots = np.asarray(arrays["pivots"], dtype=np.float64)
+        index._flat = FlatPMTree.from_arrays(
+            arrays,
+            points=index.projected,
+            pivots=index._lazy_pivots,
+            use_rings=params.use_rings,
+            use_parent_filter=params.use_parent_filter,
+        )
+        index.distance_distribution = DistanceDistribution(arrays["distance_samples"])
+        index._built = True
+        index._fitted_n = index.ntotal  # legacy default; the stored value wins
+        apply_lifecycle_state(
+            index,
+            {
+                "epoch": int(state["epoch"]),
+                "fitted_n": int(state["fitted_n"]),
+                "tombstone_ids": np.asarray(arrays["tombstone_ids"], dtype=np.int64),
+            },
+        )
+        return index
+
     # ------------------------------------------------------------------
     # dynamic growth
     # ------------------------------------------------------------------

@@ -3,11 +3,22 @@
 The engine partitions the dataset across S shards, each an independent
 registry-constructed :class:`~repro.baselines.base.ANNIndex` (PM-LSH by
 default, but any registered algorithm works as a backend).  A query batch
-fans out to every shard — through a thread pool when more than one worker
-is configured; NumPy's GEMM-heavy shard searches drop the GIL, so shards
-genuinely overlap on multi-core hosts — and the per-shard answers are
-merged into one global result through a stable global → (shard, local)
-id mapping.
+fans out to every shard and the per-shard answers are merged into one
+global result through a stable global → (shard, local) id mapping.  Two
+fan-out pools are available:
+
+* ``pool_backend="thread"`` (default) — an in-process thread pool.
+  NumPy's GEMM-heavy kernels drop the GIL, but the Python traversal
+  around them does not, so shards only partially overlap.
+* ``pool_backend="process"`` (alias ``backend="process"``, registry name
+  ``"process-sharded"``) — a :class:`~repro.parallel.pool.WorkerPool` of
+  worker processes, each attached **read-only** to its shards' snapshots
+  through ``multiprocessing.shared_memory`` (the ``to_shm()/from_shm()``
+  protocol).  Queries ship only (Q, spec); results return as compact
+  arrays; the deterministic merge stays in the parent, so results are
+  byte-identical to the thread pool and to a single index.  Writes
+  (``add``/``delete``/``compact``) re-publish the affected shards under
+  a bumped epoch and workers re-attach — see :doc:`docs/parallelism`.
 
 All three query types fan out:
 
@@ -37,7 +48,6 @@ import inspect
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
@@ -49,11 +59,19 @@ from repro.engine.stats import EngineStats, ShardStats
 from repro.lifecycle.compaction import CompactionResult, dense_id_map
 from repro.lifecycle.tombstones import TombstoneSet
 from repro.obs.tracing import current_trace, use_trace
+from repro.parallel.jobs import shard_closest_pairs, shard_knn, shard_range, shard_sweep
 from repro.queries import ClosestPairResult, Knn, Range, RangeResult, sort_pairs
 from repro.registry import get_index_class, register_index
 from repro.utils.rng import RandomState, spawn_generators
 
 T = TypeVar("T")
+
+#: Fan-out pool flavours: ``"thread"`` is the classic in-process pool
+#: (NumPy kernels drop the GIL, everything else contends); ``"process"``
+#: runs shard searches in worker processes attached to shared-memory
+#: snapshots (see :mod:`repro.parallel`) — real core parallelism, at the
+#: cost of one IPC round-trip per batch.
+_POOL_BACKENDS = ("thread", "process")
 
 
 def _resolve_backend(backend: str | type) -> type:
@@ -94,6 +112,17 @@ class ShardedIndex(ANNIndex):
         Master seed; each shard receives an independent sub-seed derived
         from it (when the backend accepts one), so a fixed engine seed
         fixes every shard.
+    pool_backend:
+        ``"thread"`` (default) fans out through an in-process pool;
+        ``"process"`` through a shared-memory worker-process pool
+        (:mod:`repro.parallel`) — real multi-core parallelism with
+        byte-identical results.  The shorthand ``backend="process"`` /
+        ``backend="thread"`` selects the pool with the default pm-lsh
+        shard algorithm, and the ``"process-sharded"`` registry alias
+        pins the process pool by name.
+    mp_context:
+        Start method for the process pool (``"fork"``, ``"spawn"``,
+        ``"forkserver"``); platform default when None.
 
     Notes
     -----
@@ -119,12 +148,27 @@ class ShardedIndex(ANNIndex):
         router: str | ShardRouter = "round-robin",
         backend_params: Mapping[str, Any] | None = None,
         seed: RandomState = None,
+        pool_backend: str = "thread",
+        mp_context: str | None = None,
     ) -> None:
         super().__init__()
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         if num_workers is not None and num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        # ``backend="process"`` / ``backend="thread"`` select the fan-out
+        # pool (with the default pm-lsh shard algorithm) rather than a
+        # shard backend — the spelling the registry alias and the issue
+        # docs use: ``ShardedIndex(..., backend="process")``.
+        if isinstance(backend, str) and backend.strip().lower() in _POOL_BACKENDS:
+            pool_backend = backend.strip().lower()
+            backend = "pm-lsh"
+        if pool_backend not in _POOL_BACKENDS:
+            raise ValueError(
+                f"pool_backend must be one of {_POOL_BACKENDS}, got {pool_backend!r}"
+            )
+        self._pool_backend = pool_backend
+        self._mp_context = mp_context
         self._backend_cls = _resolve_backend(backend)
         self._backend_name = getattr(
             self._backend_cls, "registry_name", self._backend_cls.__name__
@@ -146,7 +190,9 @@ class ShardedIndex(ANNIndex):
         self._backend_params: Dict[str, Any] = dict(backend_params or {})
         self._seed = seed
         self._router = make_router(router)
-        self.name = f"Sharded[{self._backend_name}x{self.num_shards}]"
+        self.name = f"Sharded[{self._backend_name}x{self.num_shards}]" + (
+            "/process" if self._pool_backend == "process" else ""
+        )
 
         self._shards: List[ANNIndex] = []
         #: per shard: local id -> global id (append-only after fit).
@@ -155,6 +201,11 @@ class ShardedIndex(ANNIndex):
         self._global_shard = np.empty(0, dtype=np.int64)
         self._global_local = np.empty(0, dtype=np.int64)
         self._executor: Optional[ThreadPoolExecutor] = None
+        #: The process pool (lazy, ``pool_backend="process"`` only) and the
+        #: per-shard epochs last published into shared memory — the staleness
+        #: check behind the epoch re-attach protocol.
+        self._worker_pool = None
+        self._published_epochs: Dict[int, int] = {}
         self._reset_counters()
 
     # -- metrics plumbing ----------------------------------------------
@@ -218,6 +269,9 @@ class ShardedIndex(ANNIndex):
         # the baselines' overfetch path) regardless of backend.
         for shard in getattr(self, "_shards", ()):  # may precede first fit
             shard.metrics = registry
+        pool = getattr(self, "_worker_pool", None)  # may precede __init__ tail
+        if pool is not None:
+            pool.rebind_metrics(registry, scope)
 
     def _reset_counters(self) -> None:
         self.metrics  # bind the default registry (and instruments) if needed
@@ -276,6 +330,10 @@ class ShardedIndex(ANNIndex):
         self._global_shard = np.arange(n, dtype=np.int64) % self.num_shards
         self._global_local = np.arange(n, dtype=np.int64) // self.num_shards
         self._router.reset([shard.ntotal for shard in self._shards])
+        # A refit replaces every shard object, so nothing published into
+        # shared memory is current any more — even where the fresh shard's
+        # epoch number happens to match the old one.
+        self._published_epochs = {}
         self._reset_counters()
 
     # ------------------------------------------------------------------
@@ -431,12 +489,73 @@ class ShardedIndex(ANNIndex):
             )
         return self._executor
 
+    @property
+    def pool_backend(self) -> str:
+        """The fan-out flavour: ``"thread"`` or ``"process"``."""
+        return self._pool_backend
+
+    @property
+    def worker_pool(self):
+        """The live :class:`~repro.parallel.pool.WorkerPool`, or None when
+        the engine runs on threads / has not served a process batch yet."""
+        return self._worker_pool
+
+    def start_pool(self):
+        """Start the process pool and publish every shard snapshot now.
+
+        Implicit before every process-backend batch; calling it
+        explicitly warms the pool from the owning thread — do this before
+        handing the engine to an async server when the start method is
+        ``fork`` (forking from a worker thread is best avoided).
+        """
+        self._require_built()
+        if self._pool_backend != "process":
+            raise RuntimeError(
+                f"{self.name}: start_pool() needs pool_backend='process' "
+                f"(this engine runs {self._pool_backend!r} fan-out)"
+            )
+        return self._sync_pool()
+
+    def _sync_pool(self):
+        """The epoch re-attach protocol: make the pool match the shards.
+
+        Starts the pool on first use, then (re)publishes every shard
+        whose epoch differs from the last snapshot published for it —
+        after ``add``/``delete``/``compact`` bumped it, or after a refit
+        cleared the table.  Workers re-attach on receipt, and the old
+        segment is unlinked only after they acknowledged.
+        """
+        if self._worker_pool is None:
+            from repro.parallel.pool import WorkerPool
+
+            self._worker_pool = WorkerPool(
+                min(self.num_workers, self.num_shards),
+                mp_context=self._mp_context,
+                registry=self.metrics,
+                labels=self._obs_labels,
+            ).start()
+            self._published_epochs = {}
+        for s, shard in enumerate(self._shards):
+            if self._published_epochs.get(s) != shard.epoch:
+                self._worker_pool.publish(s, shard, registry_name=self._backend_name)
+                self._published_epochs[s] = shard.epoch
+        return self._worker_pool
+
     def close(self) -> None:
-        """Shut down the worker pool (idempotent; the index stays usable —
-        the pool is recreated on the next parallel search)."""
+        """Shut down the fan-out pools (idempotent; the index stays usable —
+        thread and process pools are both recreated on the next search).
+
+        Covers the thread executor *and* the process worker pool: workers
+        get a clean stop, and every shared-memory segment is unlinked —
+        nothing is left for a ``/dev/shm`` leak check to find.
+        """
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._worker_pool is not None:
+            self._worker_pool.close()
+            self._worker_pool = None
+            self._published_epochs = {}
 
     def __del__(self) -> None:  # best-effort cleanup; never raises
         try:
@@ -444,6 +563,35 @@ class ShardedIndex(ANNIndex):
                 self._executor.shutdown(wait=False)
         except Exception:
             pass
+        try:
+            pool = getattr(self, "_worker_pool", None)
+            if pool is not None:  # no waiting at interpreter exit
+                pool.terminate()
+        except Exception:
+            pass
+
+    def _fan_out_process(
+        self, kind: str, payload: Dict[str, Any]
+    ) -> Tuple[List[Any], List[float]]:
+        """Run one job round through the worker pool, in shard order.
+
+        The per-shard wall times come from the workers' own clocks; the
+        round itself appears as a single ``process_fan_out`` span under a
+        sampled trace (worker-side spans cannot join a parent-process
+        trace — the per-shard timings in the result stats stand in).
+        """
+        pool = self._sync_pool()
+        trace = current_trace()
+        if trace is not None:
+            with trace.span(
+                "process_fan_out", workers=pool.num_workers, shards=self.num_shards
+            ):
+                outcome = pool.run(kind, payload)
+        else:
+            outcome = pool.run(kind, payload)
+        results = [outcome[s][0] for s in range(self.num_shards)]
+        shard_ms = [outcome[s][1] for s in range(self.num_shards)]
+        return results, shard_ms
 
     def _fan_out(
         self, job: Callable[[ANNIndex], T]
@@ -515,18 +663,17 @@ class ShardedIndex(ANNIndex):
         """
         wall_start = time.perf_counter()
 
-        def knn_job(shard: ANNIndex) -> BatchResult:
-            # Clamp to the shard's LIVE count; a fully-tombstoned shard
-            # contributes an empty (Q, 0) block that the merge ignores.
-            k_s = min(spec.k, shard.nlive)
-            if k_s < 1:
-                return BatchResult(
-                    ids=np.full((queries.shape[0], 0), -1, dtype=np.int64),
-                    distances=np.full((queries.shape[0], 0), np.inf),
-                )
-            return shard.run(queries, replace(spec, k=k_s))
-
-        shard_batches, shard_ms = self._fan_out(knn_job)
+        # The per-shard semantics (LIVE-count clamp, empty block for a dead
+        # shard) live in repro.parallel.jobs so the thread closures here and
+        # the process workers execute literally the same code.
+        if self._pool_backend == "process":
+            shard_batches, shard_ms = self._fan_out_process(
+                "knn", {"queries": queries, "spec": spec}
+            )
+        else:
+            shard_batches, shard_ms = self._fan_out(
+                lambda shard: shard_knn(shard, queries, spec)
+            )
 
         trace = current_trace()
         merge_start = time.perf_counter()
@@ -561,7 +708,14 @@ class ShardedIndex(ANNIndex):
         deterministic across shard and worker counts.
         """
         wall_start = time.perf_counter()
-        shard_results, shard_ms = self._fan_out(lambda shard: shard.run(queries, spec))
+        if self._pool_backend == "process":
+            shard_results, shard_ms = self._fan_out_process(
+                "range", {"queries": queries, "spec": spec}
+            )
+        else:
+            shard_results, shard_ms = self._fan_out(
+                lambda shard: shard_range(shard, queries, spec)
+            )
 
         trace = current_trace()
         merge_start = time.perf_counter()
@@ -609,16 +763,12 @@ class ShardedIndex(ANNIndex):
         """
         self._closest_pair_calls.inc()
 
-        def intra_job(shard: ANNIndex) -> ClosestPairResult:
-            if shard.nlive < 2:  # fewer than two live points: no pairs
-                return ClosestPairResult(
-                    pairs=np.empty((0, 2), dtype=np.int64),
-                    distances=np.empty(0, dtype=np.float64),
-                )
-            shard_max = shard.nlive * (shard.nlive - 1) // 2
-            return shard.closest_pairs(min(m, shard_max), budget=budget)
-
-        intra_results, _ = self._fan_out(intra_job)
+        if self._pool_backend == "process":
+            intra_results, _ = self._fan_out_process("cp", {"m": m, "budget": budget})
+        else:
+            intra_results, _ = self._fan_out(
+                lambda shard: shard_closest_pairs(shard, m, budget)
+            )
         pair_blocks: List[np.ndarray] = []
         dist_blocks: List[np.ndarray] = []
         for s, result in enumerate(intra_results):
@@ -653,26 +803,59 @@ class ShardedIndex(ANNIndex):
         # One sweep job per TARGET shard (all earlier shards' points against
         # it), so the jobs parallelise through the worker pool while each
         # shard object still serves exactly one querying thread — the same
-        # concurrency contract as the kNN/range fan-outs.
-        def sweep_target(t: int) -> List[Tuple[int, np.ndarray, RangeResult]]:
-            # Source points are each earlier shard's LIVE rows only (the
-            # target shard filters its own tombstones inside range_search).
-            results = []
-            for s in range(t):
-                src_local = self._shards[s].live_ids()
-                if src_local.size == 0 or self._shards[t].nlive == 0:
-                    continue
-                swept = self._shards[t].range_search(
-                    self._shards[s].data[src_local], sweep_radius, budget=budget
-                )
-                results.append((s, src_local, swept))
-            return results
-
+        # concurrency contract as the kNN/range fan-outs.  Source points are
+        # each earlier shard's LIVE rows only (the target shard filters its
+        # own tombstones inside range_search); the (source, local ids)
+        # bookkeeping stays in the parent either way.
         targets = list(range(1, self.num_shards))
-        if min(self.num_workers, self.num_shards) > 1 and len(targets) > 1:
-            swept_lists = list(self._pool().map(sweep_target, targets))
+        sweep_blocks: Dict[int, List[Tuple[int, np.ndarray, np.ndarray]]] = {}
+        for t in targets:
+            if self._shards[t].nlive == 0:
+                continue
+            blocks = [
+                (s, src_local, self._shards[s].data[src_local])
+                for s in range(t)
+                for src_local in (self._shards[s].live_ids(),)
+                if src_local.size
+            ]
+            if blocks:
+                sweep_blocks[t] = blocks
+
+        def rejoin(t: int, swept: List[Tuple[int, RangeResult]]):
+            return [
+                (s, src_local, result)
+                for (s, src_local, _), (_, result) in zip(sweep_blocks[t], swept)
+            ]
+
+        if self._pool_backend == "process":
+            payload = {
+                "targets": {
+                    t: [(s, points) for s, _, points in blocks]
+                    for t, blocks in sweep_blocks.items()
+                },
+                "radius": sweep_radius,
+                "budget": budget,
+            }
+            outcome = self._sync_pool().run("sweep", payload) if sweep_blocks else {}
+            swept_lists = [
+                rejoin(t, outcome[t][0]) if t in outcome else [] for t in targets
+            ]
         else:
-            swept_lists = [sweep_target(t) for t in targets]
+
+            def sweep_target(t: int) -> List[Tuple[int, np.ndarray, RangeResult]]:
+                blocks = sweep_blocks.get(t, [])
+                swept = shard_sweep(
+                    self._shards[t],
+                    [(s, points) for s, _, points in blocks],
+                    sweep_radius,
+                    budget,
+                )
+                return rejoin(t, swept) if blocks else []
+
+            if min(self.num_workers, self.num_shards) > 1 and len(targets) > 1:
+                swept_lists = list(self._pool().map(sweep_target, targets))
+            else:
+                swept_lists = [sweep_target(t) for t in targets]
 
         cross_pairs: List[np.ndarray] = []
         cross_dists: List[np.ndarray] = []
@@ -723,6 +906,14 @@ class ShardedIndex(ANNIndex):
         gauge("engine_num_workers", "Fan-out worker threads").set(
             min(self.num_workers, self.num_shards)
         )
+        gauge("engine_process_pool", "1 when the fan-out runs worker processes").set(
+            1.0 if self._pool_backend == "process" else 0.0
+        )
+        gauge("engine_pool_workers_alive", "Live process-pool workers").set(
+            self._worker_pool.num_workers
+            if self._worker_pool is not None and self._worker_pool.running
+            else 0
+        )
         search_ms = self._search_time_ms.value
         gauge("engine_qps", "Lifetime queries per second of search wall time").set(
             self._queries_served.value / (search_ms / 1e3) if search_ms > 0 else 0.0
@@ -772,6 +963,7 @@ class ShardedIndex(ANNIndex):
             num_shards=self.num_shards,
             num_workers=min(self.num_workers, self.num_shards),
             router=self._router.policy,
+            pool_backend=self._pool_backend,
             ntotal=self.ntotal,
             batches_served=int(self._batches_served.value),
             queries_served=int(self._queries_served.value),
@@ -792,8 +984,47 @@ class ShardedIndex(ANNIndex):
         base = (
             f"{type(self).__name__}(backend={self._backend_name!r}, "
             f"shards={self.num_shards}, workers={self.num_workers}"
+            + (", process" if self._pool_backend == "process" else "")
         )
         if self.data is None:
             return base + ", unfitted)"
         state = "built" if self._built else "unbuilt"
         return base + f", d={self.d}, ntotal={self.ntotal}, {state})"
+
+
+@register_index("process-sharded", "process-engine")
+class ProcessShardedIndex(ShardedIndex):
+    """:class:`ShardedIndex` pinned to the process-pool fan-out.
+
+    Sugar for ``ShardedIndex(..., pool_backend="process")`` under its own
+    registry name, so harness configs and benchmarks can select the
+    shared-memory engine by name:
+
+    >>> import repro
+    >>> engine = repro.create_index("process-sharded", num_shards=4)   # doctest: +SKIP
+
+    Shard backends must implement the ``to_shm()/from_shm()`` snapshot
+    protocol (PM-LSH — the default — and the exact oracle do).
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: str | type = "pm-lsh",
+        num_shards: int = 4,
+        num_workers: int | None = None,
+        router: str | ShardRouter = "round-robin",
+        backend_params: Mapping[str, Any] | None = None,
+        seed: RandomState = None,
+        mp_context: str | None = None,
+    ) -> None:
+        super().__init__(
+            backend=backend,
+            num_shards=num_shards,
+            num_workers=num_workers,
+            router=router,
+            backend_params=backend_params,
+            seed=seed,
+            pool_backend="process",
+            mp_context=mp_context,
+        )

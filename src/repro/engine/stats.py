@@ -94,6 +94,9 @@ class EngineStats:
     #: ``queries_served``) and closest-pair calls answered.
     range_queries_served: int = 0
     closest_pair_calls: int = 0
+    #: Fan-out flavour: ``"thread"`` (in-process pool) or ``"process"``
+    #: (shared-memory worker pool, :mod:`repro.parallel`).
+    pool_backend: str = "thread"
     shards: Tuple[ShardStats, ...] = field(default_factory=tuple)
     #: Lifecycle counters: live points, outstanding tombstones, points
     #: logically deleted over the engine's lifetime, compactions run.
@@ -145,7 +148,8 @@ class EngineStats:
         """Monospace per-shard table plus an aggregate footer line."""
         rows = [shard.as_row() for shard in self.shards]
         note = (
-            f"workers={self.num_workers} router={self.router} "
+            f"workers={self.num_workers} ({self.pool_backend}) "
+            f"router={self.router} "
             f"ntotal={self.ntotal} nlive={self.nlive} "
             f"tombstones={self.tombstones} batches={self.batches_served} "
             f"queries={self.queries_served} (range={self.range_queries_served}) "

@@ -1,0 +1,72 @@
+"""Per-shard job semantics shared by the thread and process fan-outs.
+
+The sharded engine's correctness story — byte-identical results no
+matter how the work is executed — rests on every shard running exactly
+the same code whichever pool carries it.  These module-level functions
+*are* that code: the thread fan-out calls them through closures in the
+parent, the process workers call them on their re-attached shard
+replicas, and the deterministic ``(distance, id)`` merge in the parent
+does the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.baselines.base import ANNIndex, BatchResult
+from repro.queries import ClosestPairResult, Knn, Range, RangeResult
+
+
+def shard_knn(shard: ANNIndex, queries: np.ndarray, spec: Knn) -> BatchResult:
+    """One shard's contribution to a kNN batch.
+
+    The spec travels verbatim apart from k, clamped to the shard's LIVE
+    count; a fully-tombstoned shard contributes an empty ``(Q, 0)`` block
+    that the merge ignores.
+    """
+    k_s = min(spec.k, shard.nlive)
+    if k_s < 1:
+        return BatchResult(
+            ids=np.full((queries.shape[0], 0), -1, dtype=np.int64),
+            distances=np.full((queries.shape[0], 0), np.inf),
+        )
+    return shard.run(queries, replace(spec, k=k_s))
+
+
+def shard_range(shard: ANNIndex, queries: np.ndarray, spec: Range) -> RangeResult:
+    """One shard's ragged range answer (the spec forwards verbatim)."""
+    return shard.run(queries, spec)
+
+
+def shard_closest_pairs(
+    shard: ANNIndex, m: int, budget: int | None
+) -> ClosestPairResult:
+    """One shard's intra-shard closest pairs, capped at its pair count."""
+    if shard.nlive < 2:  # fewer than two live points: no pairs
+        return ClosestPairResult(
+            pairs=np.empty((0, 2), dtype=np.int64),
+            distances=np.empty(0, dtype=np.float64),
+        )
+    shard_max = shard.nlive * (shard.nlive - 1) // 2
+    return shard.closest_pairs(min(m, shard_max), budget=budget)
+
+
+def shard_sweep(
+    shard: ANNIndex,
+    blocks,
+    radius: float,
+    budget: int | None,
+):
+    """The cross-shard boundary sweep against one TARGET shard.
+
+    *blocks* is a list of ``(source_shard, points)`` pairs — each earlier
+    shard's live rows; the target answers a range query at the sweep
+    radius for every block.  Returns ``(source_shard, RangeResult)``
+    pairs in block order.
+    """
+    return [
+        (source, shard.range_search(points, radius, budget=budget))
+        for source, points in blocks
+    ]

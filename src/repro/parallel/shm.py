@@ -1,0 +1,257 @@
+"""Named shared-memory segments holding a dict of NumPy arrays.
+
+One :func:`publish_arrays` call packs any ``{key: ndarray}`` mapping into
+a single ``multiprocessing.shared_memory`` segment: each array's bytes
+are copied once into the segment at a 64-byte-aligned offset, and the
+layout (key, dtype, shape, offset) travels in a small picklable
+:class:`SegmentHandle`.  Another process re-attaches with
+:func:`attach_segment` and gets **read-only, zero-copy** NumPy views over
+the same physical pages — the worker-bootstrap primitive behind the
+process-pool shard backend.
+
+Lifetime contract
+-----------------
+The publisher owns the segment: :meth:`PublishedSegment.close` unmaps
+*and unlinks* it (idempotent).  Attachers only ever unmap.  Segment
+names carry the :data:`SEGMENT_PREFIX` marker so a leak check —
+:func:`leaked_segments`, used by the CI smoke gate — can scan
+``/dev/shm`` for anything this library left behind.
+
+CPython's ``resource_tracker`` would normally *also* register an
+attached segment and unlink it when the attaching process exits — which
+would tear the parent's segment down under it.  Attachers therefore
+never register with the tracker (``track=False`` on 3.13+, suppressed
+registration before); the publisher keeps its registration, so if the
+parent dies without cleanup the tracker is exactly the safety net we
+want.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+#: Leading marker of every segment name this library creates; the CI
+#: leak check greps ``/dev/shm`` for it (see :func:`leaked_segments`).
+SEGMENT_PREFIX = "repro-shm"
+
+#: Byte alignment of each array inside the segment (cache-line sized, and
+#: comfortably above NumPy's strictest dtype alignment).
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Picklable placement of one array inside a segment."""
+
+    key: str
+    dtype: str  # numpy dtype string, e.g. "<f8"
+    shape: Tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class SegmentHandle:
+    """Everything an attacher needs: the segment name plus the layout.
+
+    Small and picklable — this is what ships over the worker pipe when a
+    shard snapshot is (re)published.
+    """
+
+    name: str
+    specs: Tuple[ArraySpec, ...]
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes described by the layout."""
+        return sum(spec.nbytes for spec in self.specs)
+
+
+#: Whether this Python exposes ``SharedMemory(..., track=False)`` (3.13+).
+_HAS_TRACK_FLAG = "track" in inspect.signature(
+    shared_memory.SharedMemory.__init__
+).parameters
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to *name* without registering with the resource tracker.
+
+    The publisher's registration is the one that matters (its tracker
+    reaps the name if the parent dies uncleanly); an attacher registering
+    too makes the tracker unlink the segment when the *attacher* exits —
+    tearing it down under the parent.  Python 3.13 grew ``track=False``
+    for exactly this; earlier versions get the documented workaround of
+    suppressing ``resource_tracker.register`` around the attach (safe:
+    workers are single-threaded, and the parent only attaches from the
+    one thread that owns the index).
+    """
+    if _HAS_TRACK_FLAG:
+        return shared_memory.SharedMemory(name=name, create=False, track=False)
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name, create=False)
+    finally:
+        resource_tracker.register = original
+
+
+def _views(
+    shm: shared_memory.SharedMemory, specs: Tuple[ArraySpec, ...], *, writeable: bool
+) -> Dict[str, np.ndarray]:
+    arrays: Dict[str, np.ndarray] = {}
+    for spec in specs:
+        view = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf, offset=spec.offset
+        )
+        view.flags.writeable = writeable
+        arrays[spec.key] = view
+    return arrays
+
+
+class PublishedSegment:
+    """A segment this process created and owns (it unlinks on close)."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, handle: SegmentHandle) -> None:
+        self._shm: shared_memory.SharedMemory | None = shm
+        self.handle = handle
+
+    @property
+    def name(self) -> str:
+        return self.handle.name
+
+    @property
+    def nbytes(self) -> int:
+        return self.handle.nbytes
+
+    def close(self) -> None:
+        """Unmap and unlink the segment (idempotent, never raises)."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:
+            pass  # a live view pins the mapping; the unlink below still frees the name
+        except Exception:
+            pass
+        try:
+            shm.unlink()
+        except Exception:
+            pass  # already gone (double close, or reaped externally)
+
+    def __del__(self) -> None:  # best-effort safety net
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._shm is None else f"{self.nbytes} bytes"
+        return f"PublishedSegment({self.handle.name!r}, {state})"
+
+
+class AttachedSegment:
+    """A segment another process owns; this process only reads it."""
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, handle: SegmentHandle
+    ) -> None:
+        self._shm: shared_memory.SharedMemory | None = shm
+        self.handle = handle
+        #: key -> read-only zero-copy view into the segment.
+        self.arrays: Dict[str, np.ndarray] = _views(
+            shm, handle.specs, writeable=False
+        )
+
+    def close(self) -> None:
+        """Unmap (never unlink).  Idempotent; tolerates live views — the
+        OS reclaims the mapping when the last view dies with the process."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        self.arrays = {}
+        try:
+            shm.close()
+        except BufferError:
+            pass  # some view outlived its index object; freed at process exit
+        except Exception:
+            pass
+
+    def __del__(self) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._shm is None else f"{len(self.arrays)} arrays"
+        return f"AttachedSegment({self.handle.name!r}, {state})"
+
+
+def publish_arrays(arrays: Mapping[str, np.ndarray]) -> PublishedSegment:
+    """Copy *arrays* into one fresh named segment; returns the owner handle.
+
+    Keys keep their insertion order in the layout.  Arrays are stored
+    C-contiguous in their existing dtype; object dtypes are rejected
+    (nothing in a snapshot should need pickle).
+    """
+    specs = []
+    offset = 0
+    packed: Dict[str, np.ndarray] = {}
+    for key, raw in arrays.items():
+        array = np.ascontiguousarray(raw)
+        if array.dtype.hasobject:
+            raise TypeError(
+                f"cannot publish array {key!r} with object dtype {array.dtype}"
+            )
+        offset = _aligned(offset)
+        specs.append(
+            ArraySpec(
+                key=key,
+                dtype=array.dtype.str,
+                shape=tuple(int(dim) for dim in array.shape),
+                offset=offset,
+            )
+        )
+        packed[key] = array
+        offset += array.nbytes
+    name = f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
+    shm = shared_memory.SharedMemory(name=name, create=True, size=max(1, offset))
+    handle = SegmentHandle(name=name, specs=tuple(specs))
+    for spec in specs:
+        if spec.nbytes == 0:
+            continue
+        target = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf, offset=spec.offset
+        )
+        target[...] = packed[spec.key]
+    return PublishedSegment(shm, handle)
+
+
+def attach_segment(handle: SegmentHandle) -> AttachedSegment:
+    """Attach read-only to a segment published elsewhere."""
+    return AttachedSegment(_attach_untracked(handle.name), handle)
+
+
+def leaked_segments(prefix: str = SEGMENT_PREFIX) -> Tuple[str, ...]:
+    """Names of live ``/dev/shm`` segments carrying *prefix*.
+
+    Empty on platforms without a ``/dev/shm`` filesystem (the check is a
+    Linux CI gate, not a portability requirement).
+    """
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:
+        return ()
+    return tuple(sorted(entry for entry in entries if entry.startswith(prefix)))

@@ -1,0 +1,121 @@
+"""The worker-process main loop of the process-pool shard backend.
+
+A worker owns a fixed subset of shards (shard s belongs to worker
+``s % num_workers``) and holds, per shard, an index replica restored via
+``from_shm()`` over read-only shared-memory views — no dataset copy, no
+rebuild.  The parent drives it over one duplex pipe with small tuple
+messages:
+
+``("attach", shard_id, handle, state, registry_name)``
+    (Re)attach the shard: map the named segment, restore the replica
+    through the registry class's ``from_shm``, drop any previous replica
+    for that shard id and unmap its old segment.  This is both the
+    bootstrap and the epoch re-attach path — the parent sends it again
+    whenever the shard's epoch bumps.  Reply ``("ok", shard_id)``.
+``("run", kind, payload)``
+    Run one job over every owned shard in ascending shard order; reply
+    ``("ok", [(shard_id, elapsed_ms, result), ...])``.  Kinds map to
+    :mod:`repro.parallel.jobs`: ``"knn"``, ``"range"``, ``"cp"`` hit all
+    owned shards; ``"sweep"`` hits only the owned shards named in the
+    payload's target table.
+``("ping",)``
+    Liveness probe; reply ``("ok", worker_id)``.
+``("stop",)``
+    Unmap everything and exit; reply ``("bye",)``.
+
+Any exception while serving a message is caught and shipped back as
+``("error", formatted_traceback)`` — the worker stays alive, the parent
+raises.  Query payloads carry only ``(queries, spec)``; results return
+as the ordinary (compact, array-backed) result dataclasses.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Any, Dict, List, Tuple
+
+from repro.parallel import jobs
+from repro.parallel.shm import AttachedSegment, SegmentHandle, attach_segment
+
+
+def _restore(handle: SegmentHandle, state: Dict[str, Any], registry_name: str):
+    """Attach the segment and rebuild the shard replica from its views."""
+    from repro.registry import get_index_class
+
+    attachment = attach_segment(handle)
+    index = get_index_class(registry_name).from_shm(attachment.arrays, state)
+    return attachment, index
+
+
+def _run_jobs(
+    shards: Dict[int, Any], kind: str, payload: Dict[str, Any]
+) -> List[Tuple[int, float, Any]]:
+    replies: List[Tuple[int, float, Any]] = []
+    for shard_id in sorted(shards):
+        shard = shards[shard_id]
+        start = time.perf_counter()
+        if kind == "knn":
+            result = jobs.shard_knn(shard, payload["queries"], payload["spec"])
+        elif kind == "range":
+            result = jobs.shard_range(shard, payload["queries"], payload["spec"])
+        elif kind == "cp":
+            result = jobs.shard_closest_pairs(shard, payload["m"], payload["budget"])
+        elif kind == "sweep":
+            blocks = payload["targets"].get(shard_id)
+            if blocks is None:
+                continue  # this worker's shard is not a sweep target
+            result = jobs.shard_sweep(
+                shard, blocks, payload["radius"], payload["budget"]
+            )
+        else:
+            raise ValueError(f"unknown job kind {kind!r}")
+        replies.append((shard_id, (time.perf_counter() - start) * 1e3, result))
+    return replies
+
+
+def worker_main(worker_id: int, conn) -> None:
+    """Serve messages on *conn* until ``stop`` (or the pipe dies).
+
+    Runs as the target of a ``multiprocessing.Process`` — importable at
+    module level so the pool works under the ``spawn`` start method too.
+    """
+    shards: Dict[int, Any] = {}
+    segments: Dict[int, AttachedSegment] = {}
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break  # parent went away; exit quietly
+            op = message[0]
+            if op == "stop":
+                conn.send(("bye",))
+                break
+            try:
+                if op == "attach":
+                    _, shard_id, handle, state, registry_name = message
+                    attachment, index = _restore(handle, state, registry_name)
+                    shards[shard_id] = index
+                    stale = segments.pop(shard_id, None)
+                    segments[shard_id] = attachment
+                    if stale is not None:
+                        stale.close()
+                    conn.send(("ok", shard_id))
+                elif op == "run":
+                    _, kind, payload = message
+                    conn.send(("ok", _run_jobs(shards, kind, payload)))
+                elif op == "ping":
+                    conn.send(("ok", worker_id))
+                else:
+                    conn.send(("error", f"unknown op {op!r}"))
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+    finally:
+        shards.clear()
+        for attachment in segments.values():
+            attachment.close()
+        try:
+            conn.close()
+        except Exception:
+            pass

@@ -17,6 +17,7 @@ ALL_NAMES = [
     "lscan",
     "multi-probe",
     "pm-lsh",
+    "process-sharded",
     "qalsh",
     "r-lsh",
     "sharded",
@@ -50,10 +51,13 @@ class TestResolution:
         assert get_index_class(variant) is repro.PMLSH
 
     def test_aliases_resolve(self):
+        from repro.engine.sharded import ProcessShardedIndex
+
         assert get_index_class("lsb") is repro.LSBForest
         assert get_index_class("brute-force") is repro.ExactKNN
         assert get_index_class("linear-scan") is repro.LinearScan
         assert get_index_class("engine") is repro.ShardedIndex
+        assert get_index_class("process-engine") is ProcessShardedIndex
 
     def test_unknown_name_lists_known(self):
         with pytest.raises(KeyError, match="pm-lsh"):

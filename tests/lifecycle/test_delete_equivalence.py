@@ -17,7 +17,9 @@ import pytest
 import repro
 from repro import ExactKNN, LinearScan, PMLSH, PMLSHParams, Range, ShardedIndex
 
-GENERIC_BACKENDS = sorted(set(repro.available_indexes()) - {"sharded"})
+GENERIC_BACKENDS = sorted(
+    set(repro.available_indexes()) - {"sharded", "process-sharded"}
+)
 
 
 def make_backend(name):

@@ -1,0 +1,121 @@
+"""Worker-pool tests: lifecycle, IPC, and failure handling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.parallel import WorkerPool, leaked_segments
+from repro.queries import Knn
+
+
+@pytest.fixture()
+def data():
+    return np.random.default_rng(21).normal(size=(240, 12))
+
+
+@pytest.fixture()
+def pool():
+    built = WorkerPool(2).start()
+    yield built
+    built.close()
+    assert leaked_segments() == ()
+
+
+class TestLifecycle:
+    def test_ping_reaches_every_worker(self, pool):
+        assert pool.ping() == list(range(pool.num_workers))
+
+    def test_double_close_is_idempotent(self, data):
+        pool = WorkerPool(2).start()
+        index = repro.create_index("exact").fit(data)
+        pool.publish(0, index)
+        pool.close()
+        pool.close()
+        assert leaked_segments() == ()
+
+    def test_start_is_idempotent(self, pool):
+        assert pool.start() is pool
+        assert pool.ping() == list(range(pool.num_workers))
+
+    def test_cannot_restart_after_close(self, data):
+        pool = WorkerPool(1).start()
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.start()
+
+    def test_terminate_never_raises(self, data):
+        pool = WorkerPool(2).start()
+        index = repro.create_index("exact").fit(data)
+        pool.publish(1, index)
+        pool.terminate()
+        pool.terminate()
+        assert leaked_segments() == ()
+
+
+class TestQueries:
+    def test_knn_matches_local_index(self, pool, data):
+        index = repro.create_index("exact").fit(data)
+        pool.publish(0, index)
+        queries = data[:5] * 1.01
+        outcome = pool.run("knn", {"queries": queries, "spec": Knn(k=6)})
+        assert set(outcome) == {0}
+        result, elapsed_ms = outcome[0]
+        expected = index.run(queries, Knn(k=6))
+        np.testing.assert_array_equal(result.ids, expected.ids)
+        np.testing.assert_array_equal(result.distances, expected.distances)
+        assert elapsed_ms >= 0.0
+
+    def test_shards_land_on_owning_workers(self, pool, data):
+        for shard_id in range(4):
+            index = repro.create_index("exact").fit(data[shard_id::4])
+            pool.publish(shard_id, index)
+            assert pool.owner(shard_id) == shard_id % pool.num_workers
+        outcome = pool.run("knn", {"queries": data[:3], "spec": Knn(k=2)})
+        assert set(outcome) == {0, 1, 2, 3}
+
+    def test_republish_replaces_snapshot(self, pool, data):
+        index = repro.create_index("exact").fit(data)
+        pool.publish(0, index)
+        index.delete([0, 1, 2])
+        pool.publish(0, index)
+        outcome = pool.run("knn", {"queries": data[:4], "spec": Knn(k=3)})
+        result, _ = outcome[0]
+        assert not np.isin(result.ids, [0, 1, 2]).any()
+
+    def test_worker_error_surfaces_with_traceback(self, pool, data):
+        index = repro.create_index("exact").fit(data)
+        pool.publish(0, index)
+        bad_dim = np.zeros((2, data.shape[1] + 3))
+        with pytest.raises(RuntimeError, match="worker"):
+            pool.run("knn", {"queries": bad_dim, "spec": Knn(k=3)})
+        # The worker survives the error and keeps serving.
+        outcome = pool.run("knn", {"queries": data[:2], "spec": Knn(k=3)})
+        assert 0 in outcome
+
+    def test_unknown_job_kind_raises(self, pool, data):
+        index = repro.create_index("exact").fit(data)
+        pool.publish(0, index)
+        with pytest.raises(RuntimeError, match="unknown job kind"):
+            pool.run("no-such-kind", {})
+
+
+class TestMetrics:
+    def test_counters_accumulate(self, data):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        pool = WorkerPool(2, registry=registry, labels={"pool": "p0"}).start()
+        try:
+            index = repro.create_index("exact").fit(data)
+            pool.publish(0, index)
+            pool.run("knn", {"queries": data[:2], "spec": Knn(k=2)})
+            labels = {"pool": "p0"}
+            assert registry.value("pool_publishes", labels) == 1.0
+            assert registry.value("pool_ipc_roundtrips", labels) >= 2.0
+            assert registry.value("pool_bytes_published", labels) > 0.0
+            assert registry.value("pool_workers", labels) == 2.0
+        finally:
+            pool.close()
+        assert leaked_segments() == ()

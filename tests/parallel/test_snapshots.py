@@ -1,0 +1,109 @@
+"""Index shared-memory snapshots: ``to_shm`` / ``from_shm`` round trips.
+
+The contract under test: restoring an index from its published segment
+yields **byte-identical** query results — including tie order — for kNN
+and range search, with lifecycle state (epoch, tombstones) intact, and
+without rebuilding any structures (the restore is a zero-copy attach).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.parallel.shm import attach_segment, leaked_segments, publish_arrays
+from repro.queries import Knn, Range
+from repro.registry import get_index_class
+
+
+def _round_trip(index):
+    """Publish the index snapshot and restore a replica from the views."""
+    arrays, state = index.to_shm()
+    segment = publish_arrays(arrays)
+    attachment = attach_segment(segment.handle)
+    replica = type(index).from_shm(attachment.arrays, state)
+    return replica, segment, attachment
+
+
+@pytest.fixture(params=["exact", "pm-lsh"])
+def index(request, small_gaussian):
+    if request.param == "exact":
+        built = repro.create_index("exact").fit(small_gaussian)
+    else:
+        built = repro.create_index("pm-lsh", seed=11).fit(small_gaussian)
+    return built
+
+
+class TestRoundTrip:
+    def test_knn_byte_identity(self, index, small_gaussian):
+        queries = small_gaussian[:12] * 1.01
+        replica, segment, attachment = _round_trip(index)
+        try:
+            expected = index.run(queries, Knn(k=9))
+            got = replica.run(queries, Knn(k=9))
+            np.testing.assert_array_equal(got.ids, expected.ids)
+            np.testing.assert_array_equal(got.distances, expected.distances)
+        finally:
+            attachment.close()
+            segment.close()
+
+    def test_range_byte_identity(self, index, small_gaussian):
+        queries = small_gaussian[:8]
+        replica, segment, attachment = _round_trip(index)
+        try:
+            expected = index.run(queries, Range(r=5.0))
+            got = replica.run(queries, Range(r=5.0))
+            np.testing.assert_array_equal(got.lims, expected.lims)
+            np.testing.assert_array_equal(got.ids, expected.ids)
+            np.testing.assert_array_equal(got.distances, expected.distances)
+        finally:
+            attachment.close()
+            segment.close()
+
+    def test_lifecycle_state_travels(self, index, small_gaussian):
+        index.delete([0, 5, 17])
+        replica, segment, attachment = _round_trip(index)
+        try:
+            assert replica.epoch == index.epoch
+            assert replica.nlive == index.nlive
+            queries = small_gaussian[:6]
+            expected = index.run(queries, Knn(k=5))
+            got = replica.run(queries, Knn(k=5))
+            np.testing.assert_array_equal(got.ids, expected.ids)
+            assert not np.isin(got.ids, [0, 5, 17]).any()
+        finally:
+            attachment.close()
+            segment.close()
+
+    def test_replica_dataset_is_zero_copy(self, index):
+        """The replica's dataset must be a view into the shared segment,
+        not a private copy (that is the point of the snapshot path)."""
+        replica, segment, attachment = _round_trip(index)
+        try:
+            view = attachment.arrays["data"]
+            assert replica.data.base is not None or replica.data is view
+            assert np.shares_memory(replica.data, view)
+            assert not replica.data.flags.writeable
+        finally:
+            attachment.close()
+            segment.close()
+
+    def test_registry_name_round_trips(self, index):
+        """Workers restore through the registry, so the class must be
+        reachable by its registered name."""
+        assert get_index_class(index.registry_name) is type(index)
+
+
+def test_unsupported_backend_raises(small_gaussian):
+    qalsh = repro.create_index("qalsh", seed=0).fit(small_gaussian)
+    with pytest.raises(NotImplementedError, match="to_shm"):
+        qalsh.to_shm()
+
+
+def test_no_segments_leak(small_gaussian):
+    index = repro.create_index("exact").fit(small_gaussian)
+    replica, segment, attachment = _round_trip(index)
+    attachment.close()
+    segment.close()
+    assert leaked_segments() == ()

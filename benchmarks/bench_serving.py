@@ -19,9 +19,10 @@ with both fan-out pools — in-process threads vs the shared-memory worker
 pool (``pool_backend="process"``) — asserting the two serve identical
 results.
 
-Writes ``results/serving.txt``.  Asserts that under overload the
-micro-batched server (a) coalesces at all (mean batch occupancy > 1) and
-(b) out-serves the window-of-1 baseline.  Scale with ``REPRO_BENCH_N`` /
+Writes ``results/serving.txt``.  Asserts that the micro-batcher
+(a) coalesces at all — mean batch occupancy > 1, measured on an
+**injected virtual clock** so the check cannot flake on a loaded
+runner — and (b) out-serves the window-of-1 baseline under overload.  Scale with ``REPRO_BENCH_N`` /
 ``REPRO_BENCH_QUERIES`` (see conftest).
 """
 
@@ -43,7 +44,7 @@ from conftest import (  # noqa: I001 (script-mode sys.path bootstrap)
 from repro import Knn, MetricsRegistry, Tracer, create_index
 from repro.datasets.synthetic import gaussian_mixture
 from repro.evaluation.tables import format_table
-from repro.serving import AsyncSearchServer, open_loop_arrivals
+from repro.serving import AsyncSearchServer, VirtualClock, open_loop_arrivals
 
 
 K = 10
@@ -67,6 +68,36 @@ def _single_request_seconds(index, queries) -> float:
         index.run(queries[i : i + 1], Knn(k=K))
         samples.append(time.perf_counter() - start)
     return float(np.median(samples))
+
+
+async def _coalesced_occupancy(index, queries, *, max_batch=32, max_delay_ms=2.0):
+    """Mean batch occupancy of one burst on a **virtual** clock.
+
+    The table's occupancy column stays a real-time measurement, but the
+    CI smoke assertion rides on this instead: the burst is submitted in
+    one event-loop tick and the deadline timer fires on an injected
+    :class:`VirtualClock`, so the batch forms identically whether the
+    host is idle or thrashing — the old wall-clock cell flaked whenever
+    a loaded runner let arrivals trickle into singleton batches.
+    """
+    clock = VirtualClock()
+    async with AsyncSearchServer(
+        index,
+        max_batch=max_batch,
+        max_delay_ms=max_delay_ms,
+        metrics=MetricsRegistry(),
+        clock=clock,
+    ) as server:
+        burst = queries[: max(2, max_batch // 2)]
+        tasks = [
+            asyncio.ensure_future(server.submit(query, Knn(k=K))) for query in burst
+        ]
+        for _ in range(10):  # let every submit coroutine reach its queue
+            await asyncio.sleep(0)
+        clock.advance(max_delay_ms / 1e3)  # the deadline flush, exactly once
+        await asyncio.gather(*tasks)
+        stats = server.stats()
+    return stats.mean_occupancy
 
 
 async def _play(
@@ -298,10 +329,12 @@ def test_bench_serving_microbatch(write_result, write_json, benchmark):
         iterations=1,
     )
 
-    # Under concurrent overload the batcher must actually coalesce …
-    assert occupancy_by_cell[("batch 32 / 2 ms", overload)] > 1.0, (
-        "micro-batcher never coalesced concurrent requests "
-        f"(occupancy {occupancy_by_cell[('batch 32 / 2 ms', overload)]:.2f})"
+    # The batcher must actually coalesce concurrent requests — checked on
+    # a virtual-clock burst so the assertion is deterministic (the
+    # real-time occupancy cells above are reporting, not acceptance).
+    occupancy = asyncio.run(_coalesced_occupancy(index, queries))
+    assert occupancy > 1.0, (
+        f"micro-batcher never coalesced a same-tick burst (occupancy {occupancy:.2f})"
     )
     # … and out-serve the window-of-1 baseline (the acceptance criterion).
     assert best > baseline, (

@@ -123,7 +123,15 @@ def build() -> str:
     from repro.persistence import snapshot_epoch
     from repro.pmtree.flat import FlatPMTree
     from repro.queries import ClosestPairResult, Knn, Range, RangeResult
-    from repro.serving.cache import ProjectedQueryCache
+    from repro.serving.admission import (
+        AdmissionControl,
+        DeadlineExceeded,
+        QueueFull,
+        ShedRecord,
+    )
+    from repro.serving.cache import ProjectedQueryCache, TieredQueryCache
+    from repro.serving.clock import Clock, LoopClock, VirtualClock
+    from repro.serving.controller import AdaptiveBatchController, ControllerConfig
     from repro.serving.server import AsyncSearchServer
     from repro.serving.stats import ServingStats
 
@@ -199,8 +207,20 @@ def build() -> str:
             ],
         ),
         _class_section(ProjectedQueryCache, ["get", "put", "invalidate", "key_for"]),
+        _class_section(TieredQueryCache, ["get", "put", "invalidate"]),
         _class_section(ServingStats, ["cache_hit_rate", "as_dict", "as_table"]),
         _class_section(LatencyWindow, ["record", "percentile", "snapshot", "reset"]),
+        "## Self-tuning and admission control\n",
+        _class_section(AdaptiveBatchController, ["tick", "bind", "decision_log", "window", "delay_ms", "adjustments"]),
+        _class_section(ControllerConfig, []),
+        _class_section(AdmissionControl, ["expired", "overflowing", "record_shed"]),
+        _class_section(DeadlineExceeded, []),
+        _class_section(QueueFull, []),
+        _class_section(ShedRecord, []),
+        "## Clocks: virtual time for serving tests\n",
+        _class_section(Clock, ["now", "call_later"]),
+        _class_section(LoopClock, []),
+        _class_section(VirtualClock, ["advance", "advance_to", "pending", "next_deadline"]),
         "## Observability\n",
         _class_section(
             MetricsRegistry,

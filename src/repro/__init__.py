@@ -22,7 +22,12 @@ version's workloads.  The package provides:
   :class:`AsyncSearchServer` coalesces concurrent requests into batches
   with a deadline-based micro-batcher, interleaves writes epoch-style,
   and caches answers by projected locality
-  (:class:`ProjectedQueryCache`);
+  (:class:`ProjectedQueryCache`) with an optional exact-hit LRU tier
+  (:class:`TieredQueryCache`); it self-tunes its batching window under
+  load (:class:`AdaptiveBatchController`), enforces per-request
+  deadlines and bounded-queue admission control
+  (:class:`DeadlineExceeded`, :class:`QueueFull`), and runs on an
+  injectable clock (:class:`VirtualClock` for deterministic tests);
 * a unified observability layer (:mod:`repro.obs`): a process-wide
   metrics registry with Prometheus/JSON export
   (:class:`MetricsRegistry`), head-sampled per-query trace spans
@@ -130,13 +135,27 @@ from repro.registry import (
     register_index,
 )
 from repro.rtree import RTree
-from repro.serving import AsyncSearchServer, ProjectedQueryCache, ServingStats
+from repro.serving import (
+    AdaptiveBatchController,
+    AsyncSearchServer,
+    ControllerConfig,
+    DeadlineExceeded,
+    ProjectedQueryCache,
+    QueueFull,
+    ServingRejected,
+    ServingStats,
+    TieredQueryCache,
+    VirtualClock,
+)
 
 __version__ = "2.0.0"
 
 __all__ = [
     "ANNIndex",
+    "AdaptiveBatchController",
     "AsyncSearchServer",
+    "ControllerConfig",
+    "DeadlineExceeded",
     "BatchResult",
     "C2LSH",
     "ClosestPairResult",
@@ -160,18 +179,22 @@ __all__ = [
     "QALSH",
     "QueryResult",
     "QuerySpec",
+    "QueueFull",
     "RLSH",
     "RTree",
     "Range",
     "RangeResult",
     "Replica",
     "SRS",
+    "ServingRejected",
     "ServingStats",
     "ShardedIndex",
     "SlowQueryLog",
+    "TieredQueryCache",
     "TombstoneSet",
     "Trace",
     "Tracer",
+    "VirtualClock",
     "__version__",
     "available_indexes",
     "compact_index",

@@ -50,6 +50,7 @@ class SlowQueryRecord:
     spec: str = ""  # repr of the QuerySpec (knobs at request time)
     meta: Dict = field(default_factory=dict)
     trace: Optional[Dict] = None  # span tree as_dict(), when sampled
+    at: Optional[float] = None  # capture time on the bound clock, when one is bound
 
     def as_dict(self) -> Dict:
         out = {
@@ -58,6 +59,8 @@ class SlowQueryRecord:
             "reason": self.reason,
             "spec": self.spec,
         }
+        if self.at is not None:
+            out["at"] = self.at
         if self.meta:
             out["meta"] = dict(self.meta)
         if self.trace is not None:
@@ -101,6 +104,7 @@ class SlowQueryLog:
         self._observed = 0
         self._p99_bound = float("nan")  # cached p99_multiple * rolling p99
         self._p99_stamp = -1  # observation count at last refresh
+        self._clock = None  # optional Clock; stamps records when bound
 
     @property
     def observed(self) -> int:
@@ -117,6 +121,16 @@ class SlowQueryLog:
         self._window = window
         self._owns_window = False
         self._p99_stamp = -1  # stale: recompute against the new window
+
+    def bind_clock(self, clock) -> None:
+        """Stamp future records with ``clock.now()`` (capture time).
+
+        The serving layer binds its own :class:`~repro.serving.clock.Clock`
+        here (real loop time in production, a virtual clock in tests), so
+        slow-query records carry *when* on the same timeline every other
+        serving decision uses — deterministic under virtual time.
+        """
+        self._clock = clock
 
     def __len__(self) -> int:
         return len(self._records)
@@ -170,6 +184,7 @@ class SlowQueryLog:
             spec=spec,
             meta=dict(meta),
             trace=trace.as_dict() if trace is not None else None,
+            at=self._clock.now() if self._clock is not None else None,
         )
         self._records.append(record)
         return record

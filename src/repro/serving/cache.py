@@ -21,6 +21,15 @@ epoch and clears every entry, and a ``put`` tagged with a pre-bump epoch
 is dropped — so an answer computed against pre-``add()`` data can never
 be served after the write, even if its batch was in flight while the
 write landed.
+
+:class:`TieredQueryCache` stacks an **exact-hit LRU** in front of the
+projected cache: tier 1 keys on the raw query bytes (no projection GEMM,
+no quantization — one dict probe), tier 2 is the projected cache above
+with its near-duplicate semantics; a tier-2 hit is promoted into tier 1.
+Both tiers share one epoch — ``invalidate()`` clears them together and a
+stale ``put`` is dropped from both — so the write-safety story is
+unchanged.  The server builds one when ``exact_cache=<capacity>`` is
+passed next to ``cache=...``.
 """
 
 from __future__ import annotations
@@ -143,3 +152,140 @@ class ProjectedQueryCache:
         self.epoch += 1
         if self._c_invalidations is not None:
             self._c_invalidations.inc()
+
+
+class TieredQueryCache:
+    """Two-tier result cache: exact-hit LRU over a projected-locality tier.
+
+    Tier 1 answers byte-identical repeat queries with a single dict
+    probe — no projection, no quantization — which is the dominant case
+    on hot-item traffic.  Tier 2 is an ordinary
+    :class:`ProjectedQueryCache` (optional): near-duplicate queries that
+    miss tier 1 can still share an answer through projected-cell
+    quantization, and its hit is *promoted* into tier 1 so the next
+    identical repeat stays on the fast path.
+
+    The tiers share one epoch (the projected tier's, when present):
+    :meth:`invalidate` clears both together, and :meth:`put` drops
+    stale answers from both — the server's write-safety contract is a
+    single decision, not two.
+
+    ``hits`` / ``misses`` aggregate across tiers (an exact hit never
+    double-counts in tier 2; a total miss counts once), so the serving
+    gauges and hit-rate math work unchanged.
+    """
+
+    def __init__(
+        self,
+        *,
+        exact_capacity: int = 1024,
+        projected: Optional[ProjectedQueryCache] = None,
+    ) -> None:
+        if exact_capacity < 1:
+            raise ValueError(f"exact_capacity must be >= 1, got {exact_capacity}")
+        self.exact_capacity = int(exact_capacity)
+        self.projected = projected
+        self._exact: "OrderedDict[Tuple, QueryResult]" = OrderedDict()
+        self._own_epoch = 0  # used only when there is no projected tier
+        self.exact_hits = 0
+        self._exact_only_misses = 0  # misses counted when projected is None
+        self._c_stale_puts = None
+        self._c_evictions = None
+
+    def __len__(self) -> int:
+        # NB: "is not None" everywhere — an *empty* projected tier is
+        # falsy (it defines __len__), so plain truthiness would skip it.
+        return len(self._exact) + (
+            len(self.projected) if self.projected is not None else 0
+        )
+
+    @property
+    def capacity(self) -> int:
+        """Total retained entries across both tiers (repr/diagnostics)."""
+        return self.exact_capacity + (
+            self.projected.capacity if self.projected is not None else 0
+        )
+
+    @property
+    def epoch(self) -> int:
+        """The shared write epoch (the projected tier's when present)."""
+        return self.projected.epoch if self.projected is not None else self._own_epoch
+
+    @property
+    def hits(self) -> int:
+        """Aggregate hits: exact-tier plus projected-tier."""
+        return self.exact_hits + (
+            self.projected.hits if self.projected is not None else 0
+        )
+
+    @property
+    def misses(self) -> int:
+        """Aggregate misses (a request missing both tiers counts once)."""
+        if self.projected is not None:
+            # Every exact miss falls through to the projected tier, whose
+            # miss count is therefore the both-tiers miss total.
+            return self.projected.misses
+        return self._exact_only_misses
+
+    def bind_metrics(self, registry, labels=None) -> None:
+        """Publish tier counters; forwards to the projected tier too."""
+        labels = labels or {}
+        self._c_evictions = registry.counter(
+            "cache_exact_evictions", "Exact-tier entries evicted by LRU pressure", labels
+        )
+        self._c_stale_puts = registry.counter(
+            "cache_stale_puts", "Answers dropped for being computed pre-write", labels
+        )
+        if self.projected is not None:
+            self.projected.bind_metrics(registry, labels)
+
+    def _exact_key(self, query: np.ndarray, spec: QuerySpec) -> Tuple:
+        vector = np.ascontiguousarray(np.asarray(query, dtype=np.float64))
+        return (spec.merge_key, vector.tobytes())
+
+    def get(self, query: np.ndarray, spec: QuerySpec) -> Optional[QueryResult]:
+        """Tier-1 probe, then tier-2; a tier-2 hit is promoted to tier 1."""
+        key = self._exact_key(query, spec)
+        entry = self._exact.get(key)
+        if entry is not None:
+            self._exact.move_to_end(key)
+            self.exact_hits += 1
+            return entry
+        if self.projected is None:
+            self._exact_only_misses += 1
+            return None
+        entry = self.projected.get(query, spec)
+        if entry is not None:
+            self._store_exact(key, entry)
+        return entry
+
+    def put(
+        self, query: np.ndarray, spec: QuerySpec, result: QueryResult, epoch: int
+    ) -> bool:
+        """Store in both tiers unless *epoch* is stale (then drop from both)."""
+        if epoch != self.epoch:
+            if self.projected is not None:
+                self.projected.put(query, spec, result, epoch)  # counts the stale put
+            elif self._c_stale_puts is not None:
+                self._c_stale_puts.inc()
+            return False
+        self._store_exact(self._exact_key(query, spec), result)
+        if self.projected is not None:
+            self.projected.put(query, spec, result, epoch)
+        return True
+
+    def _store_exact(self, key: Tuple, result: QueryResult) -> None:
+        self._exact[key] = result
+        self._exact.move_to_end(key)
+        while len(self._exact) > self.exact_capacity:
+            self._exact.popitem(last=False)
+            if self._c_evictions is not None:
+                self._c_evictions.inc()
+
+    def invalidate(self) -> None:
+        """Drop both tiers and bump the shared epoch (every write does)."""
+        self._exact.clear()
+        if self.projected is not None:
+            self.projected.invalidate()
+        else:
+            self._own_epoch += 1

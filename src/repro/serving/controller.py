@@ -1,0 +1,421 @@
+"""The adaptive batch controller: AIMD over the micro-batching knobs.
+
+``results/serving.txt`` shows the best static ``(max_batch,
+max_delay_ms)`` pair *flips with load* — a narrow window wins at 1x
+capacity (nothing queues, waiting only adds latency) while a wide window
+wins at 4x (amortization is everything).  Static knobs therefore cannot
+serve a diurnal or bursty trace well at both ends;
+:class:`AdaptiveBatchController` closes the loop instead, reading the
+serving instruments the observability layer already publishes and
+steering the effective window between configured clamps.
+
+The loop is AIMD-style with hysteresis:
+
+* **Widen (additive)** under pressure — either the queue is at least one
+  full batch deep (work is waiting), or batches are dispatching *full*
+  on the size trigger (``size_flushes`` dominate and occupancy is at
+  ``full_occupancy`` of the window, so the window itself is the binding
+  constraint).  Either way a bigger window converts queueing delay into
+  amortization: ``window += increase_step`` (clamped to ``max_batch``),
+  and the deadline stretches multiplicatively toward ``max_delay_ms``.
+* **Narrow (multiplicative)** when the server is demonstrably idle —
+  the queue is empty and batches are dispatching on *deadline* with low
+  occupancy, i.e. the window is mostly waiting for peers that never
+  arrive: ``window = ceil(window * decrease_factor)`` (clamped to
+  ``min_batch``) and the deadline shrinks by the same factor.  A p99
+  SLO bound (``slo_ms``), when set, also votes to narrow whenever the
+  rolling p99 exceeds it while the queue is shallow — waiting is then
+  hurting the tail for nothing.
+* **Hysteresis**: a direction must persist for ``hysteresis``
+  consecutive ticks before it is applied, so one odd tick never flaps
+  the knobs; ticks are rate-limited to one per ``interval_ms`` of the
+  serving clock (virtual in tests — decisions are fully deterministic).
+
+Inputs are read straight from the PR 7 metrics registry — the
+``queue_depth`` gauge, the ``size_flushes`` / ``deadline_flushes``
+counters, batch occupancy from ``requests_batched`` / ``batches_served``
+and the rolling p99 of the server's
+:class:`~repro.obs.metrics.LatencyWindow` — and every applied decision
+is published back as gauges (``controller_window``,
+``controller_delay_ms``) and counters (``controller_widens``,
+``controller_narrows``, ``controller_ticks``), appended to
+:attr:`AdaptiveBatchController.decisions` (the decision log two
+identical traces reproduce byte-for-byte), and surfaced in
+:class:`~repro.serving.stats.ServingStats`.
+
+Invariants (property-tested under hypothesis over arbitrary traces):
+``min_batch <= window <= max_batch`` and ``min_delay_ms <= delay_ms <=
+max_delay_ms`` after every tick; constant input signals converge (the
+decision log goes quiet); identical traces produce identical logs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.obs.metrics import LatencyWindow, MetricsRegistry
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Clamps, cadence and gains of the adaptive loop.
+
+    ``min_batch``/``max_batch`` and ``min_delay_ms``/``max_delay_ms``
+    bound the effective knobs — the controller can never push the server
+    outside them.  ``interval_ms`` is the decision cadence on the
+    serving clock; ``hysteresis`` is how many consecutive same-direction
+    ticks a signal must persist before it acts.  ``increase_step`` is
+    the additive widen (requests per decision);
+    ``decrease_factor`` the multiplicative narrow.  ``idle_occupancy``
+    is the fraction of the current window below which a deadline-flushed
+    batch counts as "mostly empty"; ``full_occupancy`` the fraction at
+    which size-triggered batches count as saturating the window.
+    ``slo_ms``, when set, narrows the window whenever the rolling p99
+    exceeds it while the queue is shallow.
+    """
+
+    min_batch: int = 1
+    max_batch: int = 128
+    min_delay_ms: float = 0.5
+    max_delay_ms: float = 16.0
+    interval_ms: float = 10.0
+    hysteresis: int = 2
+    increase_step: int = 8
+    decrease_factor: float = 0.5
+    idle_occupancy: float = 0.25
+    full_occupancy: float = 0.9
+    slo_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_batch <= self.max_batch:
+            raise ValueError(
+                f"need 1 <= min_batch <= max_batch, got "
+                f"[{self.min_batch}, {self.max_batch}]"
+            )
+        if not 0.0 <= self.min_delay_ms <= self.max_delay_ms:
+            raise ValueError(
+                f"need 0 <= min_delay_ms <= max_delay_ms, got "
+                f"[{self.min_delay_ms}, {self.max_delay_ms}]"
+            )
+        if self.interval_ms <= 0:
+            raise ValueError(f"interval_ms must be > 0, got {self.interval_ms}")
+        if self.hysteresis < 1:
+            raise ValueError(f"hysteresis must be >= 1, got {self.hysteresis}")
+        if self.increase_step < 1:
+            raise ValueError(f"increase_step must be >= 1, got {self.increase_step}")
+        if not 0.0 < self.decrease_factor < 1.0:
+            raise ValueError(
+                f"decrease_factor must be in (0, 1), got {self.decrease_factor}"
+            )
+        if not 0.0 < self.full_occupancy <= 1.0:
+            raise ValueError(
+                f"full_occupancy must be in (0, 1], got {self.full_occupancy}"
+            )
+
+
+@dataclass(frozen=True)
+class ControllerDecision:
+    """One applied knob change: when, which way, and on what evidence."""
+
+    tick: int
+    at: float  # clock seconds
+    action: str  # "widen" or "narrow"
+    window: int  # the new effective max_batch
+    delay_ms: float  # the new effective max_delay_ms
+    queue_depth: int
+    occupancy: float
+    p99_ms: float
+
+    def as_dict(self) -> dict:
+        return {
+            "tick": self.tick,
+            "at": self.at,
+            "action": self.action,
+            "window": self.window,
+            "delay_ms": self.delay_ms,
+            "queue_depth": self.queue_depth,
+            "occupancy": round(self.occupancy, 6),
+            "p99_ms": self.p99_ms if math.isnan(self.p99_ms) else round(self.p99_ms, 6),
+        }
+
+
+@dataclass
+class _CounterDeltas:
+    """Per-tick deltas of the flush/batch counters the controller reads."""
+
+    size_flushes: float = 0.0
+    deadline_flushes: float = 0.0
+    batches: float = 0.0
+    batched: float = 0.0
+
+
+class AdaptiveBatchController:
+    """Self-tuning replacement for static ``max_batch`` / ``max_delay_ms``.
+
+    Construct one (optionally with a :class:`ControllerConfig`) and hand
+    it to ``AsyncSearchServer(controller=...)``; the server binds it to
+    its metrics scope and latency window, seeds the initial knobs from
+    its static ``max_batch`` / ``max_delay_ms`` (clamped into the
+    config's range) and calls :meth:`tick` on the serving clock.  The
+    current knobs are :attr:`window` and :attr:`delay_ms`; the applied
+    decision history is :attr:`decisions`.
+
+    A controller instance belongs to one server: binding it twice
+    raises, so decision logs never interleave two traffic streams.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ControllerConfig] = None,
+        *,
+        initial_batch: Optional[int] = None,
+        initial_delay_ms: Optional[float] = None,
+    ) -> None:
+        self.config = config if config is not None else ControllerConfig()
+        cfg = self.config
+        self._window = self._clamp_window(
+            cfg.max_batch if initial_batch is None else int(initial_batch)
+        )
+        self._delay_ms = self._clamp_delay(
+            cfg.max_delay_ms if initial_delay_ms is None else float(initial_delay_ms)
+        )
+        #: Applied knob changes, oldest first (the determinism test diff).
+        self.decisions: List[ControllerDecision] = []
+        self._tick_no = 0
+        self._last_tick_at: Optional[float] = None
+        self._streak_dir = 0  # +1 widening pressure, -1 idle, 0 neutral
+        self._streak_len = 0
+        self._bound = False
+        # instrument handles (filled by bind)
+        self._queue_depth = None
+        self._size_flushes = None
+        self._deadline_flushes = None
+        self._batches_served = None
+        self._requests_batched = None
+        self._latency_window: Optional[LatencyWindow] = None
+        self._g_window = None
+        self._g_delay = None
+        self._c_ticks = None
+        self._c_widens = None
+        self._c_narrows = None
+        self._prev = _CounterDeltas()
+
+    # -- knobs ---------------------------------------------------------
+
+    @property
+    def window(self) -> int:
+        """The effective ``max_batch`` the server should use right now."""
+        return self._window
+
+    @property
+    def delay_ms(self) -> float:
+        """The effective ``max_delay_ms`` the server should use right now."""
+        return self._delay_ms
+
+    @property
+    def adjustments(self) -> int:
+        """Applied knob changes so far (``len(decisions)``)."""
+        return len(self.decisions)
+
+    def _clamp_window(self, value: int) -> int:
+        return max(self.config.min_batch, min(self.config.max_batch, int(value)))
+
+    def _clamp_delay(self, value: float) -> float:
+        return max(self.config.min_delay_ms, min(self.config.max_delay_ms, float(value)))
+
+    # -- wiring --------------------------------------------------------
+
+    def bind(
+        self,
+        registry: MetricsRegistry,
+        labels: dict,
+        latency_window: LatencyWindow,
+    ) -> None:
+        """Attach to a server's metrics scope (called by the server).
+
+        The controller *reads* the serving instruments (queue depth,
+        flush counters, occupancy, the latency window's rolling p99) and
+        *writes* its own gauges/counters under the same labels.
+        """
+        if self._bound:
+            raise RuntimeError(
+                "AdaptiveBatchController is already bound to a server; "
+                "construct one controller per server"
+            )
+        self._bound = True
+        self._queue_depth = registry.gauge(
+            "queue_depth", "Requests queued, not yet dispatched", labels
+        )
+        self._size_flushes = registry.counter(
+            "size_flushes", "Dispatches on max_batch", labels
+        )
+        self._deadline_flushes = registry.counter(
+            "deadline_flushes", "Dispatches on deadline", labels
+        )
+        self._batches_served = registry.counter(
+            "batches_served", "Coalesced batches executed", labels
+        )
+        self._requests_batched = registry.counter(
+            "requests_batched", "Requests answered through a batch", labels
+        )
+        self._latency_window = latency_window
+        self._g_window = registry.gauge(
+            "controller_window", "Adaptive effective max_batch", labels
+        )
+        self._g_delay = registry.gauge(
+            "controller_delay_ms", "Adaptive effective max_delay_ms", labels
+        )
+        self._c_ticks = registry.counter(
+            "controller_ticks", "Controller decision evaluations", labels
+        )
+        self._c_widens = registry.counter(
+            "controller_widens", "Applied widen decisions", labels
+        )
+        self._c_narrows = registry.counter(
+            "controller_narrows", "Applied narrow decisions", labels
+        )
+        self._g_window.set(self._window)
+        self._g_delay.set(self._delay_ms)
+
+    # -- the loop ------------------------------------------------------
+
+    def tick(self, now: float) -> Optional[ControllerDecision]:
+        """Evaluate one control step at clock time *now* (rate-limited).
+
+        Returns the applied :class:`ControllerDecision`, or ``None`` when
+        the interval has not elapsed, the signal is neutral, hysteresis
+        is still counting, or the clamps made the action a no-op.
+        """
+        if not self._bound:
+            return None
+        if (
+            self._last_tick_at is not None
+            and (now - self._last_tick_at) * 1e3 < self.config.interval_ms
+        ):
+            return None
+        self._last_tick_at = now
+        self._tick_no += 1
+        self._c_ticks.inc()
+
+        queue_depth = int(self._queue_depth.value)
+        deltas = _CounterDeltas(
+            size_flushes=self._size_flushes.value - self._prev.size_flushes,
+            deadline_flushes=self._deadline_flushes.value - self._prev.deadline_flushes,
+            batches=self._batches_served.value - self._prev.batches,
+            batched=self._requests_batched.value - self._prev.batched,
+        )
+        self._prev = _CounterDeltas(
+            self._size_flushes.value,
+            self._deadline_flushes.value,
+            self._batches_served.value,
+            self._requests_batched.value,
+        )
+        occupancy = deltas.batched / deltas.batches if deltas.batches else 0.0
+        p99 = (
+            self._latency_window.p99
+            if self._latency_window is not None
+            else float("nan")
+        )
+
+        direction = self._direction(queue_depth, deltas, occupancy, p99)
+        if direction == self._streak_dir:
+            self._streak_len += 1
+        else:
+            self._streak_dir = direction
+            self._streak_len = 1
+        if direction == 0 or self._streak_len < self.config.hysteresis:
+            return None
+
+        return self._apply(direction, now, queue_depth, occupancy, p99)
+
+    def _direction(
+        self, queue_depth: int, deltas: _CounterDeltas, occupancy: float, p99: float
+    ) -> int:
+        """+1 widen, -1 narrow, 0 hold — the raw (pre-hysteresis) signal."""
+        cfg = self.config
+        # Pressure: at least one full batch is already waiting — widening
+        # converts queueing delay into amortization.
+        if queue_depth >= self._window:
+            return +1
+        # Saturation: batches are leaving *full* on the size trigger, so
+        # the window itself is the binding constraint (size dispatch
+        # keeps the queue shallower than the window by construction —
+        # the queue-depth signal alone can never see this regime).  The
+        # occupancy > 1 guard keeps a window of one honest: its batches
+        # are always "full" at exactly one request, which is evidence of
+        # not batching, not of saturation — real pressure at window one
+        # shows up as queue depth.
+        if (
+            deltas.batches > 0
+            and deltas.size_flushes > deltas.deadline_flushes
+            and occupancy > 1.0
+            and occupancy >= cfg.full_occupancy * self._window
+        ):
+            return +1
+        # SLO guard: the tail is over budget while the queue is shallow —
+        # the deadline window itself is the latency, stop waiting.
+        if (
+            cfg.slo_ms is not None
+            and not math.isnan(p99)
+            and p99 > cfg.slo_ms
+            and queue_depth < self._window
+        ):
+            return -1
+        # Idle: batches are going out on *deadline*, mostly empty, with
+        # nothing queued — the window is wider than the traffic.
+        if (
+            queue_depth == 0
+            and deltas.batches > 0
+            and deltas.deadline_flushes >= deltas.size_flushes
+            and occupancy <= max(1.0, cfg.idle_occupancy * self._window)
+        ):
+            return -1
+        return 0
+
+    def _apply(
+        self, direction: int, now: float, queue_depth: int, occupancy: float, p99: float
+    ) -> Optional[ControllerDecision]:
+        cfg = self.config
+        if direction > 0:
+            new_window = self._clamp_window(self._window + cfg.increase_step)
+            # A zero delay doubles from a 0.25 ms floor, else it never moves.
+            new_delay = self._clamp_delay(max(self._delay_ms, 0.25) * 2.0)
+            action = "widen"
+        else:
+            new_window = self._clamp_window(
+                math.ceil(self._window * cfg.decrease_factor)
+            )
+            new_delay = self._clamp_delay(self._delay_ms * cfg.decrease_factor)
+            action = "narrow"
+        if new_window == self._window and new_delay == self._delay_ms:
+            return None  # clamped into a no-op: nothing to log, nothing to flap
+        self._window = new_window
+        self._delay_ms = new_delay
+        self._streak_len = 0  # restart hysteresis after every applied change
+        decision = ControllerDecision(
+            tick=self._tick_no,
+            at=now,
+            action=action,
+            window=new_window,
+            delay_ms=new_delay,
+            queue_depth=queue_depth,
+            occupancy=occupancy,
+            p99_ms=p99,
+        )
+        self.decisions.append(decision)
+        self._g_window.set(new_window)
+        self._g_delay.set(new_delay)
+        (self._c_widens if direction > 0 else self._c_narrows).inc()
+        return decision
+
+    def decision_log(self) -> List[dict]:
+        """The applied decisions as plain dicts (the determinism artifact)."""
+        return [decision.as_dict() for decision in self.decisions]
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveBatchController(window={self._window}, "
+            f"delay_ms={self._delay_ms:g}, adjustments={self.adjustments})"
+        )

@@ -65,38 +65,46 @@ from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.tracing import Trace, Tracer, use_trace
 from repro.queries import QuerySpec, as_query_spec
-from repro.serving.cache import ProjectedQueryCache
+from repro.serving.admission import AdmissionControl, DeadlineExceeded, QueueFull
+from repro.serving.cache import ProjectedQueryCache, TieredQueryCache
+from repro.serving.clock import Clock, LoopClock
+from repro.serving.controller import AdaptiveBatchController
 from repro.serving.stats import ServingStats
 
 
 class _PendingRequest:
-    """One queued query: its vector, its future, when it arrived, and its
-    trace (None unless head-sampled at submit time)."""
+    """One queued query: its vector, its future, when it arrived, its
+    absolute deadline (None = no deadline) and its trace (None unless
+    head-sampled at submit time)."""
 
-    __slots__ = ("query", "future", "enqueued_at", "trace")
+    __slots__ = ("query", "future", "enqueued_at", "deadline", "trace")
 
     def __init__(
         self,
         query: np.ndarray,
         future: "asyncio.Future[QueryResult]",
         enqueued_at: float,
+        deadline: Optional[float] = None,
         trace: Optional[Trace] = None,
     ) -> None:
         self.query = query
         self.future = future
         self.enqueued_at = enqueued_at
+        self.deadline = deadline
         self.trace = trace
 
 
 class _PendingBatch:
-    """The open queue of one merge key: requests plus the armed deadline."""
+    """The open queue of one (merge key, priority) lane: requests plus
+    the armed deadline timer."""
 
-    __slots__ = ("spec", "requests", "timer")
+    __slots__ = ("spec", "priority", "requests", "timer")
 
-    def __init__(self, spec: QuerySpec) -> None:
+    def __init__(self, spec: QuerySpec, priority: int = 0) -> None:
         self.spec = spec
+        self.priority = priority
         self.requests: List[_PendingRequest] = []
-        self.timer: Optional[asyncio.TimerHandle] = None
+        self.timer = None  # asyncio.TimerHandle or a virtual-clock timer
 
 
 class AsyncSearchServer:
@@ -149,6 +157,32 @@ class AsyncSearchServer:
         A :class:`~repro.obs.slowlog.SlowQueryLog` fed every request's
         queue-to-answer latency (with the span tree when sampled).  Its
         rolling-p99 trigger reads the server's own latency window.
+    exact_cache:
+        Capacity of an exact-hit LRU tier stacked *in front of* the
+        configured cache (a :class:`~repro.serving.cache.TieredQueryCache`
+        is built around it).  ``None`` (default) keeps the single-tier
+        behavior; combine with ``cache=<capacity>`` for the full
+        exact-then-projected hierarchy sharing one epoch.
+    clock:
+        The :class:`~repro.serving.clock.Clock` every time decision reads
+        (deadline timers, per-request deadlines, controller cadence,
+        latency measurement).  ``None`` (default) binds a
+        :class:`~repro.serving.clock.LoopClock` over the running event
+        loop; tests inject a
+        :class:`~repro.serving.clock.VirtualClock` and advance time
+        explicitly — zero wall-clock sleeps, fully deterministic.
+    controller:
+        An :class:`~repro.serving.controller.AdaptiveBatchController`
+        that replaces the static ``max_batch`` / ``max_delay_ms`` with a
+        closed AIMD loop over the serving metrics; the effective knobs
+        are :attr:`effective_max_batch` / :attr:`effective_delay_ms` and
+        its decisions surface in :meth:`stats` and the registry.
+    max_queue_depth / shed_policy:
+        Admission control: the bounded pending-queue depth and what to
+        do when it overflows (``"reject-newest"`` refuses the arrival
+        with :class:`~repro.serving.admission.QueueFull`;
+        ``"drop-oldest-expired"`` first sheds queued requests whose
+        deadlines already passed).  See :mod:`repro.serving.admission`.
 
     Examples
     --------
@@ -175,11 +209,16 @@ class AsyncSearchServer:
         max_delay_ms: float = 2.0,
         cache: ProjectedQueryCache | int | None = None,
         cache_resolution: float = 1e-9,
+        exact_cache: Optional[int] = None,
         executor: Optional[Executor] = None,
         latency_capacity: int = 4096,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         slow_log: Optional[SlowQueryLog] = None,
+        clock: Optional[Clock] = None,
+        controller: Optional[AdaptiveBatchController] = None,
+        max_queue_depth: Optional[int] = None,
+        shed_policy: str = "reject-newest",
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -190,11 +229,18 @@ class AsyncSearchServer:
         self.max_delay_ms = float(max_delay_ms)
         self.metrics_registry = metrics if metrics is not None else default_registry()
         self.tracer = tracer
+        self.admission = AdmissionControl(
+            max_queue_depth=max_queue_depth, shed_policy=shed_policy
+        )
         self.cache = (
             self._build_cache(index, cache, cache_resolution)
             if isinstance(cache, int)
             else cache
         )
+        if exact_cache is not None:
+            self.cache = TieredQueryCache(
+                exact_capacity=exact_cache, projected=self.cache
+            )
         self._executor: Executor = executor or ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serving"
         )
@@ -202,6 +248,7 @@ class AsyncSearchServer:
         self._queues: Dict[Tuple, _PendingBatch] = {}
         self._inflight: set = set()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._clock: Optional[Clock] = clock
         self._closed = False
         self._epoch = 0
         self._compacting = False
@@ -232,6 +279,15 @@ class AsyncSearchServer:
         self._points_deleted = counter("points_deleted", "Points tombstoned via delete()")
         self._compactions = counter("compactions", "Background compactions completed")
         self._index_swaps = counter("index_swaps", "swap_index() installs")
+        self._requests_shed = counter(
+            "requests_shed", "Requests shed with DeadlineExceeded (expired deadlines)"
+        )
+        self._requests_rejected = counter(
+            "requests_rejected", "Requests refused with QueueFull (bounded queue)"
+        )
+        self._g_queue_depth = self.metrics_registry.gauge(
+            "queue_depth", "Requests queued, not yet dispatched", scope
+        )
         self._latency_hist = self.metrics_registry.histogram(
             "request_latency_ms",
             "Queue-to-answer latency per served request",
@@ -248,6 +304,13 @@ class AsyncSearchServer:
         # sharded engine, PM-LSH's probe counters, the overfetch path).
         if hasattr(index, "metrics"):
             index.metrics = self.metrics_registry
+        # The adaptive controller closes the loop over the instruments
+        # above: it reads queue depth / flush counters / the latency
+        # window and steers the *effective* max_batch / max_delay_ms
+        # between its clamps, overriding the static knobs.
+        self.controller = controller
+        if controller is not None:
+            controller.bind(self.metrics_registry, scope, self._latency)
 
     @staticmethod
     def _build_cache(
@@ -269,24 +332,69 @@ class AsyncSearchServer:
     # the read path
     # ------------------------------------------------------------------
 
-    async def submit(self, query: np.ndarray, spec: QuerySpec | int) -> QueryResult:
+    @property
+    def effective_max_batch(self) -> int:
+        """The size threshold in force right now (controller-driven or static)."""
+        return self.controller.window if self.controller is not None else self.max_batch
+
+    @property
+    def effective_delay_ms(self) -> float:
+        """The deadline window in force right now (controller-driven or static)."""
+        return (
+            self.controller.delay_ms if self.controller is not None else self.max_delay_ms
+        )
+
+    def _maybe_tick(self) -> None:
+        """Give the adaptive controller one (rate-limited) look at the world."""
+        if self.controller is not None:
+            self._g_queue_depth.set(self.queue_depth)
+            self.controller.tick(self._now())
+
+    async def submit(
+        self,
+        query: np.ndarray,
+        spec: QuerySpec | int,
+        *,
+        deadline_ms: Optional[float] = None,
+        priority: int = 0,
+    ) -> QueryResult:
         """Answer one query vector under *spec*, coalesced with its peers.
 
         Awaits until the request's batch has run; the returned
         :class:`QueryResult` is byte-identical to the matching row of a
         direct ``index.run()`` over the same queries.  A cache hit (when
         caching is enabled) short-circuits the batcher entirely.
+
+        *deadline_ms* is this request's latency budget: if the deadline
+        has already passed when its batch dispatches (or at submit time,
+        for a non-positive budget), the request is **shed** — the await
+        raises :class:`~repro.serving.admission.DeadlineExceeded` and the
+        query never reaches the index.  A request whose deadline is still
+        in the future is never shed on deadline grounds.
+
+        *priority* selects the request's lane within its spec's merge
+        key: lanes only coalesce with equal priority, and higher
+        priorities dispatch first under contention (drains, writes,
+        shutdown).  When the bounded queue (``max_queue_depth``) is full,
+        the configured shed policy decides between refusing this request
+        (:class:`~repro.serving.admission.QueueFull`) and first evicting
+        queued requests whose deadlines already expired.
         """
         spec = as_query_spec(spec)
         self._require_open()
-        loop = self._bind_loop()
+        self._bind_loop()
+        loop = self._loop
         vector = np.asarray(query, dtype=np.float64)
         if vector.ndim != 1:
             raise ValueError(
                 f"submit takes one (d,) query vector, got shape {vector.shape}"
             )
         self._requests_submitted.inc()
-        enqueued_at = loop.time()
+        self._maybe_tick()
+        enqueued_at = self._now()
+        deadline = (
+            enqueued_at + float(deadline_ms) / 1e3 if deadline_ms is not None else None
+        )
         trace = self.tracer.start("request") if self.tracer is not None else None
         if trace is not None:
             trace.meta["spec"] = repr(spec)
@@ -294,10 +402,10 @@ class AsyncSearchServer:
             cached = self.cache.get(vector, spec)
             if cached is not None:
                 self._requests_served.inc()
-                latency_ms = (loop.time() - enqueued_at) * 1e3
+                latency_ms = (self._now() - enqueued_at) * 1e3
                 self._latency_hist.observe(latency_ms)
                 if trace is not None:
-                    trace.add_span("cache_hit", enqueued_at, loop.time())
+                    trace.add_span("cache_hit", enqueued_at, self._now())
                     self.tracer.finish(trace)
                 if self.slow_log is not None:
                     self.slow_log.observe(
@@ -308,33 +416,113 @@ class AsyncSearchServer:
                     distances=cached.distances,
                     stats={**cached.stats, "served_from_cache": 1.0},
                 )
+        # Admission: a dead-on-arrival budget is shed before it queues …
+        if self.admission.expired(deadline, enqueued_at):
+            self._shed(trace, deadline, enqueued_at, "submit", priority)
+            raise DeadlineExceeded((enqueued_at - deadline) * 1e3, deadline_ms)
+        # … and a full bounded queue either frees expired entries or
+        # refuses the newcomer, per the shed policy.
+        if self.admission.overflowing(self.queue_depth):
+            if self.admission.shed_policy == "drop-oldest-expired":
+                self._shed_expired_queued(enqueued_at)
+            if self.admission.overflowing(self.queue_depth):
+                self._requests_rejected.inc()
+                if trace is not None:
+                    trace.add_span("rejected", enqueued_at, enqueued_at)
+                    self.tracer.finish(trace)
+                raise QueueFull(self.queue_depth, self.admission.max_queue_depth)
         future: "asyncio.Future[QueryResult]" = loop.create_future()
-        key = spec.merge_key
+        key = (spec.merge_key, int(priority))
         batch = self._queues.get(key)
         if batch is None:
-            batch = _PendingBatch(spec)
+            batch = _PendingBatch(spec, int(priority))
             self._queues[key] = batch
-            if self.max_batch > 1:
+            if self.effective_max_batch > 1:
                 # A zero window still goes through call_later(0): the
                 # callback runs on the next loop pass, so a burst of
                 # submits issued in the same tick (one gather) coalesces
                 # while nothing ever waits beyond the current iteration.
-                batch.timer = loop.call_later(
-                    self.max_delay_ms / 1e3, self._on_deadline, key
+                batch.timer = self._clock.call_later(
+                    self.effective_delay_ms / 1e3, self._deadline_callback(key)
                 )
-        batch.requests.append(_PendingRequest(vector, future, enqueued_at, trace))
-        if len(batch.requests) >= self.max_batch:
+        batch.requests.append(
+            _PendingRequest(vector, future, enqueued_at, deadline, trace)
+        )
+        if len(batch.requests) >= self.effective_max_batch:
             self._dispatch(key, "size")
         return await future
 
     async def submit_many(
-        self, queries: np.ndarray, spec: QuerySpec | int
+        self,
+        queries: np.ndarray,
+        spec: QuerySpec | int,
+        *,
+        deadline_ms: Optional[float] = None,
+        priority: int = 0,
     ) -> List[QueryResult]:
         """Submit every row of *queries* concurrently; results in row order."""
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         return list(
-            await asyncio.gather(*(self.submit(row, spec) for row in queries))
+            await asyncio.gather(
+                *(
+                    self.submit(row, spec, deadline_ms=deadline_ms, priority=priority)
+                    for row in queries
+                )
+            )
         )
+
+    # ------------------------------------------------------------------
+    # admission: deadline shedding and the bounded queue
+    # ------------------------------------------------------------------
+
+    def _shed(
+        self,
+        trace: Optional[Trace],
+        deadline: float,
+        now: float,
+        stage: str,
+        priority: int = 0,
+    ) -> None:
+        """Account one shed decision (counter, shed log, trace close)."""
+        self._requests_shed.inc()
+        self.admission.record_shed(deadline, now, stage, priority)
+        if trace is not None:
+            trace.add_span("shed", now, now, stage=stage)
+            self.tracer.finish(trace)
+
+    def _shed_expired_queued(self, now: float) -> int:
+        """Evict queued requests whose deadlines already passed.
+
+        Lanes are scanned lowest priority first (then arrival order), so
+        backpressure eats stale low-priority work before anything else;
+        requests with live (or no) deadlines are never touched.  Returns
+        the number of requests shed.
+        """
+        shed = 0
+        for key in sorted(self._queues, key=lambda k: k[1]):
+            batch = self._queues.get(key)
+            if batch is None:
+                continue
+            keep: List[_PendingRequest] = []
+            for request in batch.requests:
+                if self.admission.expired(request.deadline, now):
+                    shed += 1
+                    self._shed(
+                        request.trace, request.deadline, now, "overflow", batch.priority
+                    )
+                    if not request.future.cancelled():
+                        request.future.set_exception(
+                            DeadlineExceeded((now - request.deadline) * 1e3)
+                        )
+                else:
+                    keep.append(request)
+            if len(keep) != len(batch.requests):
+                batch.requests = keep
+                if not keep:
+                    if batch.timer is not None:
+                        batch.timer.cancel()
+                    del self._queues[key]
+        return shed
 
     # ------------------------------------------------------------------
     # the write path
@@ -441,19 +629,27 @@ class AsyncSearchServer:
     # ------------------------------------------------------------------
 
     def flush(self) -> int:
-        """Dispatch every pending queue now; returns the number dispatched."""
-        keys = list(self._queues)
+        """Dispatch every pending queue now; returns the number dispatched.
+
+        Lanes drain **highest priority first** (arrival order within a
+        priority): the single-worker executor runs jobs in submission
+        order, so under contention the high-priority batches reach the
+        index — and their callers — ahead of everything else.
+        """
+        keys = sorted(self._queues, key=lambda k: -k[1])
         for key in keys:
             self._dispatch(key, "drain")
         return len(keys)
 
-    def _on_deadline(self, key: Tuple) -> None:
-        self._dispatch(key, "deadline")
+    def _deadline_callback(self, key: Tuple):
+        """The zero-arg timer callback for one lane's deadline flush."""
+        return lambda: self._dispatch(key, "deadline")
 
     def _dispatch(self, key: Tuple, reason: str) -> None:
-        """Move one queue into execution: stack, submit to the executor,
-        and hand the scatter to a task.  The executor submission happens
-        *here*, synchronously, so dispatch order is execution order."""
+        """Move one queue into execution: shed expired requests, stack
+        the rest, submit to the executor, and hand the scatter to a
+        task.  The executor submission happens *here*, synchronously, so
+        dispatch order is execution order."""
         batch = self._queues.pop(key, None)
         if batch is None:
             return
@@ -461,6 +657,23 @@ class AsyncSearchServer:
             batch.timer.cancel()
         if not batch.requests:
             return
+        now = self._now()
+        # Deadline shedding: an expired request is answered with the
+        # typed error and never reaches the index; the live remainder
+        # (whose deadlines are all still satisfiable) forms the batch.
+        live: List[_PendingRequest] = []
+        for request in batch.requests:
+            if self.admission.expired(request.deadline, now):
+                self._shed(request.trace, request.deadline, now, "dispatch", batch.priority)
+                if not request.future.cancelled():
+                    request.future.set_exception(
+                        DeadlineExceeded((now - request.deadline) * 1e3)
+                    )
+            else:
+                live.append(request)
+        batch.requests = live
+        if not live:
+            return  # everything expired: nothing to run, no flush counted
         if reason == "size":
             self._size_flushes.inc()
         elif reason == "deadline":
@@ -469,7 +682,7 @@ class AsyncSearchServer:
             self._drain_flushes.inc()
         loop = self._loop
         queries = np.stack([request.query for request in batch.requests])
-        dispatched_at = loop.time()
+        dispatched_at = now
         # The *cache's* epoch (not the server's) tags the eventual puts:
         # a pre-built or reused cache may start at any epoch, and only
         # its own counter decides staleness.
@@ -527,8 +740,7 @@ class AsyncSearchServer:
                 if not request.future.cancelled():
                     request.future.set_exception(exc)
             return
-        loop = self._loop
-        now = loop.time()
+        now = self._now()
         waits_ms = [(dispatched_at - request.enqueued_at) * 1e3 for request in requests]
         result.stats["serving_batch_size"] = float(len(requests))
         result.stats["serving_wait_ms"] = float(np.mean(waits_ms))
@@ -555,7 +767,7 @@ class AsyncSearchServer:
                     # shard/tree/verify spans) is shared, not copied.
                     for span in batch_trace.root.children:
                         trace.attach(span)
-                trace.add_span("scatter", now, loop.time(), row=i)
+                trace.add_span("scatter", now, self._now(), row=i)
                 self.tracer.finish(trace)
             if self.slow_log is not None:
                 self.slow_log.observe(
@@ -566,6 +778,9 @@ class AsyncSearchServer:
                 )
             if not request.future.cancelled():
                 request.future.set_result(answer)
+        # A completed batch is a natural observation point: occupancy and
+        # flush counters just moved, so let the controller look.
+        self._maybe_tick()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -608,12 +823,20 @@ class AsyncSearchServer:
         loop = asyncio.get_running_loop()
         if self._loop is None:
             self._loop = loop
+            if self._clock is None:
+                self._clock = LoopClock(loop)
+            if self.slow_log is not None:
+                self.slow_log.bind_clock(self._clock)
         elif self._loop is not loop:
             raise RuntimeError(
                 "AsyncSearchServer is bound to a different event loop; "
                 "create one server per loop"
             )
         return loop
+
+    def _now(self) -> float:
+        """The serving clock (loop time in production, virtual in tests)."""
+        return self._clock.now()
 
     # ------------------------------------------------------------------
     # diagnostics
@@ -643,6 +866,9 @@ class AsyncSearchServer:
         )
         gauge("cache_misses", "Cache misses (lifetime)").set(
             self.cache.misses if self.cache is not None else 0
+        )
+        gauge("cache_exact_hits", "Exact-tier (tier 1) cache hits").set(
+            getattr(self.cache, "exact_hits", 0) if self.cache is not None else 0
         )
         batches = self._batches_served.value
         gauge("mean_occupancy", "Mean requests per served batch").set(
@@ -688,6 +914,20 @@ class AsyncSearchServer:
             points_deleted=int(self._points_deleted.value),
             compactions=int(self._compactions.value),
             index_swaps=int(self._index_swaps.value),
+            requests_shed=int(self._requests_shed.value),
+            requests_rejected=int(self._requests_rejected.value),
+            exact_cache_hits=int(
+                getattr(self.cache, "exact_hits", 0) if self.cache is not None else 0
+            ),
+            controller_window=(
+                float(self.controller.window) if self.controller is not None else float("nan")
+            ),
+            controller_delay_ms=(
+                self.controller.delay_ms if self.controller is not None else float("nan")
+            ),
+            controller_adjustments=(
+                self.controller.adjustments if self.controller is not None else 0
+            ),
         )
 
     async def metrics(self, format: str = "prometheus") -> str | Dict:
@@ -709,10 +949,13 @@ class AsyncSearchServer:
 
     def __repr__(self) -> str:
         cache = "off" if self.cache is None else f"cap={self.cache.capacity}"
+        knobs = (
+            f"controller={self.controller!r}"
+            if self.controller is not None
+            else f"max_batch={self.max_batch}, max_delay_ms={self.max_delay_ms}"
+        )
         return (
-            f"{type(self).__name__}(index={self.index!r}, "
-            f"max_batch={self.max_batch}, max_delay_ms={self.max_delay_ms}, "
-            f"cache={cache})"
+            f"{type(self).__name__}(index={self.index!r}, {knobs}, cache={cache})"
         )
 
 

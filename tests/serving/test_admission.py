@@ -1,0 +1,408 @@
+"""Admission control: deadlines, the bounded queue, priority lanes.
+
+All on the virtual-clock harness — every shed decision happens at an
+exact, scripted instant — with a :class:`RecordingIndex` witnessing the
+central promise: **a shed request never reaches the index**, and every
+admitted request's answer stays byte-identical to a direct ``run()``.
+
+The hypothesis property at the bottom sweeps arbitrary arrival traces
+and asserts the legitimacy invariant from ``repro/serving/admission.py``:
+the server only ever sheds requests whose deadlines had already passed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Knn, create_index
+from repro.serving import (
+    AdmissionControl,
+    AsyncSearchServer,
+    DeadlineExceeded,
+    QueueFull,
+    ServingRejected,
+)
+
+from tests.serving._clock import (
+    ImmediateExecutor,
+    RecordingIndex,
+    VirtualClock,
+    advance,
+    run_trace,
+    settle,
+)
+
+
+@pytest.fixture(scope="module")
+def base_index(small_clustered):
+    return create_index("exact").fit(small_clustered[:200])
+
+
+def make_server(index, clock, **kwargs):
+    kwargs.setdefault("max_batch", 64)
+    kwargs.setdefault("max_delay_ms", 5.0)
+    return AsyncSearchServer(
+        index, clock=clock, executor=ImmediateExecutor(), **kwargs
+    )
+
+
+class TestDeadlines:
+    def test_dead_on_arrival_is_shed_at_submit(self, base_index, small_clustered):
+        async def scenario():
+            clock = VirtualClock()
+            recording = RecordingIndex(base_index)
+            server = make_server(recording, clock)
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                await server.submit(small_clustered[0], Knn(k=2), deadline_ms=-1.0)
+            stats = server.stats()
+            await server.close()
+            return excinfo.value, stats, recording, server.admission
+
+        exc, stats, recording, admission = asyncio.run(scenario())
+        assert exc.late_ms == 1.0
+        assert exc.deadline_ms == -1.0
+        assert recording.batches == []  # never reached the index
+        assert stats.requests_shed == 1
+        assert stats.requests_served == 0
+        assert [record.stage for record in admission.shed_log] == ["submit"]
+
+    def test_expiry_in_queue_sheds_at_dispatch(self, base_index, small_clustered):
+        async def scenario():
+            clock = VirtualClock()
+            recording = RecordingIndex(base_index)
+            server = make_server(recording, clock, max_delay_ms=5.0)
+            pending = asyncio.ensure_future(
+                server.submit(small_clustered[0], Knn(k=2), deadline_ms=1.0)
+            )
+            await settle()
+            await advance(clock, 0.005)  # deadline flush at t=5ms; budget died at 1ms
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                await pending
+            stats = server.stats()
+            await server.close()
+            return excinfo.value, stats, recording, server.admission
+
+        exc, stats, recording, admission = asyncio.run(scenario())
+        assert exc.late_ms == 4.0  # exactly (5 - 1) ms on the virtual clock
+        assert recording.batches == []
+        # An all-expired dispatch runs nothing: no flush is counted.
+        assert stats.deadline_flushes == 0
+        assert stats.batches_served == 0
+        assert [record.stage for record in admission.shed_log] == ["dispatch"]
+
+    def test_mixed_batch_sheds_expired_and_answers_live(
+        self, base_index, small_clustered
+    ):
+        """The live remainder of a partly-expired batch is answered
+        byte-identically to a direct run over just those queries."""
+        live_query = small_clustered[1]
+        direct = base_index.run(live_query[None, :], Knn(k=3))
+
+        async def scenario():
+            clock = VirtualClock()
+            recording = RecordingIndex(base_index)
+            server = make_server(recording, clock, max_delay_ms=5.0)
+            doomed = asyncio.ensure_future(
+                server.submit(small_clustered[0], Knn(k=3), deadline_ms=1.0)
+            )
+            alive = asyncio.ensure_future(
+                server.submit(live_query, Knn(k=3), deadline_ms=50.0)
+            )
+            await settle()
+            await advance(clock, 0.005)
+            outcome_doomed, outcome_alive = await asyncio.gather(
+                doomed, alive, return_exceptions=True
+            )
+            stats = server.stats()
+            await server.close()
+            return outcome_doomed, outcome_alive, stats, recording
+
+        outcome_doomed, outcome_alive, stats, recording = asyncio.run(scenario())
+        assert isinstance(outcome_doomed, DeadlineExceeded)
+        np.testing.assert_array_equal(outcome_alive.ids, direct[0].ids)
+        np.testing.assert_array_equal(outcome_alive.distances, direct[0].distances)
+        # The index saw exactly one batch holding only the live query.
+        assert len(recording.batches) == 1
+        assert recording.batches[0].shape[0] == 1
+        assert stats.deadline_flushes == 1
+        assert (stats.requests_shed, stats.requests_served) == (1, 1)
+
+    def test_live_deadline_is_never_shed(self, base_index, small_clustered):
+        async def scenario():
+            clock = VirtualClock()
+            server = make_server(base_index, clock, max_delay_ms=5.0)
+            pending = asyncio.ensure_future(
+                server.submit(small_clustered[0], Knn(k=2), deadline_ms=10.0)
+            )
+            await settle()
+            await advance(clock, 0.005)  # dispatch at 5ms < 10ms budget
+            result = await pending
+            await server.close()
+            return result, server.admission
+
+        result, admission = asyncio.run(scenario())
+        assert len(result) == 2
+        assert admission.shed_log == []
+
+    def test_typed_exceptions_share_a_base(self):
+        assert issubclass(DeadlineExceeded, ServingRejected)
+        assert issubclass(QueueFull, ServingRejected)
+        assert "budget was 5 ms" in str(DeadlineExceeded(2.0, 5.0))
+        assert "3/2" in str(QueueFull(3, 2))
+
+
+class TestBoundedQueue:
+    def test_reject_newest_refuses_the_arrival(self, base_index, small_clustered):
+        async def scenario():
+            clock = VirtualClock()
+            server = make_server(
+                base_index, clock, max_queue_depth=2, max_delay_ms=60_000.0
+            )
+            queued = [
+                asyncio.ensure_future(server.submit(small_clustered[i], Knn(k=2)))
+                for i in range(2)
+            ]
+            await settle()
+            with pytest.raises(QueueFull) as excinfo:
+                await server.submit(small_clustered[2], Knn(k=2))
+            # Everything already queued keeps its place and is answered.
+            server.flush()
+            results = await asyncio.gather(*queued)
+            stats = server.stats()
+            await server.close()
+            return excinfo.value, results, stats
+
+        exc, results, stats = asyncio.run(scenario())
+        assert (exc.depth, exc.max_depth) == (2, 2)
+        assert all(len(result) == 2 for result in results)
+        assert stats.requests_rejected == 1
+        assert stats.requests_shed == 0
+
+    def test_drop_oldest_expired_frees_slots(self, base_index, small_clustered):
+        async def scenario():
+            clock = VirtualClock()
+            server = make_server(
+                base_index,
+                clock,
+                max_queue_depth=2,
+                shed_policy="drop-oldest-expired",
+                max_delay_ms=60_000.0,
+            )
+            stale = [
+                asyncio.ensure_future(
+                    server.submit(small_clustered[i], Knn(k=2), deadline_ms=1.0)
+                )
+                for i in range(2)
+            ]
+            await settle()
+            await advance(clock, 0.002)  # both queued deadlines expire
+            fresh = asyncio.ensure_future(
+                server.submit(small_clustered[2], Knn(k=2), deadline_ms=50.0)
+            )
+            await settle()
+            server.flush()
+            outcomes = await asyncio.gather(*stale, fresh, return_exceptions=True)
+            stats = server.stats()
+            await server.close()
+            return outcomes, stats, server.admission
+
+        outcomes, stats, admission = asyncio.run(scenario())
+        # The two expired entries were shed to admit the live arrival.
+        assert isinstance(outcomes[0], DeadlineExceeded)
+        assert isinstance(outcomes[1], DeadlineExceeded)
+        assert len(outcomes[2]) == 2
+        assert stats.requests_shed == 2
+        assert stats.requests_rejected == 0
+        assert [record.stage for record in admission.shed_log] == [
+            "overflow",
+            "overflow",
+        ]
+
+    def test_drop_oldest_expired_never_touches_live_requests(
+        self, base_index, small_clustered
+    ):
+        async def scenario():
+            clock = VirtualClock()
+            server = make_server(
+                base_index,
+                clock,
+                max_queue_depth=2,
+                shed_policy="drop-oldest-expired",
+                max_delay_ms=60_000.0,
+            )
+            queued = [
+                asyncio.ensure_future(
+                    server.submit(small_clustered[i], Knn(k=2), deadline_ms=1000.0)
+                )
+                for i in range(2)
+            ]
+            await settle()
+            with pytest.raises(QueueFull):
+                await server.submit(small_clustered[2], Knn(k=2), deadline_ms=1000.0)
+            server.flush()
+            results = await asyncio.gather(*queued)
+            await server.close()
+            return results, server.admission
+
+        results, admission = asyncio.run(scenario())
+        assert all(len(result) == 2 for result in results)
+        assert admission.shed_log == []  # live deadlines were untouchable
+
+    def test_rejects_bad_admission_args(self, base_index):
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            AsyncSearchServer(base_index, max_queue_depth=0)
+        with pytest.raises(ValueError, match="shed_policy"):
+            AsyncSearchServer(base_index, shed_policy="drop-everything")
+        with pytest.raises(ValueError, match="shed_policy"):
+            AdmissionControl(shed_policy="nope")
+
+
+class TestPriorityLanes:
+    def test_priorities_split_lanes_within_a_merge_key(
+        self, base_index, small_clustered
+    ):
+        async def scenario():
+            clock = VirtualClock()
+            recording = RecordingIndex(base_index)
+            server = make_server(recording, clock, max_delay_ms=60_000.0)
+            pending = [
+                asyncio.ensure_future(
+                    server.submit(small_clustered[i], Knn(k=2), priority=i % 2)
+                )
+                for i in range(4)
+            ]
+            await settle()
+            server.flush()
+            await asyncio.gather(*pending)
+            stats = server.stats()
+            await server.close()
+            return stats, recording
+
+        stats, recording = asyncio.run(scenario())
+        # Same spec, two priorities -> two lanes, two batches of two.
+        assert stats.batches_served == 2
+        assert [batch.shape[0] for batch in recording.batches] == [2, 2]
+
+    def test_flush_drains_highest_priority_first(self, base_index, small_clustered):
+        low_query, high_query = small_clustered[0], small_clustered[1]
+
+        async def scenario():
+            clock = VirtualClock()
+            recording = RecordingIndex(base_index)
+            server = make_server(recording, clock, max_delay_ms=60_000.0)
+            low = asyncio.ensure_future(
+                server.submit(low_query, Knn(k=2), priority=0)
+            )
+            high = asyncio.ensure_future(
+                server.submit(high_query, Knn(k=2), priority=5)
+            )
+            await settle()
+            server.flush()
+            await asyncio.gather(low, high)
+            await server.close()
+            return recording
+
+        recording = asyncio.run(scenario())
+        # Submission order was low-then-high; execution order is
+        # high-then-low: the priority lane cut the line.
+        assert len(recording.batches) == 2
+        np.testing.assert_array_equal(recording.batches[0][0], high_query)
+        np.testing.assert_array_equal(recording.batches[1][0], low_query)
+
+    def test_overflow_shed_scans_lowest_priority_first(
+        self, base_index, small_clustered
+    ):
+        async def scenario():
+            clock = VirtualClock()
+            server = make_server(
+                base_index,
+                clock,
+                max_queue_depth=2,
+                shed_policy="drop-oldest-expired",
+                max_delay_ms=60_000.0,
+            )
+            doomed_high = asyncio.ensure_future(
+                server.submit(small_clustered[0], Knn(k=2), deadline_ms=1.0, priority=9)
+            )
+            doomed_low = asyncio.ensure_future(
+                server.submit(small_clustered[1], Knn(k=2), deadline_ms=1.0, priority=0)
+            )
+            await settle()
+            await advance(clock, 0.002)
+            fresh = asyncio.ensure_future(
+                server.submit(small_clustered[2], Knn(k=2), deadline_ms=50.0)
+            )
+            await settle()
+            server.flush()
+            await asyncio.gather(doomed_high, doomed_low, fresh, return_exceptions=True)
+            await server.close()
+            return server.admission
+
+        admission = asyncio.run(scenario())
+        # Both were expired; the scan ate the low-priority lane first.
+        assert [record.priority for record in admission.shed_log] == [0, 9]
+
+
+# --- the legitimacy property -------------------------------------------------
+
+ARRIVALS = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=0.01),  # inter-arrival gap (s)
+        st.one_of(st.none(), st.floats(min_value=0.0, max_value=20.0)),  # budget ms
+        st.integers(min_value=0, max_value=2),  # priority
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestNeverShedsSatisfiable:
+    @settings(max_examples=25, deadline=None)
+    @given(trace=ARRIVALS, policy=st.sampled_from(AdmissionControl.POLICIES))
+    def test_only_expired_requests_are_ever_shed(self, trace, policy):
+        """Over arbitrary arrival traces, budgets and shed policies:
+        every shed carries the evidence ``deadline < now``, sheds and
+        rejections account exactly for the non-answered requests, and a
+        deadline-free request is always answered."""
+        data = np.random.default_rng(0).normal(size=(40, 8))
+        index = create_index("exact").fit(data)
+
+        async def scenario():
+            clock = VirtualClock()
+            server = make_server(
+                index,
+                clock,
+                max_batch=4,
+                max_delay_ms=5.0,
+                max_queue_depth=6,
+                shed_policy=policy,
+            )
+            at = 0.0
+            arrivals = []
+            for i, (gap, budget_ms, priority) in enumerate(trace):
+                at += gap
+                arrivals.append((at, data[i % 40], budget_ms, priority))
+            outcomes = await run_trace(server, clock, arrivals, Knn(k=2))
+            await server.close()
+            return outcomes, server.admission
+
+        outcomes, admission = asyncio.run(scenario())
+        shed = [o for o in outcomes if isinstance(o, DeadlineExceeded)]
+        rejected = [o for o in outcomes if isinstance(o, QueueFull)]
+        answered = [o for o in outcomes if not isinstance(o, Exception)]
+        assert len(shed) + len(rejected) + len(answered) == len(trace)
+        # Every shed was legitimate: its deadline was strictly behind
+        # the clock at decision time, and each is logged with evidence.
+        assert len(admission.shed_log) == len(shed)
+        for record in admission.shed_log:
+            assert record.deadline < record.now
+            assert record.late_ms > 0.0
+        # No deadline-free request is ever shed on deadline grounds.
+        for (_, budget_ms, _), outcome in zip(trace, outcomes):
+            if budget_ms is None:
+                assert not isinstance(outcome, DeadlineExceeded)

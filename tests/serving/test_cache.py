@@ -9,8 +9,9 @@ import pytest
 
 from repro import Knn, Range, create_index
 from repro.engine.stats import LatencyWindow
+from repro.obs import MetricsRegistry
 from repro.queries import QuerySpec
-from repro.serving import AsyncSearchServer, ProjectedQueryCache
+from repro.serving import AsyncSearchServer, ProjectedQueryCache, TieredQueryCache
 
 
 class TestMergeKeys:
@@ -100,6 +101,121 @@ class TestProjectedQueryCache:
             ProjectedQueryCache(capacity=0)
         with pytest.raises(ValueError, match="resolution"):
             ProjectedQueryCache(resolution=0.0)
+
+
+class TestTieredQueryCache:
+    def make_result(self, seed: int):
+        from repro.baselines.base import QueryResult
+
+        rng = np.random.default_rng(seed)
+        return QueryResult(
+            ids=rng.integers(0, 100, size=3), distances=np.sort(rng.random(3))
+        )
+
+    def test_exact_tier_answers_byte_identical_repeats(self):
+        cache = TieredQueryCache(exact_capacity=8)
+        q = np.arange(4, dtype=np.float64)
+        result = self.make_result(0)
+        assert cache.get(q, Knn(k=3)) is None
+        assert cache.put(q, Knn(k=3), result, epoch=0)
+        assert cache.get(q, Knn(k=3)) is result
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.exact_hits == 1
+        # A near-duplicate is NOT an exact repeat: tier 1 alone misses.
+        assert cache.get(q + 1e-9, Knn(k=3)) is None
+
+    def test_projected_tier_hit_is_promoted_to_exact(self):
+        projected = ProjectedQueryCache(capacity=8, resolution=1.0)
+        cache = TieredQueryCache(exact_capacity=8, projected=projected)
+        q = np.zeros(4)
+        near = q + 1e-3  # same projected cell at resolution 1.0
+        result = self.make_result(1)
+        cache.put(q, Knn(k=3), result, epoch=0)
+        assert cache.get(near, Knn(k=3)) is result  # tier-2 hit …
+        assert cache.exact_hits == 0
+        assert cache.get(near, Knn(k=3)) is result  # … promoted: tier-1 now
+        assert cache.exact_hits == 1
+
+    def test_tiers_share_one_epoch(self):
+        projected = ProjectedQueryCache(capacity=8)
+        cache = TieredQueryCache(exact_capacity=8, projected=projected)
+        q = np.arange(3, dtype=np.float64)
+        cache.put(q, Knn(k=1), self.make_result(0), epoch=0)
+        cache.invalidate()
+        assert cache.epoch == projected.epoch == 1
+        assert len(cache) == 0  # both tiers dropped together
+        # A put tagged with the pre-bump epoch is refused by both tiers.
+        assert not cache.put(q, Knn(k=1), self.make_result(0), epoch=0)
+        assert cache.get(q, Knn(k=1)) is None
+
+    def test_standalone_exact_tier_has_its_own_epoch(self):
+        cache = TieredQueryCache(exact_capacity=4)
+        q = np.arange(3, dtype=np.float64)
+        cache.invalidate()
+        assert cache.epoch == 1
+        assert not cache.put(q, Knn(k=1), self.make_result(0), epoch=0)
+        assert cache.put(q, Knn(k=1), self.make_result(0), epoch=1)
+
+    def test_exact_lru_eviction_is_counted(self):
+        registry = MetricsRegistry()
+        cache = TieredQueryCache(exact_capacity=2)
+        cache.bind_metrics(registry, {"instance": "t"})
+        queries = [np.full(3, float(i)) for i in range(3)]
+        for i, q in enumerate(queries):
+            cache.put(q, Knn(k=1), self.make_result(i), epoch=0)
+        assert cache.get(queries[0], Knn(k=1)) is None  # evicted
+        assert registry.value("cache_exact_evictions", {"instance": "t"}) == 1
+
+    def test_aggregate_miss_counts_once_across_tiers(self):
+        projected = ProjectedQueryCache(capacity=8)
+        cache = TieredQueryCache(exact_capacity=8, projected=projected)
+        assert cache.get(np.zeros(3), Knn(k=1)) is None
+        assert cache.misses == 1  # fell through both tiers, counted once
+
+    def test_capacity_sums_tiers(self):
+        cache = TieredQueryCache(
+            exact_capacity=8, projected=ProjectedQueryCache(capacity=16)
+        )
+        assert cache.capacity == 24
+        with pytest.raises(ValueError, match="exact_capacity"):
+            TieredQueryCache(exact_capacity=0)
+
+    def test_server_builds_tier_on_exact_cache_kwarg(self, small_clustered):
+        index = create_index("exact").fit(small_clustered[:150])
+        q = small_clustered[2]
+
+        async def serve():
+            async with AsyncSearchServer(
+                index, max_batch=2, cache=16, exact_cache=8
+            ) as server:
+                assert isinstance(server.cache, TieredQueryCache)
+                await server.submit(q, Knn(k=2))
+                hit = await server.submit(q, Knn(k=2))
+                return hit, server.stats()
+
+        hit, stats = asyncio.run(serve())
+        assert hit.stats["served_from_cache"] == 1.0
+        assert stats.exact_cache_hits == 1
+        assert stats.cache_hits == 1
+        # The write-safety contract holds through the tier: one batch.
+        assert stats.batches_served == 1
+
+    def test_server_write_invalidates_both_tiers(self, small_clustered):
+        index = create_index("exact").fit(small_clustered[:150])
+        q = small_clustered[160]  # not indexed yet
+
+        async def serve():
+            async with AsyncSearchServer(
+                index, max_batch=2, cache=16, exact_cache=8
+            ) as server:
+                before = await server.submit(q, Knn(k=1))
+                await server.add(q[None, :])  # plant an exact duplicate
+                after = await server.submit(q, Knn(k=1))
+                return before, after
+
+        before, after = asyncio.run(serve())
+        assert float(before.distances[0]) > 0.0
+        assert float(after.distances[0]) == 0.0  # never the stale answer
 
 
 class TestServerCacheIntegration:

@@ -1,0 +1,364 @@
+"""The adaptive batch controller: the AIMD loop and its invariants.
+
+The unit tests drive :class:`AdaptiveBatchController` directly against a
+standalone metrics registry — setting the very instruments a live server
+would write — so every decision is a pure function of scripted inputs.
+The hypothesis properties at the bottom pin the module's advertised
+invariants over *arbitrary* signal traces: clamps always hold,
+constant load converges (the decision log goes quiet), and identical
+traces produce identical decision logs.
+
+The integration tests at the end close the loop through a real
+``AsyncSearchServer`` on the virtual clock: queue pressure widens the
+effective window, idle traffic narrows it, and a two-run trace produces
+byte-identical decision logs end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Knn, create_index
+from repro.obs import LatencyWindow, MetricsRegistry
+from repro.serving import AdaptiveBatchController, AsyncSearchServer, ControllerConfig
+
+from tests.serving._clock import ImmediateExecutor, VirtualClock, advance, settle
+
+LABELS = {"instance": "ctl-test"}
+
+
+def bound_controller(config=None, **kwargs):
+    """A controller bound to a fresh registry, plus the input handles."""
+    registry = MetricsRegistry()
+    controller = AdaptiveBatchController(config, **kwargs)
+    window = LatencyWindow(256)
+    controller.bind(registry, LABELS, window)
+    inputs = {
+        "queue_depth": registry.gauge("queue_depth", labels=LABELS),
+        "size_flushes": registry.counter("size_flushes", labels=LABELS),
+        "deadline_flushes": registry.counter("deadline_flushes", labels=LABELS),
+        "batches_served": registry.counter("batches_served", labels=LABELS),
+        "requests_batched": registry.counter("requests_batched", labels=LABELS),
+        "latency": window,
+    }
+    return controller, registry, inputs
+
+
+class TestConfigValidation:
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValueError, match="min_batch"):
+            ControllerConfig(min_batch=0)
+        with pytest.raises(ValueError, match="min_batch"):
+            ControllerConfig(min_batch=9, max_batch=4)
+        with pytest.raises(ValueError, match="min_delay_ms"):
+            ControllerConfig(min_delay_ms=-1.0)
+        with pytest.raises(ValueError, match="min_delay_ms"):
+            ControllerConfig(min_delay_ms=8.0, max_delay_ms=2.0)
+        with pytest.raises(ValueError, match="interval_ms"):
+            ControllerConfig(interval_ms=0.0)
+        with pytest.raises(ValueError, match="hysteresis"):
+            ControllerConfig(hysteresis=0)
+        with pytest.raises(ValueError, match="increase_step"):
+            ControllerConfig(increase_step=0)
+        with pytest.raises(ValueError, match="decrease_factor"):
+            ControllerConfig(decrease_factor=1.0)
+
+    def test_initial_knobs_are_clamped_into_range(self):
+        config = ControllerConfig(min_batch=4, max_batch=32, min_delay_ms=1.0)
+        controller = AdaptiveBatchController(
+            config, initial_batch=1000, initial_delay_ms=0.0
+        )
+        assert controller.window == 32
+        assert controller.delay_ms == 1.0
+
+    def test_double_bind_raises(self):
+        controller, _, _ = bound_controller()
+        with pytest.raises(RuntimeError, match="already bound"):
+            controller.bind(MetricsRegistry(), LABELS, LatencyWindow(8))
+
+    def test_unbound_controller_holds_still(self):
+        controller = AdaptiveBatchController()
+        assert controller.tick(0.0) is None
+        assert controller.adjustments == 0
+
+
+class TestDecisionLoop:
+    def test_queue_pressure_widens_after_hysteresis(self):
+        config = ControllerConfig(
+            min_batch=1, max_batch=64, hysteresis=2, increase_step=8, interval_ms=10.0
+        )
+        controller, registry, inputs = bound_controller(config, initial_batch=8)
+        inputs["queue_depth"].set(50)  # >= window: sustained pressure
+        assert controller.tick(0.00) is None  # streak 1 of 2
+        decision = controller.tick(0.02)  # streak 2: applied
+        assert decision is not None and decision.action == "widen"
+        assert controller.window == 16
+        assert controller.delay_ms == pytest.approx(
+            min(config.max_delay_ms, 16.0)
+        )
+        # Published back into the registry as gauges and counters.
+        assert registry.value("controller_window", LABELS) == 16
+        assert registry.value("controller_widens", LABELS) == 1
+        assert registry.value("controller_ticks", LABELS) == 2
+
+    def test_idle_deadline_flushes_narrow(self):
+        config = ControllerConfig(hysteresis=2, decrease_factor=0.5, interval_ms=10.0)
+        controller, registry, inputs = bound_controller(
+            config, initial_batch=32, initial_delay_ms=8.0
+        )
+        # Empty queue, batches going out on deadline, nearly empty.
+        for at in (0.00, 0.02, 0.04):
+            inputs["deadline_flushes"].inc()
+            inputs["batches_served"].inc()
+            inputs["requests_batched"].inc(1)
+            controller.tick(at)
+        assert controller.adjustments == 1
+        assert controller.decisions[0].action == "narrow"
+        assert controller.window == 16
+        assert controller.delay_ms == 4.0
+        assert registry.value("controller_narrows", LABELS) == 1
+
+    def test_slo_breach_narrows_when_queue_is_shallow(self):
+        config = ControllerConfig(hysteresis=1, slo_ms=5.0, interval_ms=10.0)
+        controller, _, inputs = bound_controller(
+            config, initial_batch=32, initial_delay_ms=8.0
+        )
+        for _ in range(64):
+            inputs["latency"].record(12.0)  # p99 far over the 5 ms SLO
+        decision = controller.tick(0.0)
+        assert decision is not None and decision.action == "narrow"
+        assert decision.p99_ms == 12.0
+
+    def test_ticks_are_rate_limited_to_the_interval(self):
+        config = ControllerConfig(interval_ms=10.0, hysteresis=1)
+        controller, registry, inputs = bound_controller(config, initial_batch=4)
+        inputs["queue_depth"].set(100)
+        assert controller.tick(0.000) is not None
+        assert controller.tick(0.005) is None  # too soon: not even counted
+        assert registry.value("controller_ticks", LABELS) == 1
+        assert controller.tick(0.011) is not None
+
+    def test_one_odd_tick_never_flaps(self):
+        config = ControllerConfig(hysteresis=2, interval_ms=10.0)
+        controller, _, inputs = bound_controller(config, initial_batch=8)
+        inputs["queue_depth"].set(50)
+        controller.tick(0.00)  # pressure, streak 1
+        inputs["queue_depth"].set(0)
+        controller.tick(0.02)  # neutral tick resets the streak
+        inputs["queue_depth"].set(50)
+        controller.tick(0.04)  # pressure again, streak back to 1
+        assert controller.adjustments == 0
+
+    def test_clamped_noop_is_not_logged(self):
+        config = ControllerConfig(min_batch=1, max_batch=16, max_delay_ms=4.0)
+        controller, _, inputs = bound_controller(
+            config, initial_batch=16, initial_delay_ms=4.0
+        )
+        inputs["queue_depth"].set(500)  # permanent pressure at the clamp
+        for i in range(10):
+            assert controller.tick(i * 0.02) is None
+        assert controller.decisions == []
+
+    def test_decision_log_round_trips_to_dicts(self):
+        config = ControllerConfig(hysteresis=1, interval_ms=10.0)
+        controller, _, inputs = bound_controller(config, initial_batch=4)
+        inputs["queue_depth"].set(9)
+        controller.tick(0.5)
+        (entry,) = controller.decision_log()
+        assert entry["action"] == "widen"
+        assert entry["at"] == 0.5
+        assert entry["queue_depth"] == 9
+        assert math.isnan(entry["p99_ms"])  # no latency history yet
+
+
+# --- hypothesis properties ---------------------------------------------------
+
+SIGNALS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=500),  # queue_depth
+        st.integers(min_value=0, max_value=20),  # size flushes this tick
+        st.integers(min_value=0, max_value=20),  # deadline flushes this tick
+        st.integers(min_value=0, max_value=200),  # requests batched this tick
+        st.floats(min_value=0.1, max_value=50.0),  # a latency sample (ms)
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+CONFIGS = st.builds(
+    ControllerConfig,
+    min_batch=st.integers(min_value=1, max_value=8),
+    max_batch=st.integers(min_value=8, max_value=256),
+    min_delay_ms=st.floats(min_value=0.1, max_value=1.0),
+    max_delay_ms=st.floats(min_value=1.0, max_value=32.0),
+    hysteresis=st.integers(min_value=1, max_value=3),
+    increase_step=st.integers(min_value=1, max_value=16),
+    decrease_factor=st.floats(min_value=0.2, max_value=0.8),
+    slo_ms=st.one_of(st.none(), st.floats(min_value=1.0, max_value=40.0)),
+)
+
+
+def drive(controller, inputs, signals, interval_s=0.02):
+    """Feed scripted per-tick signals through a bound controller."""
+    for i, (depth, size_fl, deadline_fl, batched, latency) in enumerate(signals):
+        inputs["queue_depth"].set(depth)
+        inputs["size_flushes"].inc(size_fl)
+        inputs["deadline_flushes"].inc(deadline_fl)
+        batches = size_fl + deadline_fl
+        inputs["batches_served"].inc(batches)
+        inputs["requests_batched"].inc(batched)
+        inputs["latency"].record(latency)
+        controller.tick(i * interval_s)
+
+
+class TestProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(config=CONFIGS, signals=SIGNALS)
+    def test_knobs_always_inside_the_clamps(self, config, signals):
+        controller, _, inputs = bound_controller(config)
+        for i, signal in enumerate(signals):
+            drive(controller, inputs, [signal], interval_s=0.02)
+            assert config.min_batch <= controller.window <= config.max_batch
+            assert config.min_delay_ms <= controller.delay_ms <= config.max_delay_ms
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        queue_depth=st.integers(min_value=0, max_value=300),
+        occupancy=st.integers(min_value=0, max_value=64),
+        initial_batch=st.integers(min_value=1, max_value=128),
+    )
+    def test_constant_load_converges(self, queue_depth, occupancy, initial_batch):
+        """Under any constant signal (no SLO term) the loop settles: the
+        second half of a long run applies zero further adjustments."""
+        config = ControllerConfig(hysteresis=1, interval_ms=10.0)
+        controller, _, inputs = bound_controller(config, initial_batch=initial_batch)
+        signal = (queue_depth, 0, 1, occupancy, 5.0)
+        drive(controller, inputs, [signal] * 100)
+        halfway = len(
+            [d for d in controller.decisions if d.tick <= 50]
+        )
+        assert len(controller.decisions) == halfway  # quiet after tick 50
+
+    @settings(max_examples=40, deadline=None)
+    @given(config=CONFIGS, signals=SIGNALS)
+    def test_identical_traces_identical_decision_logs(self, config, signals):
+        logs = []
+        for _ in range(2):
+            controller, _, inputs = bound_controller(config)
+            drive(controller, inputs, signals)
+            logs.append(controller.decision_log())
+        assert logs[0] == logs[1]
+
+
+# --- closed loop through a real server ---------------------------------------
+
+class TestServerIntegration:
+    @pytest.fixture(scope="class")
+    def index(self, small_clustered):
+        return create_index("exact").fit(small_clustered[:200])
+
+    def test_queue_pressure_widens_the_effective_window(self, index, small_clustered):
+        async def scenario():
+            clock = VirtualClock()
+            controller = AdaptiveBatchController(
+                ControllerConfig(
+                    min_batch=2, max_batch=64, hysteresis=1, interval_ms=1.0,
+                    increase_step=8, max_delay_ms=16.0,
+                ),
+                initial_batch=4,
+                initial_delay_ms=2.0,
+            )
+            server = AsyncSearchServer(
+                index, clock=clock, executor=ImmediateExecutor(), controller=controller
+            )
+            assert server.effective_max_batch == 4
+            pending = []
+            # Three waves of 12 concurrent submits, 2 (virtual) ms apart:
+            # the queue is deeper than the window at every tick.
+            for _ in range(3):
+                pending += [
+                    asyncio.ensure_future(server.submit(row, Knn(k=2)))
+                    for row in small_clustered[:12]
+                ]
+                await settle()
+                await advance(clock, 0.002)
+            await advance(clock, 0.05)
+            await asyncio.gather(*pending)
+            stats = server.stats()
+            await server.close()
+            return controller, stats
+
+        controller, stats = asyncio.run(scenario())
+        assert controller.window > 4  # widened under sustained pressure
+        assert any(d.action == "widen" for d in controller.decisions)
+        assert stats.controller_window == controller.window
+        assert stats.controller_adjustments == controller.adjustments
+
+    def test_idle_traffic_narrows_the_effective_window(self, index, small_clustered):
+        async def scenario():
+            clock = VirtualClock()
+            controller = AdaptiveBatchController(
+                ControllerConfig(
+                    min_batch=1, max_batch=64, hysteresis=1, interval_ms=1.0,
+                    min_delay_ms=0.5, max_delay_ms=16.0,
+                ),
+                initial_batch=32,
+                initial_delay_ms=8.0,
+            )
+            server = AsyncSearchServer(
+                index, clock=clock, executor=ImmediateExecutor(), controller=controller
+            )
+            # Lone requests 10 (virtual) ms apart: every batch goes out
+            # on deadline with occupancy 1 and an empty queue.
+            for i in range(8):
+                pending = asyncio.ensure_future(
+                    server.submit(small_clustered[i], Knn(k=2))
+                )
+                await settle()
+                await advance(clock, float(server.effective_delay_ms) / 1e3)
+                await pending
+                await advance(clock, 0.010)
+            narrowed = controller.window
+            await server.close()
+            return narrowed, controller
+
+        narrowed, controller = asyncio.run(scenario())
+        assert narrowed < 32
+        assert any(d.action == "narrow" for d in controller.decisions)
+
+    def test_two_identical_server_traces_reproduce_the_decision_log(
+        self, index, small_clustered
+    ):
+        async def run_once():
+            clock = VirtualClock()
+            controller = AdaptiveBatchController(
+                ControllerConfig(hysteresis=1, interval_ms=1.0),
+                initial_batch=4,
+                initial_delay_ms=2.0,
+            )
+            server = AsyncSearchServer(
+                index, clock=clock, executor=ImmediateExecutor(), controller=controller
+            )
+            pending = []
+            for wave in range(4):
+                pending += [
+                    asyncio.ensure_future(server.submit(row, Knn(k=2)))
+                    for row in small_clustered[wave * 8 : wave * 8 + 8]
+                ]
+                await settle()
+                await advance(clock, 0.002)
+            await advance(clock, 0.05)
+            await asyncio.gather(*pending)
+            await server.close()
+            return controller.decision_log()
+
+        first = asyncio.run(run_once())
+        second = asyncio.run(run_once())
+        assert first == second
+        assert first  # the trace actually exercised the loop

@@ -4,6 +4,11 @@ Every test drives a real event loop through ``asyncio.run`` — no asyncio
 test plugin needed — and pins the contracts ``docs/serving.md``
 advertises: byte-identical scattering, the deadline flush, merge-key
 isolation, epoch-interleaved writes, and drop-free shutdown.
+
+Time-driven behavior (deadline flushes, stragglers) runs on the
+virtual-clock harness (``tests/serving/_clock.py``): the server gets a
+:class:`~repro.serving.clock.VirtualClock` and the test advances time
+explicitly, so the whole file passes with zero wall-clock sleeps.
 """
 
 from __future__ import annotations
@@ -15,6 +20,8 @@ import pytest
 
 from repro import Knn, Range, create_index
 from repro.serving import AsyncSearchServer, open_loop_arrivals
+
+from tests.serving._clock import VirtualClock, advance, settle
 
 
 @pytest.fixture(scope="module")
@@ -34,10 +41,14 @@ class TestDeterminism:
         direct = pmlsh_index.run(queries, spec)
 
         async def serve():
+            clock = VirtualClock()
             async with AsyncSearchServer(
-                pmlsh_index, max_batch=16, max_delay_ms=2.0
+                pmlsh_index, max_batch=16, max_delay_ms=2.0, clock=clock
             ) as server:
-                return await server.submit_many(queries, spec)
+                pending = asyncio.ensure_future(server.submit_many(queries, spec))
+                await settle()
+                await advance(clock, 0.002)  # flush the 37 % 16 stragglers
+                return await pending
 
         results = asyncio.run(serve())
         assert len(results) == queries.shape[0]
@@ -103,9 +114,20 @@ class TestBatchingPolicy:
         assert stats.mean_occupancy == 8.0
 
     def test_deadline_flushes_single_straggler(self, exact_index, small_clustered):
+        """Virtual time: the lone request dispatches exactly when the
+        2 ms window expires — no wall-clock wait, exact wait accounting."""
+
         async def serve():
-            server = AsyncSearchServer(exact_index, max_batch=64, max_delay_ms=2.0)
-            result = await server.submit(small_clustered[0], Knn(k=3))
+            clock = VirtualClock()
+            server = AsyncSearchServer(
+                exact_index, max_batch=64, max_delay_ms=2.0, clock=clock
+            )
+            pending = asyncio.ensure_future(server.submit(small_clustered[0], Knn(k=3)))
+            await settle()
+            assert server.queue_depth == 1  # queued, timer armed, nothing fired
+            fired = await advance(clock, 0.002)
+            assert fired == 1
+            result = await pending
             stats = server.stats()
             await server.close()
             return result, stats
@@ -114,7 +136,9 @@ class TestBatchingPolicy:
         # The lone request was answered without 63 peers ever arriving …
         assert len(result) == 3
         assert result.stats["serving_batch_size"] == 1.0
-        # … because the deadline, not the size threshold, fired.
+        # … because the deadline, not the size threshold, fired — after
+        # exactly the configured window on the virtual clock.
+        assert result.stats["serving_wait_ms"] == 2.0
         assert stats.deadline_flushes == 1
         assert stats.size_flushes == 0
 
@@ -122,14 +146,18 @@ class TestBatchingPolicy:
         queries = small_clustered[:6]
 
         async def serve():
+            clock = VirtualClock()
             async with AsyncSearchServer(
-                exact_index, max_batch=64, max_delay_ms=5.0
+                exact_index, max_batch=64, max_delay_ms=5.0, clock=clock
             ) as server:
-                k5, k3, ranged = await asyncio.gather(
+                pending = asyncio.gather(
                     server.submit_many(queries, Knn(k=5)),
                     server.submit_many(queries, Knn(k=3)),
                     server.submit_many(queries, Range(r=4.0)),
                 )
+                await settle()
+                await advance(clock, 0.005)  # all three lanes hit the deadline
+                k5, k3, ranged = await pending
                 return k5, k3, ranged, server.stats()
 
         k5, k3, ranged, stats = asyncio.run(serve())
@@ -176,7 +204,9 @@ class TestWritePath:
         fresh = small_clustered[300:310]
 
         async def serve():
-            async with AsyncSearchServer(index, max_batch=4) as server:
+            # A zero window dispatches the lone probe on the next loop
+            # pass — no deadline timer, no wall-clock wait.
+            async with AsyncSearchServer(index, max_batch=4, max_delay_ms=0.0) as server:
                 ids = await server.add(fresh)
                 probe = await server.submit(fresh[0], Knn(k=1))
                 return ids, probe
@@ -201,7 +231,7 @@ class TestWritePath:
                     asyncio.ensure_future(server.submit(small_clustered[i], Knn(k=1)))
                     for i in range(4)
                 ]
-                await asyncio.sleep(0)  # let the submits enqueue
+                await settle()  # let the submits enqueue (pure yields)
                 assert server.queue_depth == 4
                 await server.add(small_clustered[200:250])
                 return await asyncio.gather(*pending), server.stats()
@@ -223,7 +253,7 @@ class TestShutdown:
                 asyncio.ensure_future(server.submit(small_clustered[i], Knn(k=2)))
                 for i in range(7)
             ]
-            await asyncio.sleep(0)
+            await settle()
             await server.close()  # drains the queue, awaits the batch
             results = await asyncio.gather(*pending)
             return results, server.stats()
@@ -301,9 +331,11 @@ class TestValidationAndStats:
         direct = exact_index.run(np.stack(queries), Knn(k=1))
 
         async def serve():
+            # An (effectively) infinite rate makes every computed delay
+            # non-positive: the driver never sleeps, order is still pinned.
             async with AsyncSearchServer(exact_index, max_batch=4) as server:
                 return await open_loop_arrivals(
-                    server, queries, Knn(k=1), rate_per_s=10_000.0, seed=0
+                    server, queries, Knn(k=1), rate_per_s=1e9, seed=0
                 )
 
         results = asyncio.run(serve())

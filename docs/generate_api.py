@@ -91,7 +91,9 @@ def _function_section(fn) -> str:
 
 def build() -> str:
     import repro
+    from repro import kernels
     from repro.baselines.base import ANNIndex, BatchResult, QueryResult
+    from repro.core.hashing import GaussianProjection, SampledProjection
     from repro.core.params import PMLSHParams
     from repro.core.pmlsh import PMLSH
     from repro.engine.sharded import ShardedIndex
@@ -171,6 +173,18 @@ def build() -> str:
         _class_section(PMLSH, ["flat_tree", "save", "load"]),
         _class_section(PMLSHParams, []),
         _class_section(FlatPMTree, ["batch_range", "batch_knn"]),
+        "## Kernel dispatch\n",
+        _function_section(kernels.active),
+        _function_section(kernels.set_backend),
+        _function_section(kernels.use_backend),
+        _function_section(kernels.available_backends),
+        _function_section(kernels.numba_available),
+        _function_section(kernels.kernel_calls),
+        _function_section(kernels.reset_kernel_calls),
+        _class_section(kernels.KernelBackend, []),
+        "## Hash families\n",
+        _class_section(GaussianProjection, ["project"]),
+        _class_section(SampledProjection, ["project", "from_arrays"]),
         "## The sharded serving engine\n",
         _class_section(ShardedIndex, ["stats", "locate", "close"]),
         _class_section(EngineStats, ["qps", "as_table"]),

@@ -546,10 +546,14 @@ class ANNIndex(abc.ABC):
             dead = self.num_tombstones
             if dead and not self._knn_filters_tombstones:
                 # Generic tombstone path: over-fetch so that even if every
-                # dead id lands in the result window there are still k live
-                # ids behind it, then strip and re-cut.  Exactness of the
-                # final k is inherited from the backend's own ordering.
-                wide = replace(spec, k=min(self.ntotal, spec.k + dead))
+                # dead id that can reach the result window lands in it there
+                # are still k live ids behind it, then strip and re-cut.
+                # Exactness of the final k is inherited from the backend's
+                # own ordering.  ``_tombstone_overfetch`` bounds how many
+                # dead ids can actually surface (never more than the full
+                # tombstone count).
+                bound = min(dead, max(0, int(self._tombstone_overfetch(spec.k))))
+                wide = replace(spec, k=min(self.ntotal, spec.k + bound))
                 self.metrics.counter(
                     "overfetch_queries",
                     "Queries widened by the generic tombstone overfetch path",
@@ -618,6 +622,19 @@ class ANNIndex(abc.ABC):
             )
         max_pairs = self.nlive * (self.nlive - 1) // 2
         return self._closest_pairs(min(m, max_pairs), budget=budget)
+
+    def _tombstone_overfetch(self, k: int) -> int:
+        """Upper bound on tombstoned ids that can appear in one query's
+        result window (the generic tombstone path widens ``k`` by this).
+
+        The default — the full tombstone count — is always safe but
+        overfetches wildly when deletes are spread over many buckets a
+        single query never probes together.  Bucketed backends override
+        it with a structural bound (e.g. E2LSH: the sum over tables of
+        the worst per-bucket dead count), shrinking the widened window
+        while keeping the stripped-and-recut results byte-identical.
+        """
+        return self.num_tombstones
 
     def _strip_dead(self, batch: BatchResult, k: int) -> BatchResult:
         """Drop tombstoned ids from an over-fetched *batch*, re-cut to *k*.

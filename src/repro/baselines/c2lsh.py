@@ -28,9 +28,11 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.baselines.base import ANNIndex, QueryResult
+from repro import kernels
+from repro.baselines.base import ANNIndex, BatchResult, QueryResult
 from repro.core.hashing import collision_probability
 from repro.datasets.distance import point_to_points_distances
+from repro.queries import Knn
 from repro.registry import register_index
 from repro.utils.rng import RandomState, as_generator
 
@@ -142,7 +144,7 @@ class C2LSH(ANNIndex):
             if within >= k or len(verified) >= budget:
                 break
             scale *= self.c
-        verified.sort(key=lambda pair: pair[1])
+        verified.sort(key=lambda pair: (pair[1], pair[0]))
         top = verified[:k]
         return QueryResult(
             ids=np.asarray([pid for pid, _ in top], dtype=np.int64),
@@ -153,6 +155,119 @@ class C2LSH(ANNIndex):
                 "rounds": float(rounds),
             },
         )
+
+    # ------------------------------------------------------------------
+    # batched kNN (the fast-backend path)
+    # ------------------------------------------------------------------
+
+    #: Cap on (block queries × n) collision-matrix entries per sweep.
+    _BATCH_BLOCK_ENTRIES = 8_000_000
+
+    def _run_knn(self, queries: np.ndarray, spec: Knn) -> BatchResult:
+        """Round-synchronous batch path over the sorted projections.
+
+        C2LSH's rounds count collisions from scratch (grid cells for R
+        and c·R are not nested), so the batch path recounts per round
+        with vectorised cell-boundary ``searchsorted``s for every active
+        query, verifies all fresh threshold-crossers with one gathered
+        kernel call, and applies per-query termination exactly as the
+        loop does.  Query projections stay per-query GEMVs — the floored
+        cell ids must see the loop's exact bits.  Active only under the
+        ``fast`` kernel backend; byte-identical to the per-query loop.
+        """
+        if kernels.active().name != "fast":
+            return super()._run_knn(queries, spec)
+        results: List[QueryResult] = []
+        block = max(1, self._BATCH_BLOCK_ENTRIES // max(1, self.n))
+        for start in range(0, queries.shape[0], block):
+            results.extend(self._knn_block(queries[start : start + block], spec.k))
+        return BatchResult.from_queries(results, k=spec.k)
+
+    def _knn_block(self, queries: np.ndarray, k: int) -> List[QueryResult]:
+        kernel = kernels.active()
+        num_queries = queries.shape[0]
+        query_shifted = np.stack(
+            [(self._query_directions @ q) + self._offsets for q in queries]
+        )
+        budget = int(math.ceil(self.beta * self.n)) + k
+        verified_mask = np.zeros((num_queries, self.n), dtype=bool)
+        pool_ids: List[List[np.ndarray]] = [[] for _ in range(num_queries)]
+        pool_dists: List[List[np.ndarray]] = [[] for _ in range(num_queries)]
+        verified_count = np.zeros(num_queries, dtype=np.int64)
+        rounds = np.zeros(num_queries, dtype=np.int64)
+        active = np.ones(num_queries, dtype=bool)
+        scale = 1.0
+        for _ in range(64):
+            idx = np.flatnonzero(active)
+            if idx.size == 0:
+                break
+            rounds[idx] += 1
+            cell_width = self._unit_width * scale
+            counts = np.zeros((idx.size, self.n), dtype=np.int32)
+            for i in range(self.m):
+                keys = self._sorted_raw[i]
+                ids_i = self._sorted_ids[i]
+                cell = np.floor(query_shifted[idx, i] / cell_width)
+                lo = cell * cell_width
+                start = np.searchsorted(keys, lo, side="left")
+                stop = np.searchsorted(keys, lo + cell_width, side="left")
+                # Cell slices hold distinct ids per hash: fancy-index add
+                # is exact and far cheaper than np.add.at.
+                for pos in range(idx.size):
+                    if stop[pos] > start[pos]:
+                        counts[pos, ids_i[start[pos] : stop[pos]]] += 1
+            fresh_q: List[np.ndarray] = []
+            fresh_ids: List[np.ndarray] = []
+            for pos, a in enumerate(idx):
+                fresh = np.flatnonzero(
+                    (counts[pos] >= self.collision_threshold) & ~verified_mask[a]
+                )
+                if fresh.size:
+                    verified_mask[a, fresh] = True
+                    fresh_q.append(np.full(fresh.size, a, dtype=np.int64))
+                    fresh_ids.append(fresh)
+            if fresh_ids:
+                rep_q = np.concatenate(fresh_q)
+                ids = np.concatenate(fresh_ids)
+                dists = kernel.verify_distances(self.data, ids, queries, rep_q)
+                offset = 0
+                for chunk_q, chunk_ids in zip(fresh_q, fresh_ids):
+                    a = int(chunk_q[0])
+                    pool_ids[a].append(chunk_ids)
+                    pool_dists[a].append(dists[offset : offset + chunk_ids.size])
+                    offset += chunk_ids.size
+                    verified_count[a] += chunk_ids.size
+            radius_now = self._unit_width * scale / self.w
+            threshold = self.c * radius_now
+            for a in idx:
+                within = sum(
+                    int((chunk <= threshold).sum()) for chunk in pool_dists[a]
+                )
+                if within >= k or verified_count[a] >= budget:
+                    active[a] = False
+            scale *= self.c
+        results: List[QueryResult] = []
+        for a in range(num_queries):
+            if pool_ids[a]:
+                all_ids = np.concatenate(pool_ids[a])
+                all_dists = np.concatenate(pool_dists[a])
+                order = np.lexsort((all_ids, all_dists))[:k]
+                top_ids, top_dists = all_ids[order], all_dists[order]
+            else:
+                top_ids = np.empty(0, dtype=np.int64)
+                top_dists = np.empty(0, dtype=np.float64)
+            results.append(
+                QueryResult(
+                    ids=top_ids,
+                    distances=top_dists,
+                    stats={
+                        "candidates": float(verified_count[a]),
+                        "m": float(self.m),
+                        "rounds": float(rounds[a]),
+                    },
+                )
+            )
+        return results
 
     def _count_collisions(self, query_shifted: np.ndarray, cell_width: float) -> np.ndarray:
         """Collision counts for the bucket-aligned cells of width *cell_width*.
@@ -170,5 +285,5 @@ class C2LSH(ANNIndex):
             start = int(np.searchsorted(keys, lo, side="left"))
             stop = int(np.searchsorted(keys, hi, side="left"))
             if stop > start:
-                np.add.at(counts, self._sorted_ids[i][start:stop], 1)
+                counts[self._sorted_ids[i][start:stop]] += 1
         return counts

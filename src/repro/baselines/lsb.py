@@ -20,10 +20,12 @@ from typing import List
 
 import numpy as np
 
-from repro.baselines.base import ANNIndex, QueryResult
+from repro import kernels
+from repro.baselines.base import ANNIndex, BatchResult, QueryResult, aggregate_stats
 from repro.bptree.tree import BPlusTree
 from repro.core.hashing import LSHFunction
 from repro.datasets.distance import point_to_points_distances
+from repro.queries import Knn
 from repro.registry import register_index
 from repro.utils.rng import RandomState, as_generator, spawn_generators
 from repro.utils.zorder import interleave_bits, zorder_values
@@ -77,6 +79,10 @@ class LSBForest(ANNIndex):
         self._trees: List[BPlusTree] = []
         self._grid_mins: List[np.ndarray] = []
         self._bits: List[int] = []
+        # Sorted (z-value, id) mirrors of the trees for the batch path:
+        # object dtype because Morton values are arbitrary-precision ints.
+        self._sorted_z: List[np.ndarray] = []
+        self._sorted_z_ids: List[np.ndarray] = []
 
     def _calibrated_width(self) -> float:
         sample_size = min(self.n, 1024)
@@ -97,6 +103,8 @@ class LSBForest(ANNIndex):
         self._trees = []
         self._grid_mins = []
         self._bits = []
+        self._sorted_z = []
+        self._sorted_z_ids = []
         for function in self._functions:
             grid = function.bucketize(self.data)  # (n, m) ints
             grid_min = grid.min(axis=0)
@@ -108,6 +116,14 @@ class LSBForest(ANNIndex):
             )
             self._grid_mins.append(grid_min)
             self._bits.append(bits)
+            # Stable sort: equal z-values keep id order, which is exactly
+            # the duplicate-key order ``from_items``'s stable sort gives
+            # the B-tree — the cursor walk and the array walk see the
+            # same sequence.
+            z_arr = np.asarray(z_values, dtype=object)
+            order = np.argsort(z_arr, kind="stable")
+            self._sorted_z.append(z_arr[order])
+            self._sorted_z_ids.append(np.asarray(order, dtype=np.int64))
 
     def _query_zvalue(self, tree_index: int, q: np.ndarray) -> int:
         # Shift by the same per-dimension minimum used at build time (NOT
@@ -148,17 +164,108 @@ class LSBForest(ANNIndex):
                     seen.add(point_id)
                     candidates.append(point_id)
         if not candidates:
-            candidates = list(
-                self._rng.choice(self.n, size=min(self.n, 4 * k), replace=False)
-            )
+            candidates = self._fallback_candidates(k)
         ids = np.asarray(candidates, dtype=np.int64)
         dists = point_to_points_distances(q, self.data[ids])
-        k_eff = min(k, ids.size)
-        part = np.argpartition(dists, k_eff - 1)[:k_eff]
-        order = np.argsort(dists[part], kind="stable")
-        chosen = part[order]
+        order = np.lexsort((ids, dists))[:k]
         return QueryResult(
-            ids=ids[chosen],
-            distances=dists[chosen],
+            ids=ids[order],
+            distances=dists[order],
             stats={"candidates": float(ids.size)},
         )
+
+    def _fallback_candidates(self, k: int) -> List[int]:
+        """Degenerate miss (every tree empty-walked): a random probe so
+        the contract holds — drawn from the live ids under tombstones,
+        bit-identical to sampling ``range(n)`` without them."""
+        if self._tombstones:
+            live = self.live_ids()
+            return list(self._rng.choice(live, size=min(live.size, 4 * k), replace=False))
+        return list(self._rng.choice(self.n, size=min(self.n, 4 * k), replace=False))
+
+    # ------------------------------------------------------------------
+    # batched kNN (the fast-backend path)
+    # ------------------------------------------------------------------
+
+    def _run_knn(self, queries: np.ndarray, spec: Knn) -> BatchResult:
+        """Sorted-array batch path (``fast`` kernels only).
+
+        The cursor walk around a query's z-value always consumes a
+        contiguous window of the z-sorted order, so the batch path
+        replaces each walk with a merge-selection over two sorted
+        distance sequences (``searchsorted`` rank arithmetic picks how
+        many entries each side of the query contributes), unions the
+        per-tree windows, and finishes with one gathered verification +
+        ``group_topk`` kernel over the pooled candidates — byte-identical
+        to the per-query cursor loop, ties and all.
+        """
+        kernel = kernels.active()
+        if kernel.name != "fast":
+            return super()._run_knn(queries, spec)
+        k = spec.k
+        num_queries = queries.shape[0]
+        budget = max(k, int(math.ceil(self.budget_fraction * self.n)))
+        per_tree = max(k, budget // self.num_trees)
+        counts = np.empty(num_queries, dtype=np.int64)
+        id_blocks: List[np.ndarray] = []
+        for qi in range(num_queries):
+            windows = [
+                self._window_ids(
+                    tree_index, self._query_zvalue(tree_index, queries[qi]), per_tree
+                )
+                for tree_index in range(self.num_trees)
+            ]
+            candidates = np.unique(np.concatenate(windows))
+            if candidates.size == 0:
+                candidates = np.asarray(self._fallback_candidates(k), dtype=np.int64)
+            counts[qi] = candidates.size
+            id_blocks.append(candidates)
+        ids = np.concatenate(id_blocks) if id_blocks else np.empty(0, dtype=np.int64)
+        rep_q = np.repeat(np.arange(num_queries, dtype=np.int64), counts)
+        dists = kernel.verify_distances(self.data, ids, queries, rep_q)
+        lims, top_ids, top_dists = kernel.group_topk(rep_q, ids, dists, num_queries, k)
+        out_ids = np.full((num_queries, k), -1, dtype=np.int64)
+        out_dists = np.full((num_queries, k), np.inf, dtype=np.float64)
+        per_query = []
+        for qi in range(num_queries):
+            lo, hi = int(lims[qi]), int(lims[qi + 1])
+            out_ids[qi, : hi - lo] = top_ids[lo:hi]
+            out_dists[qi, : hi - lo] = top_dists[lo:hi]
+            per_query.append({"candidates": float(counts[qi])})
+        return BatchResult(
+            ids=out_ids,
+            distances=out_dists,
+            stats=aggregate_stats(tuple(per_query)),
+            per_query_stats=tuple(per_query),
+        )
+
+    def _window_ids(self, tree_index: int, z_query: int, per_tree: int) -> np.ndarray:
+        """The ids the alternating cursor walk takes from one tree —
+        computed by merge-rank arithmetic over the two sorted distance
+        sequences instead of walking the cursor.  Returned in positional
+        (not walk) order: the callers only union the ids and cut by the
+        canonical ``(distance, id)`` order, so the walk order is
+        irrelevant to the result.
+        """
+        z_sorted = self._sorted_z[tree_index]
+        z_ids = self._sorted_z_ids[tree_index]
+        start = int(np.searchsorted(z_sorted, z_query, side="left"))
+        # The walk takes at most per_tree entries total, so at most
+        # per_tree from either side — bounding the slices keeps the
+        # arbitrary-precision subtraction O(per_tree), not O(n).
+        left_lo = max(0, start - per_tree)
+        if start > 0:
+            lefts = z_query - z_sorted[start - 1 : left_lo - 1 if left_lo else None : -1]
+        else:
+            lefts = z_sorted[:0]
+        rights = z_sorted[start : start + per_tree] - z_query
+        # left i is consumed at merge rank i + |{rights with dist < d_i}|
+        # (a tie goes left first); right j at rank j + |{lefts ≤ d_j}|.
+        n_left = n_right = 0
+        if lefts.size:
+            ranks = np.arange(lefts.size) + np.searchsorted(rights, lefts, side="left")
+            n_left = int(np.sum(ranks < per_tree))
+        if rights.size:
+            ranks = np.arange(rights.size) + np.searchsorted(lefts, rights, side="right")
+            n_right = int(np.sum(ranks < per_tree))
+        return z_ids[start - n_left : start + n_right]

@@ -80,6 +80,7 @@ class MultiProbeLSH(ANNIndex):
         self._rng = as_generator(seed)
         self._functions: List[LSHFunction] = []
         self._tables: List[Dict[tuple, List[int]]] = []
+        self._overfetch_cache: Tuple[int, int] | None = None
 
     def _calibrated_width(self) -> float:
         """Projection-scale-aware bucket width: ``width_scale`` times the
@@ -196,17 +197,40 @@ class MultiProbeLSH(ANNIndex):
                 if len(candidates) >= max_candidates:
                     break
         if not candidates:
-            candidates = list(
-                as_generator(self._rng).choice(self.n, size=min(self.n, 4 * k), replace=False)
-            )
+            candidates = self._fallback_candidates(k)
         ids = np.asarray(candidates, dtype=np.int64)
         dists = point_to_points_distances(q, self.data[ids])
-        k_eff = min(k, ids.size)
-        part = np.argpartition(dists, k_eff - 1)[:k_eff]
-        order = np.argsort(dists[part], kind="stable")
-        chosen = part[order]
+        order = np.lexsort((ids, dists))[:k]
         return QueryResult(
-            ids=ids[chosen],
-            distances=dists[chosen],
+            ids=ids[order],
+            distances=dists[order],
             stats={"candidates": float(ids.size)},
         )
+
+    def _fallback_candidates(self, k: int) -> List[int]:
+        """Degenerate miss (no probed bucket held anything): a random probe
+        so the contract holds — drawn from the live ids under tombstones so
+        the overfetch bound stays bucket-structural; without tombstones the
+        draw is bit-identical to sampling ``range(n)``."""
+        rng = as_generator(self._rng)
+        if self._tombstones:
+            live = self.live_ids()
+            return list(rng.choice(live, size=min(live.size, 4 * k), replace=False))
+        return list(rng.choice(self.n, size=min(self.n, 4 * k), replace=False))
+
+    def _tombstone_overfetch(self, k: int) -> int:
+        """Dead ids reachable by one query: per table, the ``num_probes``
+        worst dead-bucket counts (one probed bucket each), summed over
+        tables.  Cached per write-epoch, like E2LSH's bound."""
+        if self._overfetch_cache is not None and self._overfetch_cache[0] == self.epoch:
+            return self._overfetch_cache[1]
+        dead = self._tombstones.ids()
+        bound = 0
+        for function in self._functions:
+            buckets = np.atleast_2d(function.bucketize(self.data[dead]))
+            _, counts = np.unique(buckets, axis=0, return_counts=True)
+            if counts.size:
+                worst = np.sort(counts)[::-1][: self.num_probes]
+                bound += int(worst.sum())
+        self._overfetch_cache = (self.epoch, bound)
+        return bound

@@ -38,10 +38,12 @@ from typing import List, Tuple
 import numpy as np
 from scipy import stats
 
-from repro.baselines.base import ANNIndex, QueryResult
+from repro import kernels
+from repro.baselines.base import ANNIndex, BatchResult, QueryResult
 from repro.bptree.tree import BPlusTree
 from repro.core.hashing import GaussianProjection
 from repro.datasets.distance import point_to_points_distances
+from repro.queries import Knn
 from repro.registry import register_index
 from repro.utils.rng import RandomState, as_generator
 
@@ -208,7 +210,7 @@ class QALSH(ANNIndex):
                 break
             radius *= self.c
 
-        verified.sort(key=lambda pair: pair[1])
+        verified.sort(key=lambda pair: (pair[1], pair[0]))
         top = verified[:k]
         return QueryResult(
             ids=np.asarray([pid for pid, _ in top], dtype=np.int64),
@@ -219,6 +221,128 @@ class QALSH(ANNIndex):
                 "rounds": float(rounds),
             },
         )
+
+    # ------------------------------------------------------------------
+    # batched kNN (the fast-backend path, array backend only)
+    # ------------------------------------------------------------------
+
+    #: Cap on (block queries × n) collision-matrix entries per sweep.
+    _BATCH_BLOCK_ENTRIES = 8_000_000
+
+    def _run_knn(self, queries: np.ndarray, spec: Knn) -> BatchResult:
+        """Round-synchronous batch path over the sorted-array backend.
+
+        Runs the virtual-rehashing ladder for a whole query block at
+        once: per round, every still-active query widens its m windows
+        (vectorised ``searchsorted`` bounds, incremental collision
+        deltas), all fresh threshold-crossers of the round are verified
+        by **one** gathered distance kernel, and per-query termination
+        mirrors the loop exactly.  Projections stay per-query GEMVs —
+        window boundaries compare those exact bits.  Active only under
+        the ``fast`` kernel backend; results, distances, and stats are
+        byte-identical to the per-query loop.
+        """
+        if kernels.active().name != "fast" or self.backend != "array":
+            return super()._run_knn(queries, spec)
+        results: List[QueryResult] = []
+        block = max(1, self._BATCH_BLOCK_ENTRIES // max(1, self.n))
+        for start in range(0, queries.shape[0], block):
+            results.extend(self._knn_block(queries[start : start + block], spec.k))
+        return BatchResult.from_queries(results, k=spec.k)
+
+    def _knn_block(self, queries: np.ndarray, k: int) -> List[QueryResult]:
+        kernel = kernels.active()
+        num_queries = queries.shape[0]
+        # Per-query GEMVs: bit-identical to the loop's projection.
+        query_proj = np.stack([self.projection.project(q) for q in queries])
+        budget = int(math.ceil(self.beta * self.n)) + k
+        collisions = np.zeros((num_queries, self.n), dtype=np.int32)
+        verified_mask = np.zeros((num_queries, self.n), dtype=bool)
+        pool_ids: List[List[np.ndarray]] = [[] for _ in range(num_queries)]
+        pool_dists: List[List[np.ndarray]] = [[] for _ in range(num_queries)]
+        verified_count = np.zeros(num_queries, dtype=np.int64)
+        rounds = np.zeros(num_queries, dtype=np.int64)
+        active = np.ones(num_queries, dtype=bool)
+        lo_idx = np.empty((num_queries, self.m), dtype=np.int64)
+        hi_idx = np.empty((num_queries, self.m), dtype=np.int64)
+        for i in range(self.m):
+            pos = np.searchsorted(self._sorted_keys[i], query_proj[:, i])
+            lo_idx[:, i] = pos
+            hi_idx[:, i] = pos
+        radius = max(self._projection_spread / 16.0, 1e-12)
+        for _ in range(64):
+            idx = np.flatnonzero(active)
+            if idx.size == 0:
+                break
+            rounds[idx] += 1
+            half_window = self.w * radius / 2.0
+            for i in range(self.m):
+                keys = self._sorted_keys[i]
+                ids_i = self._sorted_ids[i]
+                lo_t = np.searchsorted(keys, query_proj[idx, i] - half_window, side="left")
+                hi_t = np.searchsorted(keys, query_proj[idx, i] + half_window, side="right")
+                # A window slice of one hash's sorted order holds distinct
+                # ids, so a fancy-index add is exact (and far cheaper than
+                # np.add.at, which must assume duplicates).
+                for pos, a in enumerate(idx):
+                    if lo_t[pos] < lo_idx[a, i]:
+                        collisions[a, ids_i[lo_t[pos] : lo_idx[a, i]]] += 1
+                        lo_idx[a, i] = lo_t[pos]
+                    if hi_t[pos] > hi_idx[a, i]:
+                        collisions[a, ids_i[hi_idx[a, i] : hi_t[pos]]] += 1
+                        hi_idx[a, i] = hi_t[pos]
+            # One gathered verification kernel for the whole round.
+            fresh_q: List[np.ndarray] = []
+            fresh_ids: List[np.ndarray] = []
+            for a in idx:
+                fresh = np.flatnonzero(
+                    (collisions[a] >= self.collision_threshold) & ~verified_mask[a]
+                )
+                if fresh.size:
+                    verified_mask[a, fresh] = True
+                    fresh_q.append(np.full(fresh.size, a, dtype=np.int64))
+                    fresh_ids.append(fresh)
+            if fresh_ids:
+                rep_q = np.concatenate(fresh_q)
+                ids = np.concatenate(fresh_ids)
+                dists = kernel.verify_distances(self.data, ids, queries, rep_q)
+                offset = 0
+                for chunk_q, chunk_ids in zip(fresh_q, fresh_ids):
+                    a = int(chunk_q[0])
+                    pool_ids[a].append(chunk_ids)
+                    pool_dists[a].append(dists[offset : offset + chunk_ids.size])
+                    offset += chunk_ids.size
+                    verified_count[a] += chunk_ids.size
+            threshold = self.c * radius
+            for a in idx:
+                within = sum(
+                    int((chunk <= threshold).sum()) for chunk in pool_dists[a]
+                )
+                if within >= k or verified_count[a] >= budget:
+                    active[a] = False
+            radius *= self.c
+        results: List[QueryResult] = []
+        for a in range(num_queries):
+            if pool_ids[a]:
+                all_ids = np.concatenate(pool_ids[a])
+                all_dists = np.concatenate(pool_dists[a])
+                order = np.lexsort((all_ids, all_dists))[:k]
+                top_ids, top_dists = all_ids[order], all_dists[order]
+            else:
+                top_ids = np.empty(0, dtype=np.int64)
+                top_dists = np.empty(0, dtype=np.float64)
+            results.append(
+                QueryResult(
+                    ids=top_ids,
+                    distances=top_dists,
+                    stats={
+                        "candidates": float(verified_count[a]),
+                        "m": float(self.m),
+                        "rounds": float(rounds[a]),
+                    },
+                )
+            )
+        return results
 
     # ------------------------------------------------------------------
     # backend: incremental window expansion over sorted arrays
@@ -240,10 +364,10 @@ class QALSH(ANNIndex):
             lo_target = int(np.searchsorted(keys, query_proj[i] - half_window, side="left"))
             hi_target = int(np.searchsorted(keys, query_proj[i] + half_window, side="right"))
             if lo_target < lo_idx[i]:
-                np.add.at(collisions, ids[lo_target : lo_idx[i]], 1)
+                collisions[ids[lo_target : lo_idx[i]]] += 1
                 lo_idx[i] = lo_target
             if hi_target > hi_idx[i]:
-                np.add.at(collisions, ids[hi_idx[i] : hi_target], 1)
+                collisions[ids[hi_idx[i] : hi_target]] += 1
                 hi_idx[i] = hi_target
 
     # ------------------------------------------------------------------

@@ -43,6 +43,16 @@ class PMLSHParams:
     #: once per query.  Results are identical — the knob exists for the
     #: traversal micro-bench and the equivalence tests.
     traversal: str = "flat"
+    #: Hash family behind the m projections: ``"dense"`` (default) is the
+    #: paper's Eq. 3 Gaussian GEMM; ``"sampled"`` is the FastLSH-style
+    #: structured family (each function reads ~√d sampled coordinates),
+    #: cutting hashing cost for ``fit``/``add``/cache keys at a small,
+    #: calibrated approximation cost.  See
+    #: :class:`repro.core.hashing.SampledProjection`.
+    hash_family: str = "dense"
+    #: Coordinates read per sampled hash function; ``None`` (default)
+    #: resolves to ``⌈√d⌉`` at fit time.  Ignored by the dense family.
+    hash_sample_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.m <= 0:
@@ -73,3 +83,9 @@ class PMLSHParams:
             )
         if self.traversal not in ("flat", "recursive"):
             raise ValueError(f"unknown traversal {self.traversal!r}")
+        if self.hash_family not in ("dense", "sampled"):
+            raise ValueError(f"unknown hash_family {self.hash_family!r}")
+        if self.hash_sample_size is not None and self.hash_sample_size <= 0:
+            raise ValueError(
+                f"hash_sample_size must be positive, got {self.hash_sample_size}"
+            )

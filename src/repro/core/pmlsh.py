@@ -44,7 +44,7 @@ import numpy as np
 
 from repro.baselines.base import ANNIndex, BatchResult, QueryResult, aggregate_stats
 from repro.core.estimation import SolvedParameters, solve_parameters
-from repro.core.hashing import GaussianProjection
+from repro.core.hashing import GaussianProjection, SampledProjection
 from repro.core.params import PMLSHParams
 from repro.core.radius import (
     radius_schedule,
@@ -145,7 +145,7 @@ class PMLSH(ANNIndex):
         super().__init__()
         self.params = params or PMLSHParams()
         self._rng = as_generator(seed)
-        self.projection: Optional[GaussianProjection] = None
+        self.projection: Optional[GaussianProjection | SampledProjection] = None
         self.projected: Optional[np.ndarray] = None
         self._tree: Optional[PMTree] = None
         #: pivots to rebuild the pointer tree from lazily — set by
@@ -204,10 +204,26 @@ class PMLSH(ANNIndex):
     # construction
     # ------------------------------------------------------------------
 
+    def _make_projection(self):
+        """The hash bank ``params.hash_family`` selects: the paper's dense
+        Gaussian GEMM, or the FastLSH-style sampled structured family
+        (each function reads ~√d coordinates — cheaper ``fit``/``add``
+        projections and cheaper serving-cache keys, same χ²(m)
+        calibration)."""
+        params = self.params
+        if params.hash_family == "sampled":
+            return SampledProjection(
+                self.d,
+                params.m,
+                sample_size=params.hash_sample_size,
+                seed=self._rng,
+            )
+        return GaussianProjection(self.d, params.m, seed=self._rng)
+
     def _fit(self) -> None:
         """Project the dataset, build the PM-tree, estimate F(x)."""
         params = self.params
-        self.projection = GaussianProjection(self.d, params.m, seed=self._rng)
+        self.projection = self._make_projection()
         self.projected = self.projection.project(self.data)
         self._tree = PMTree.build(
             self.projected,
@@ -919,11 +935,37 @@ class PMLSH(ANNIndex):
     # persistence
     # ------------------------------------------------------------------
 
+    def _projection_arrays(self) -> Dict[str, np.ndarray]:
+        """The arrays that reconstruct ``self.projection`` exactly.
+
+        Dense banks store their direction matrix; sampled banks store
+        ``sample_idx``/``weights`` (never a densified equivalent — exact
+        arrays are what keep reloaded projections bit-identical)."""
+        if isinstance(self.projection, SampledProjection):
+            return {
+                "hash_sample_idx": self.projection.sample_idx,
+                "hash_weights": self.projection.weights,
+            }
+        return {"directions": self.projection.directions}
+
+    @staticmethod
+    def _restore_projection(arrays) -> GaussianProjection | SampledProjection:
+        """Invert :meth:`_projection_arrays` from an archive/shm mapping
+        (*arrays* needs ``in`` and ``[]`` plus a ``data`` entry for d)."""
+        if "hash_sample_idx" in arrays:
+            return SampledProjection.from_arrays(
+                arrays["hash_sample_idx"],
+                arrays["hash_weights"],
+                dim=np.asarray(arrays["data"]).shape[1],
+            )
+        return GaussianProjection.from_directions(arrays["directions"])
+
     def save(self, path: str) -> None:
         """Persist the index to a ``.npz`` archive (no pickle involved).
 
         Stored: the registry name (so :func:`repro.load_index` can
-        dispatch), the dataset, the projection directions, the PM-tree
+        dispatch), the dataset, the projection bank (dense directions, or
+        the sampled family's index/weight arrays), the PM-tree
         pivots, the F(x) sample behind r_min selection, the parameter
         bundle as JSON — and the **flat-tree arrays**
         (:meth:`FlatPMTree.to_arrays`), so :meth:`load` restores the
@@ -946,7 +988,7 @@ class PMLSH(ANNIndex):
             path,
             registry_name=np.asarray(self.registry_name),
             data=self.data,
-            directions=self.projection.directions,
+            **self._projection_arrays(),
             pivots=flat.pivots,
             distance_samples=self.distance_distribution.samples,
             params_json=np.frombuffer(params_json.encode("utf-8"), dtype=np.uint8),
@@ -971,7 +1013,11 @@ class PMLSH(ANNIndex):
 
         with np.load(path) as archive:
             data = archive["data"]
-            directions = archive["directions"]
+            projection_arrays = {
+                key: archive[key]
+                for key in ("directions", "hash_sample_idx", "hash_weights")
+                if key in archive.files
+            }
             pivots = archive["pivots"]
             samples = archive["distance_samples"]
             params_json = bytes(archive["params_json"]).decode("utf-8")
@@ -984,7 +1030,7 @@ class PMLSH(ANNIndex):
         params = PMLSHParams(**json.loads(params_json))
         index = cls(params=params, seed=0)
         index._set_data(data)
-        index.projection = GaussianProjection.from_directions(directions)
+        index.projection = cls._restore_projection({**projection_arrays, "data": data})
         index.projected = index.projection.project(index.data)
         index._lazy_pivots = np.asarray(pivots, dtype=np.float64)
         if flat_arrays is not None:
@@ -1021,7 +1067,7 @@ class PMLSH(ANNIndex):
         arrays = {
             "data": self.data,
             "projected": self.projected,
-            "directions": self.projection.directions,
+            **self._projection_arrays(),
             "pivots": flat.pivots,
             "distance_samples": self.distance_distribution.samples,
             "tombstone_ids": self._tombstones.ids(),
@@ -1052,7 +1098,7 @@ class PMLSH(ANNIndex):
         params = PMLSHParams(**json.loads(state["params_json"]))
         index = cls(params=params, seed=0)
         index._set_data(arrays["data"])
-        index.projection = GaussianProjection.from_directions(arrays["directions"])
+        index.projection = cls._restore_projection(arrays)
         index.projected = np.asarray(arrays["projected"], dtype=np.float64)
         index._lazy_pivots = np.asarray(arrays["pivots"], dtype=np.float64)
         index._flat = FlatPMTree.from_arrays(

@@ -1,0 +1,131 @@
+"""Optional numba acceleration for order-independent mask kernels.
+
+numba is auto-detected: when the import fails (it is not a declared
+dependency) every entry point reports ``enabled() is False`` and the
+``fast`` backend silently stays on its NumPy implementations.  When it
+*is* importable, only kernels whose output is a boolean mask built from
+elementwise comparisons are jitted — reductions are excluded because a
+jitted summation order would not be bit-identical to ``einsum``.  As a
+final guard the first real invocation is verified element-for-element
+against the NumPy twin; any mismatch (or any jit failure) permanently
+disables the numba path for the process.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+try:  # pragma: no cover - numba is absent in the CI container
+    import numba  # noqa: F401
+
+    HAVE_NUMBA = True
+except Exception:  # pragma: no cover - exercised as the default path
+    numba = None
+    HAVE_NUMBA = False
+
+_state = {"disabled": not HAVE_NUMBA, "verified": False, "jit": None}
+
+
+def available() -> bool:
+    """Whether numba imported cleanly in this process."""
+    return HAVE_NUMBA
+
+
+def enabled() -> bool:
+    """Whether the jitted kernels are importable and still trusted."""
+    return not _state["disabled"]
+
+
+def _compile():  # pragma: no cover - requires numba
+    from numba import njit
+
+    @njit(cache=False)
+    def inner_prune_jit(
+        eidx, rep_q, rep_pd, entry_pd, entry_radius, hr_min, hr_max, rings, radius,
+        use_parent, use_rings,
+    ):
+        n = eidx.size
+        keep = np.zeros(n, dtype=np.bool_)
+        num_pivots = rings.shape[1]
+        for i in range(n):
+            r = radius[i]
+            e = eidx[i]
+            if use_parent:
+                pd = rep_pd[i]
+                if pd == pd:  # NaN-aware: root rows have no parent filter
+                    if abs(entry_pd[e] - pd) > r + entry_radius[e]:
+                        continue
+            ok = True
+            if use_rings:
+                qi = rep_q[i]
+                for p in range(num_pivots):
+                    rq = rings[qi, p]
+                    if hr_min[e, p] > rq + r or hr_max[e, p] < rq - r:
+                        ok = False
+                        break
+            if ok:
+                keep[i] = True
+        return keep
+
+    return inner_prune_jit
+
+
+def inner_prune(
+    *,
+    eidx: np.ndarray,
+    rep_q: np.ndarray,
+    rep_pd: Optional[np.ndarray],
+    entry_pd: np.ndarray,
+    entry_radius: np.ndarray,
+    hr_min: np.ndarray,
+    hr_max: np.ndarray,
+    query_rings: Optional[np.ndarray],
+    radius,
+    use_parent_filter: bool,
+    verify_against,
+) -> Optional[np.ndarray]:  # pragma: no cover - requires numba
+    """Jitted routing-entry filter; ``None`` means "use the NumPy twin"."""
+    if _state["disabled"]:
+        return None
+    try:
+        if _state["jit"] is None:
+            _state["jit"] = _compile()
+        n = eidx.size
+        radius_vec = (
+            radius
+            if isinstance(radius, np.ndarray)
+            else np.full(n, float(radius), dtype=np.float64)
+        )
+        use_parent = bool(use_parent_filter and rep_pd is not None)
+        pd_vec = rep_pd if use_parent else np.empty(0, dtype=np.float64)
+        use_rings = query_rings is not None
+        rings = (
+            query_rings if use_rings else np.empty((0, 0), dtype=np.float64)
+        )
+        result = _state["jit"](
+            eidx, rep_q, pd_vec, entry_pd, entry_radius, hr_min, hr_max, rings,
+            radius_vec, use_parent, use_rings,
+        )
+    except Exception:
+        _state["disabled"] = True
+        return None
+    if not _state["verified"]:
+        expected = verify_against(
+            eidx=eidx,
+            rep_q=rep_q,
+            rep_pd=rep_pd,
+            entry_pd=entry_pd,
+            entry_radius=entry_radius,
+            hr_min=hr_min,
+            hr_max=hr_max,
+            query_rings=query_rings,
+            radius=radius,
+            use_parent_filter=use_parent_filter,
+        )
+        if not np.array_equal(result, expected):
+            _state["disabled"] = True
+            return None
+        _state["verified"] = True
+    return result

@@ -1,0 +1,239 @@
+"""NumPy reference implementation of every hot kernel.
+
+This module is the *semantic contract* of :mod:`repro.kernels`: each
+function here is the arithmetic previously inlined in the hot paths
+(``FlatPMTree`` traversal, candidate verification, budget cuts, hash
+projection), lifted out verbatim.  The ``fast`` backend reorganizes
+control flow — chunking, staged mask narrowing, vectorized rank cuts —
+but must return **byte-identical** arrays for every kernel; the
+differential harness in ``tests/kernels/`` enforces that, which is what
+makes the compiled layer safe to grow.
+
+Conventions shared by both backends:
+
+- ``radius`` arguments accept a scalar or a per-pair ``(P,)`` vector
+  (the fast path's budget-aware admission tightens the radius per pair).
+- Distance kernels reduce each row independently with the same
+  ``subtract`` + ``einsum("ij,ij->i")`` + ``sqrt`` pattern, so any
+  regrouping of rows (chunking, gathering) cannot change a single bit.
+- Candidate cuts are canonical by ``(distance, id)`` — the same tie
+  order as the exact brute-force oracle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+#: ``True`` on backends whose traversal may apply the budget-aware
+#: admission pass (tightening the search radius to the running k-th
+#: candidate distance).  The reference backend computes the full ball.
+SUPPORTS_ADMISSION = False
+
+
+def _radius_rows(radius, index: np.ndarray):
+    """Gather a per-pair radius for *index*, passing scalars through."""
+    if isinstance(radius, np.ndarray):
+        return radius[index]
+    return radius
+
+
+def closest_mask(dists: np.ndarray, ids: np.ndarray, k: int) -> np.ndarray:
+    """Boolean mask of the k entries smallest by ``(distance, id)``.
+
+    Selection (argpartition) plus an id-ordered resolution of the ties at
+    the k-th distance — the same canonical boundary cut as the exact
+    brute-force oracle, without sorting the whole slice.
+    """
+    mask = np.zeros(dists.size, dtype=bool)
+    if k <= 0:
+        return mask
+    if k >= dists.size:
+        mask[:] = True
+        return mask
+    kth = float(np.max(dists[np.argpartition(dists, k - 1)[:k]]))
+    below = dists < kth
+    mask[below] = True
+    missing = k - int(below.sum())
+    if missing > 0:
+        tied = np.flatnonzero(dists == kth)
+        mask[tied[np.argsort(ids[tied], kind="stable")[:missing]]] = True
+    return mask
+
+
+def leaf_prune(
+    *,
+    member: np.ndarray,
+    rep_q: np.ndarray,
+    rep_pd: Optional[np.ndarray],
+    leaf_pd: np.ndarray,
+    ring_cols: List[np.ndarray],
+    query_rings: Optional[np.ndarray],
+    radius,
+    use_parent_filter: bool,
+) -> np.ndarray:
+    """Eq. 5 leaf-member filters: parent-distance test, then ring tests.
+
+    One row per live (query, leaf-member) pair; returns the keep mask.
+    The parent-distance filter (``|d(q, par) − o.PD| ≤ r``) runs first —
+    two scalar gathers — so the ring gathers only touch its survivors;
+    the ring filter (``∀i |d(q, p_i) − d(o, p_i)| ≤ r``) narrows the
+    survivor set one pivot at a time.
+    """
+    keep = np.ones(member.size, dtype=bool)
+    if use_parent_filter and rep_pd is not None:
+        known = ~np.isnan(rep_pd)
+        r_known = radius[known] if isinstance(radius, np.ndarray) else radius
+        keep[known] &= np.abs(leaf_pd[member[known]] - rep_pd[known]) <= r_known
+    if query_rings is not None:
+        sub = np.flatnonzero(keep)
+        for pivot in range(len(ring_cols)):
+            if sub.size == 0:
+                break
+            ring_ok = (
+                np.abs(
+                    ring_cols[pivot][member[sub]] - query_rings[rep_q[sub], pivot]
+                )
+                <= _radius_rows(radius, sub)
+            )
+            keep[sub[~ring_ok]] = False
+            sub = sub[ring_ok]
+    return keep
+
+
+def inner_prune(
+    *,
+    eidx: np.ndarray,
+    rep_q: np.ndarray,
+    rep_pd: Optional[np.ndarray],
+    entry_pd: np.ndarray,
+    entry_radius: np.ndarray,
+    hr_min: np.ndarray,
+    hr_max: np.ndarray,
+    query_rings: Optional[np.ndarray],
+    radius,
+    use_parent_filter: bool,
+) -> np.ndarray:
+    """Eq. 5 routing-entry filters: parent-distance test, then hyper-ring
+    interval tests, over one row per (query, routing-entry) pair.
+
+    Survivors still owe a centre-distance computation and the sphere
+    test, which the caller performs (it charges ``dist_comps``).
+    """
+    keep = np.ones(eidx.size, dtype=bool)
+    if use_parent_filter and rep_pd is not None:
+        known = ~np.isnan(rep_pd)
+        r_known = radius[known] if isinstance(radius, np.ndarray) else radius
+        keep[known] &= (
+            np.abs(entry_pd[eidx[known]] - rep_pd[known])
+            <= r_known + entry_radius[eidx[known]]
+        )
+    if query_rings is not None:
+        rings_q = query_rings[rep_q]
+        r_col = radius[:, None] if isinstance(radius, np.ndarray) else radius
+        ring_ok = (hr_min[eidx] <= rings_q + r_col) & (
+            hr_max[eidx] >= rings_q - r_col
+        )
+        keep &= ring_ok.all(axis=1)
+    return keep
+
+
+def pair_distances(rows: np.ndarray, query_rows: np.ndarray) -> np.ndarray:
+    """Euclidean distance per (point-row, query-row) pair.
+
+    *rows* is consumed (clobbered in place) — callers pass a fresh gather.
+    Each row reduces independently, so chunked evaluation is bit-identical.
+    """
+    np.subtract(rows, query_rows, out=rows)
+    return np.sqrt(np.einsum("ij,ij->i", rows, rows))
+
+
+def verify_distances(
+    data: np.ndarray,
+    ids: np.ndarray,
+    queries: np.ndarray,
+    rep_q: np.ndarray,
+) -> np.ndarray:
+    """Gathered candidate verification: ``‖data[ids[i]] − queries[rep_q[i]]‖``.
+
+    The row-wise reduction matches
+    :func:`repro.datasets.distance.point_to_points_distances` bit for bit,
+    so batched verification equals the per-query loops it replaces.
+    """
+    diff = data[ids] - queries[rep_q]
+    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+def budget_cut(
+    q: np.ndarray,
+    ids: np.ndarray,
+    dists: np.ndarray,
+    counts: np.ndarray,
+    lims: np.ndarray,
+    limits: np.ndarray,
+) -> Optional[np.ndarray]:
+    """Per-query candidate-limit cut over a pooled, query-grouped batch.
+
+    Keeps each over-budget query's ``limits[q]`` closest matches by the
+    canonical ``(distance, id)`` order (Algorithm 2's ``⌈βn⌉+k`` cap).
+    Returns a keep mask over the pool, or ``None`` when no query exceeds
+    its limit.  Input must be grouped by query (``lims`` CSR offsets).
+    """
+    capped = np.flatnonzero(counts > limits)
+    if capped.size == 0:
+        return None
+    keep = np.ones(q.size, dtype=bool)
+    for query in capped:
+        lo, hi = int(lims[query]), int(lims[query + 1])
+        keep[lo:hi] = closest_mask(dists[lo:hi], ids[lo:hi], int(limits[query]))
+    return keep
+
+
+def group_topk(
+    q: np.ndarray,
+    ids: np.ndarray,
+    dists: np.ndarray,
+    num_queries: int,
+    k: int,
+):
+    """Per-query k smallest candidates by ``(distance, id)``, sorted.
+
+    Input is one pooled candidate list grouped by query (ascending ``q``);
+    output is CSR ``(lims, ids, dists)`` with each query's survivors in
+    canonical order.  This is the final cut of every batched baseline.
+    """
+    counts = np.bincount(q, minlength=num_queries)
+    lims_in = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    taken = np.minimum(counts, k)
+    lims = np.concatenate([[0], np.cumsum(taken)]).astype(np.int64)
+    out_ids = np.empty(int(lims[-1]), dtype=ids.dtype)
+    out_dists = np.empty(int(lims[-1]), dtype=dists.dtype)
+    for query in range(num_queries):
+        lo, hi = int(lims_in[query]), int(lims_in[query + 1])
+        if hi == lo:
+            continue
+        order = np.lexsort((ids[lo:hi], dists[lo:hi]))[: int(taken[query])]
+        olo, ohi = int(lims[query]), int(lims[query + 1])
+        out_ids[olo:ohi] = ids[lo:hi][order]
+        out_dists[olo:ohi] = dists[lo:hi][order]
+    return lims, out_ids, out_dists
+
+
+def sampled_project(
+    points: np.ndarray,
+    sample_idx: np.ndarray,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """FastLSH-style sampled projection: each of the m hash functions
+    reads only ``s`` sampled coordinates (``sample_idx``/``weights`` are
+    ``(m, s)``), cutting per-point hashing from O(d·m) toward O(s·m).
+
+    The contraction is a single ``einsum("nms,ms->nm")`` over the
+    gathered ``(n, m, s)`` tensor.  The gather is forced C-contiguous
+    first — einsum's reduction order follows memory layout, so pinning
+    the layout is what pins the bits across backends.
+    """
+    points = np.atleast_2d(points)
+    gathered = np.ascontiguousarray(points[:, sample_idx])
+    return np.einsum("nms,ms->nm", gathered, weights)

@@ -18,11 +18,17 @@ whole frontier as array masks, so the per-node Python recursion of the
 pointer tree disappears; candidate ids and distances accumulate into
 buffers shared across the queries of the batch.
 
-The traversal visits exactly the nodes the recursive ``range_query``
-visits and computes exactly the same distances with the same float64
-kernels, so results — and the node-access / distance-computation counters
-— are identical to the pointer tree's (``tests/pmtree/test_flatten.py``
-asserts both).
+The mask and distance arithmetic is dispatched through
+:mod:`repro.kernels`: under the default ``numpy`` backend the traversal
+visits exactly the nodes the recursive ``range_query`` visits and
+computes exactly the same distances with the same float64 kernels, so
+results — and the node-access / distance-computation counters — are
+identical to the pointer tree's (``tests/pmtree/test_flatten.py``
+asserts both).  Under the ``fast`` backend results are still
+byte-identical, but capped traversals additionally run a *budget-aware
+admission pass* (see :class:`_Admission`), so the work counters shrink:
+the flat path stops computing the full ball before cutting each query
+to its ``⌈βn⌉+k`` candidate limit.
 """
 
 from __future__ import annotations
@@ -31,6 +37,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+
+from repro import kernels as _kernels
+from repro.kernels.reference import closest_mask as _closest_mask  # noqa: F401  (re-export)
 
 
 @dataclass(frozen=True)
@@ -48,27 +57,64 @@ class TraversalStats:
     level_visits: np.ndarray
 
 
-def _closest_mask(dists: np.ndarray, ids: np.ndarray, k: int) -> np.ndarray:
-    """Boolean mask of the k entries smallest by ``(distance, id)``.
+#: Leaf (query, member) pairs verified per admission chunk under the
+#: fast backend: small enough that the running k-th candidate distance
+#: tightens between chunks, large enough to keep each chunk vectorized.
+_LEAF_ADMIT_CHUNK = 8192
 
-    Selection (argpartition) plus an id-ordered resolution of the ties at
-    the k-th distance — the same canonical boundary cut as the exact
-    brute-force oracle, without sorting the whole slice.
+
+class _Admission:
+    """Per-query radius tightening for capped fast-backend traversals.
+
+    Tracks, per query, the ``limits[q]``-th smallest *admitted* candidate
+    distance seen so far (``thr``); the effective search radius of every
+    later (query, node/member) pair becomes ``min(radius, thr[q])``.
+    This is a pure subset filter with unchanged results: the threshold
+    from a partial candidate pool is always ≥ the final pool's k-th
+    distance, comparisons stay inclusive (``≤``) so boundary ties
+    survive, and therefore every dropped pair has a distance strictly
+    greater than the final k-th — it could never be kept by the
+    canonical ``(distance, id)`` budget cut.  Only the work counters
+    (``TraversalStats``, ``dist_comps``) shrink.
     """
-    mask = np.zeros(dists.size, dtype=bool)
-    if k <= 0:
-        return mask
-    if k >= dists.size:
-        mask[:] = True
-        return mask
-    kth = float(np.max(dists[np.argpartition(dists, k - 1)[:k]]))
-    below = dists < kth
-    mask[below] = True
-    missing = k - int(below.sum())
-    if missing > 0:
-        tied = np.flatnonzero(dists == kth)
-        mask[tied[np.argsort(ids[tied], kind="stable")[:missing]]] = True
-    return mask
+
+    __slots__ = ("limits", "thr", "_pools")
+
+    def __init__(self, num_queries: int, limits: np.ndarray) -> None:
+        self.limits = np.asarray(limits, dtype=np.int64)
+        # limit == 0 admits nothing: the budget cut would discard it all.
+        self.thr = np.where(self.limits > 0, np.inf, -np.inf)
+        self._pools: List[Optional[List[np.ndarray]]] = [None] * num_queries
+
+    def effective(self, radius: float, q: np.ndarray):
+        """Per-pair effective radius ``min(radius, thr[q])``."""
+        return np.minimum(radius, self.thr[q])
+
+    def observe(self, q: np.ndarray, dists: np.ndarray) -> None:
+        """Fold freshly admitted matches into the per-query thresholds.
+
+        *q* is ascending (frontier expansion is query-major), so each
+        query's slice of *dists* is contiguous.
+        """
+        if q.size == 0:
+            return
+        unique_q, first = np.unique(q, return_index=True)
+        bounds = np.append(first, q.size)
+        for i in range(unique_q.size):
+            query = int(unique_q[i])
+            limit = int(self.limits[query])
+            if limit <= 0:
+                continue
+            pool = self._pools[query]
+            if pool is None:
+                pool = []
+                self._pools[query] = pool
+            pool.append(dists[bounds[i] : bounds[i + 1]])
+            total = sum(chunk.size for chunk in pool)
+            if total >= limit:
+                merged = pool[0] if len(pool) == 1 else np.concatenate(pool)
+                self._pools[query] = [merged]
+                self.thr[query] = float(np.partition(merged, limit - 1)[limit - 1])
 
 
 def _concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
@@ -403,8 +449,13 @@ class FlatPMTree:
         One traversal serves the whole batch: the frontier holds every
         live ``(query, node)`` pair and advances one tree level per step,
         applying the Eq. 5 parent-distance / ring / sphere tests as masks
-        over the packed entry arrays.
+        over the packed entry arrays.  The mask and distance arithmetic
+        dispatches through :mod:`repro.kernels`; when the active backend
+        supports it and ``limits`` is given, a budget-aware admission
+        pass tightens each query's radius to its running ``limits[i]``-th
+        candidate distance (identical results, less work).
         """
+        kernel = _kernels.active()
         queries = np.ascontiguousarray(np.atleast_2d(queries))
         num_queries = queries.shape[0]
         query_rings = (
@@ -415,6 +466,11 @@ class FlatPMTree:
         nodes = np.zeros(num_queries, dtype=np.int64)
         dist_comps = np.zeros(num_queries, dtype=np.int64)
         level_visits = np.zeros(self.height, dtype=np.int64)
+        admission = None
+        if limits is not None:
+            limits = np.asarray(limits, dtype=np.int64)
+            if kernel.supports_admission:
+                admission = _Admission(num_queries, limits)
 
         # Frontier: one row per live (query, node) pair.  pd = distance
         # from the query to the node's routing object (NaN at the root,
@@ -448,6 +504,8 @@ class FlatPMTree:
                     out_q,
                     out_id,
                     out_dist,
+                    kernel,
+                    admission,
                 )
 
             # ---- inner rows: prune children, descend survivors ----
@@ -462,10 +520,12 @@ class FlatPMTree:
                 frontier_node[inner],
                 frontier_pd[inner],
                 dist_comps,
+                kernel,
+                admission,
             )
 
         lims, ids, dists = self._assemble(
-            num_queries, out_q, out_id, out_dist, limits, sort
+            num_queries, out_q, out_id, out_dist, limits, sort, kernel
         )
         self.node_accesses += int(nodes.sum())
         self.distance_computations += int(dist_comps.sum())
@@ -484,6 +544,8 @@ class FlatPMTree:
         out_q: List[np.ndarray],
         out_id: List[np.ndarray],
         out_dist: List[np.ndarray],
+        kernel,
+        admission: Optional[_Admission],
     ) -> None:
         starts = self.span_start[lnode]
         counts = self.span_end[lnode] - starts
@@ -502,48 +564,45 @@ class FlatPMTree:
                 rep_pd = rep_pd[alive]
             if member.size == 0:
                 return
-        ids = self.leaf_ids[member]
-        # Parent-distance filter: |d(q, par) − o.PD| ≤ r (root leaf: no
-        # parent).  It runs first — two scalar gathers — so the wider
-        # ring-matrix gather below only touches its survivors.
-        keep = np.ones(member.size, dtype=bool)
-        if self.use_parent_filter:
-            known = ~np.isnan(rep_pd)
-            keep[known] &= (
-                np.abs(self.leaf_pd[member[known]] - rep_pd[known]) <= radius
+        # Without admission the whole frontier verifies in one kernel
+        # call; with it, chunking lets each query's threshold tighten
+        # between chunks so later pairs see a smaller effective radius.
+        total = member.size
+        step = total if admission is None else _LEAF_ADMIT_CHUNK
+        for lo in range(0, total, step):
+            hi = min(lo + step, total)
+            c_member = member[lo:hi]
+            c_q = rep_q[lo:hi]
+            c_pd = rep_pd[lo:hi] if rep_pd is not None else None
+            eff_r = radius if admission is None else admission.effective(radius, c_q)
+            # Eq. 5 parent-distance + ring filters (fused in the kernel).
+            keep = kernel.leaf_prune(
+                member=c_member,
+                rep_q=c_q,
+                rep_pd=c_pd,
+                leaf_pd=self.leaf_pd,
+                ring_cols=self.leaf_ring_cols,
+                query_rings=query_rings,
+                radius=eff_r,
+                use_parent_filter=self.use_parent_filter,
             )
-        # Ring filter: ∀i |d(q, p_i) − d(o, p_i)| ≤ r — one pivot at a
-        # time, narrowing the survivor set between pivots so each gather
-        # touches only rows the previous pivots kept.
-        if query_rings is not None:
-            sub = np.flatnonzero(keep)
-            for pivot in range(self.num_pivots):
-                if sub.size == 0:
-                    break
-                ring_ok = (
-                    np.abs(
-                        self.leaf_ring_cols[pivot][member[sub]]
-                        - query_rings[rep_q[sub], pivot]
-                    )
-                    <= radius
-                )
-                keep[sub[~ring_ok]] = False
-                sub = sub[ring_ok]
-        if not np.any(keep):
-            return
-        surv_ids = ids[keep]
-        surv_q = rep_q[keep]
-        rows = self.leaf_points[member[keep]]
-        np.subtract(rows, queries[surv_q], out=rows)
-        dists = np.sqrt(np.einsum("ij,ij->i", rows, rows))
-        dist_comps += np.bincount(surv_q, minlength=dist_comps.size)
-        inside = dists <= radius
-        if lower is not None:
-            inside &= dists > lower
-        if np.any(inside):
-            out_q.append(surv_q[inside])
-            out_id.append(surv_ids[inside])
-            out_dist.append(dists[inside])
+            if not np.any(keep):
+                continue
+            surv_q = c_q[keep]
+            surv_ids = self.leaf_ids[c_member[keep]]
+            rows = self.leaf_points[c_member[keep]]
+            dists = kernel.pair_distances(rows, queries[surv_q])
+            dist_comps += np.bincount(surv_q, minlength=dist_comps.size)
+            r_surv = eff_r[keep] if isinstance(eff_r, np.ndarray) else eff_r
+            inside = dists <= r_surv
+            if lower is not None:
+                inside &= dists > lower
+            if np.any(inside):
+                out_q.append(surv_q[inside])
+                out_id.append(surv_ids[inside])
+                out_dist.append(dists[inside])
+                if admission is not None:
+                    admission.observe(surv_q[inside], dists[inside])
 
     def _expand_inner(
         self,
@@ -554,26 +613,29 @@ class FlatPMTree:
         inode: np.ndarray,
         ipd: np.ndarray,
         dist_comps: np.ndarray,
+        kernel,
+        admission: Optional[_Admission],
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         starts = self.span_start[inode]
         counts = self.span_end[inode] - starts
         eidx = _concat_ranges(starts, counts)
         rep_q = np.repeat(iq, counts)
-        keep = np.ones(eidx.size, dtype=bool)
-        # Parent-distance test first: it costs no new distance computation.
-        if self.use_parent_filter:
-            rep_pd = np.repeat(ipd, counts)
-            known = ~np.isnan(rep_pd)
-            keep[known] &= (
-                np.abs(self.entry_pd[eidx[known]] - rep_pd[known])
-                <= radius + self.entry_radius[eidx[known]]
-            )
-        if query_rings is not None:
-            rings_q = query_rings[rep_q]
-            ring_ok = (self.entry_hr_min[eidx] <= rings_q + radius) & (
-                self.entry_hr_max[eidx] >= rings_q - radius
-            )
-            keep &= ring_ok.all(axis=1)
+        rep_pd = np.repeat(ipd, counts) if self.use_parent_filter else None
+        eff_r = radius if admission is None else admission.effective(radius, rep_q)
+        # Eq. 5 parent-distance + hyper-ring interval tests (fused in the
+        # kernel); survivors owe a centre distance and the sphere test.
+        keep = kernel.inner_prune(
+            eidx=eidx,
+            rep_q=rep_q,
+            rep_pd=rep_pd,
+            entry_pd=self.entry_pd,
+            entry_radius=self.entry_radius,
+            hr_min=self.entry_hr_min,
+            hr_max=self.entry_hr_max,
+            query_rings=query_rings,
+            radius=eff_r,
+            use_parent_filter=self.use_parent_filter,
+        )
         cand = np.flatnonzero(keep)
         if cand.size == 0:
             return (
@@ -584,10 +646,10 @@ class FlatPMTree:
         cand_e = eidx[cand]
         cand_q = rep_q[cand]
         centers = self.entry_center[cand_e]  # fancy index: already a copy
-        np.subtract(centers, queries[cand_q], out=centers)
-        dists = np.sqrt(np.einsum("ij,ij->i", centers, centers))
+        dists = kernel.pair_distances(centers, queries[cand_q])
         dist_comps += np.bincount(cand_q, minlength=dist_comps.size)
-        surviving = np.maximum(dists - self.entry_radius[cand_e], 0.0) <= radius
+        r_cand = eff_r[cand] if isinstance(eff_r, np.ndarray) else eff_r
+        surviving = np.maximum(dists - self.entry_radius[cand_e], 0.0) <= r_cand
         return (
             cand_q[surviving],
             self.entry_child[cand_e[surviving]],
@@ -602,6 +664,7 @@ class FlatPMTree:
         out_dist: List[np.ndarray],
         limits: Optional[np.ndarray],
         sort: bool,
+        kernel,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Group the pooled matches by query, apply the per-query limits as
         canonical ``(distance, id)`` cuts, and optionally sort each group.
@@ -627,14 +690,8 @@ class FlatPMTree:
         lims = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
         if limits is not None:
             limits = np.asarray(limits, dtype=np.int64)
-            capped = np.flatnonzero(counts > limits)
-            if capped.size:
-                keep = np.ones(q.size, dtype=bool)
-                for query in capped:
-                    lo, hi = int(lims[query]), int(lims[query + 1])
-                    keep[lo:hi] = _closest_mask(
-                        dists[lo:hi], ids[lo:hi], int(limits[query])
-                    )
+            keep = kernel.budget_cut(q, ids, dists, counts, lims, limits)
+            if keep is not None:
                 q, ids, dists = q[keep], ids[keep], dists[keep]
                 counts = np.bincount(q, minlength=num_queries)
                 lims = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)

@@ -8,8 +8,11 @@ dictionary probe.  The cache keys each request on
 * the spec's :attr:`~repro.queries.QuerySpec.merge_key` (a ``Knn(10)``
   answer must never serve a ``Knn(5)`` or a ``Range(2.0)`` request), and
 * the query's **quantized projected coordinates**: the vector is mapped
-  through the index's existing hash layer (the Gaussian projection bank
-  PM-LSH already owns) and snapped to a grid of edge ``resolution`` in
+  through the index's existing hash layer (the projection bank PM-LSH
+  already owns — the dense Gaussian family, or the sampled structured
+  family under ``PMLSHParams(hash_family="sampled")``, whose ~√d-
+  coordinate functions make the per-request key GEMM correspondingly
+  cheaper) and snapped to a grid of edge ``resolution`` in
   projected space.  Lemma 2 makes projected distance track original
   distance, so two queries landing in the same cell are close in the
   original space too — at the default (tiny) resolution the cache only

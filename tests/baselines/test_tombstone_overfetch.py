@@ -1,0 +1,105 @@
+"""Regression tests for per-bucket tombstone overfetch bounds.
+
+``ANNIndex.run`` widens a kNN request so tombstoned ids cannot crowd
+live results out of the window.  The old behaviour widened every batch
+by the FULL tombstone count; bucketed backends now override
+``_tombstone_overfetch`` with a structural bound — the worst probed
+bucket's dead count per table, summed over tables — which is usually
+far smaller.  The bound is only correct if tightening it never changes
+results, which is exactly what these tests pin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import create_index
+from repro.queries import Knn
+
+
+def _dataset(seed=4, n=1200, d=10):
+    return np.random.default_rng(seed).normal(size=(n, d))
+
+
+def _fresh(name, data, dead, **kwargs):
+    index = create_index(name, seed=7, **kwargs).fit(data)
+    index.delete(dead)
+    return index
+
+
+@pytest.mark.parametrize("name", ["e2lsh", "multi-probe"])
+class TestStructuralBound:
+    def test_results_equal_full_widening(self, name):
+        """Tightening the overfetch cannot change any returned id/distance:
+        the same index state queried with the structural bound and with
+        the old full-count widening answers byte-identically."""
+        data = _dataset()
+        dead = list(range(0, 240, 2))
+        queries = _dataset(seed=9, n=8, d=10)
+
+        tight = _fresh(name, data, dead).run(queries, Knn(k=10))
+        cls = type(create_index(name, seed=0))
+        original = cls._tombstone_overfetch
+        try:
+            cls._tombstone_overfetch = lambda self, k: self.num_tombstones
+            full = _fresh(name, data, dead).run(queries, Knn(k=10))
+        finally:
+            cls._tombstone_overfetch = original
+
+        assert tight.ids.tobytes() == full.ids.tobytes()
+        assert tight.distances.tobytes() == full.distances.tobytes()
+
+    def test_no_dead_ids_returned(self, name):
+        data = _dataset(seed=6)
+        dead = list(range(0, 300, 3))
+        index = _fresh(name, data, dead)
+        result = index.run(_dataset(seed=2, n=6, d=10), Knn(k=12))
+        returned = set(result.ids.ravel().tolist()) - {-1}
+        assert not returned & set(dead)
+        assert result.ids.shape == (6, 12)
+
+    def test_bound_cached_per_epoch(self, name):
+        data = _dataset()
+        index = _fresh(name, data, list(range(50)))
+        first = index._tombstone_overfetch(5)
+        assert index._overfetch_cache == (index.epoch, first)
+        assert index._tombstone_overfetch(5) == first  # served from cache
+        index.delete([300])  # epoch bump invalidates
+        second = index._tombstone_overfetch(5)
+        assert index._overfetch_cache == (index.epoch, second)
+        assert second >= first
+
+
+def test_e2lsh_bound_is_genuinely_tighter():
+    """The point of the fix: on spread-out deletes the per-bucket bound
+    is far below the full tombstone count the old code widened by."""
+    data = _dataset()
+    dead = list(range(0, 200, 2))
+    index = _fresh("e2lsh", data, dead)
+    bound = index._tombstone_overfetch(10)
+    assert bound < index.num_tombstones
+
+
+def test_default_bound_is_full_tombstone_count():
+    """Backends without bucket structure keep the always-safe default."""
+    data = _dataset(n=400)
+    index = create_index("lscan", seed=1).fit(data)
+    index.delete(list(range(40)))
+    assert index._tombstone_overfetch(5) == 40
+
+
+def test_widening_clamped_to_dead_count():
+    """Even if a structural bound over-counts (buckets overlap across
+    tables), run() clamps the widening at the actual tombstone count."""
+    data = _dataset(n=500)
+    index = create_index("e2lsh", seed=1).fit(data)
+    index.delete(list(range(10)))
+    type(index)._tombstone_overfetch = lambda self, k: 10_000
+    try:
+        result = index.run(data[:3], Knn(k=5))
+    finally:
+        del type(index)._tombstone_overfetch
+    assert result.ids.shape == (3, 5)
+    returned = set(result.ids.ravel().tolist()) - {-1}
+    assert returned and min(returned) >= 10

@@ -1,0 +1,327 @@
+"""The differential harness: fast kernels are byte-identical to reference.
+
+Every kernel in :data:`repro.kernels.KERNEL_NAMES` exists twice — the
+NumPy reference (the semantic contract) and the fast reorganization.
+These property tests drive both with hypothesis-generated adversarial
+inputs (d=1, n<k, empty pools, duplicate distances, float32/float64,
+NaN parent distances, tiny chunk sizes) and assert the outputs match to
+the byte, not to a tolerance.  Byte-identity is what makes the fast
+layer safe: any future "optimisation" that reorders a reduction fails
+here before it can ship.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import fast, reference
+
+
+@contextmanager
+def dist_chunk(chunk: int):
+    """Shrink the fast backend's distance chunk so hypothesis-sized
+    inputs actually exercise multi-chunk evaluation.  Restores on exit
+    (a plain save/restore, not a fixture — hypothesis re-runs the test
+    body per example and function-scoped fixtures would not reset)."""
+    previous = fast._DIST_CHUNK
+    fast._DIST_CHUNK = int(chunk)
+    try:
+        yield
+    finally:
+        fast._DIST_CHUNK = previous
+
+
+def assert_bytes_equal(got, want):
+    """Byte-identity: same dtype, same shape, same bits (NaNs included)."""
+    if want is None:
+        assert got is None
+        return
+    got = np.asarray(got)
+    want = np.asarray(want)
+    assert got.dtype == want.dtype, (got.dtype, want.dtype)
+    assert got.shape == want.shape, (got.shape, want.shape)
+    assert got.tobytes() == want.tobytes()
+
+
+@st.composite
+def distance_pairs(draw):
+    """(rows, query_rows) for the distance kernels — any n, d >= 1."""
+    n = draw(st.integers(min_value=0, max_value=200))
+    d = draw(st.integers(min_value=1, max_value=24))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    dtype = draw(st.sampled_from([np.float32, np.float64]))
+    rng = np.random.default_rng(seed)
+    rows = rng.normal(size=(n, d)).astype(dtype)
+    query_rows = rng.normal(size=(n, d)).astype(dtype)
+    if n >= 2 and draw(st.booleans()):
+        rows[1] = rows[0]  # duplicate point => duplicate distance
+        query_rows[1] = query_rows[0]
+    return rows, query_rows
+
+
+@given(distance_pairs(), st.integers(min_value=1, max_value=64))
+@settings(max_examples=60, deadline=None)
+def test_pair_distances(pair, chunk):
+    rows, query_rows = pair
+    want = reference.pair_distances(rows.copy(), query_rows)
+    with dist_chunk(chunk):
+        got = fast.pair_distances(rows.copy(), query_rows)
+    assert_bytes_equal(got, want)
+
+
+@st.composite
+def verify_inputs(draw):
+    """(data, ids, queries, rep_q) for gathered verification."""
+    n = draw(st.integers(min_value=1, max_value=150))
+    d = draw(st.integers(min_value=1, max_value=16))
+    num_queries = draw(st.integers(min_value=1, max_value=6))
+    pool = draw(st.integers(min_value=0, max_value=300))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    dtype = draw(st.sampled_from([np.float32, np.float64]))
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(n, d)).astype(dtype)
+    queries = rng.normal(size=(num_queries, d)).astype(dtype)
+    ids = rng.integers(0, n, size=pool).astype(np.int64)
+    rep_q = np.sort(rng.integers(0, num_queries, size=pool)).astype(np.int64)
+    return data, ids, queries, rep_q
+
+
+@given(verify_inputs(), st.integers(min_value=1, max_value=64))
+@settings(max_examples=60, deadline=None)
+def test_verify_distances(inputs, chunk):
+    data, ids, queries, rep_q = inputs
+    want = reference.verify_distances(data, ids, queries, rep_q)
+    with dist_chunk(chunk):
+        got = fast.verify_distances(data, ids, queries, rep_q)
+    assert_bytes_equal(got, want)
+
+
+@st.composite
+def grouped_pool(draw):
+    """A query-grouped candidate pool with deliberate distance ties."""
+    num_queries = draw(st.integers(min_value=1, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, 40, size=num_queries)  # empty groups included
+    total = int(counts.sum())
+    q = np.repeat(np.arange(num_queries, dtype=np.int64), counts)
+    ids = rng.integers(0, 500, size=total).astype(np.int64)
+    # Quantized distances => many exact duplicates; ties resolve by id.
+    dists = np.round(rng.uniform(0, 3, size=total), 1).astype(np.float64)
+    return num_queries, counts.astype(np.int64), q, ids, dists
+
+
+@given(grouped_pool(), st.integers(min_value=0, max_value=50))
+@settings(max_examples=80, deadline=None)
+def test_group_topk(pool, k):
+    num_queries, _, q, ids, dists = pool
+    want = reference.group_topk(q, ids, dists, num_queries, k)
+    got = fast.group_topk(q, ids, dists, num_queries, k)
+    for w, g in zip(want, got):
+        assert_bytes_equal(g, w)
+
+
+@given(grouped_pool(), st.integers(min_value=0, max_value=30))
+@settings(max_examples=80, deadline=None)
+def test_budget_cut(pool, limit):
+    num_queries, counts, q, ids, dists = pool
+    lims = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    rng = np.random.default_rng(int(counts.sum()) + limit)
+    limits = rng.integers(0, max(1, limit + 1), size=num_queries).astype(np.int64)
+    want = reference.budget_cut(q, ids, dists, counts, lims, limits)
+    got = fast.budget_cut(q, ids, dists, counts, lims, limits)
+    assert_bytes_equal(got, want)
+    if want is not None:
+        # The cut really enforces the per-query limits.
+        kept = np.bincount(q[want], minlength=num_queries)
+        assert np.all(kept <= np.maximum(limits, np.minimum(counts, limits)))
+
+
+@given(grouped_pool(), st.integers(min_value=1, max_value=40))
+@settings(max_examples=40, deadline=None)
+def test_closest_mask_matches_canonical_order(pool, k):
+    """closest_mask (the reference's boundary cut) == full (dist, id) sort."""
+    _, _, _, ids, dists = pool
+    if dists.size == 0:
+        return
+    mask = reference.closest_mask(dists, ids, k)
+    want = np.zeros(dists.size, dtype=bool)
+    want[np.lexsort((ids, dists))[:k]] = True
+    assert_bytes_equal(mask, want)
+
+
+@st.composite
+def leaf_prune_inputs(draw):
+    num_members = draw(st.integers(min_value=0, max_value=120))
+    num_leaf_rows = draw(st.integers(min_value=1, max_value=200))
+    num_queries = draw(st.integers(min_value=1, max_value=5))
+    num_pivots = draw(st.integers(min_value=0, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    member = rng.integers(0, num_leaf_rows, size=num_members).astype(np.int64)
+    rep_q = rng.integers(0, num_queries, size=num_members).astype(np.int64)
+    rep_pd = rng.uniform(0, 2, size=num_members)
+    rep_pd[rng.random(num_members) < 0.2] = np.nan  # root-leaf members
+    leaf_pd = rng.uniform(0, 2, size=num_leaf_rows)
+    ring_cols = [rng.uniform(0, 2, size=num_leaf_rows) for _ in range(num_pivots)]
+    query_rings = (
+        rng.uniform(0, 2, size=(num_queries, num_pivots)) if num_pivots else None
+    )
+    if draw(st.booleans()):
+        radius = rng.uniform(0, 1.5, size=num_members)
+    else:
+        radius = float(rng.uniform(0, 1.5))
+    use_parent = draw(st.booleans())
+    return dict(
+        member=member,
+        rep_q=rep_q,
+        rep_pd=rep_pd if draw(st.booleans()) else None,
+        leaf_pd=leaf_pd,
+        ring_cols=ring_cols,
+        query_rings=query_rings,
+        radius=radius,
+        use_parent_filter=use_parent,
+    )
+
+
+@given(leaf_prune_inputs())
+@settings(max_examples=80, deadline=None)
+def test_leaf_prune(kwargs):
+    assert_bytes_equal(fast.leaf_prune(**kwargs), reference.leaf_prune(**kwargs))
+
+
+@st.composite
+def inner_prune_inputs(draw):
+    num_pairs = draw(st.integers(min_value=0, max_value=120))
+    num_entries = draw(st.integers(min_value=1, max_value=80))
+    num_queries = draw(st.integers(min_value=1, max_value=5))
+    num_pivots = draw(st.integers(min_value=0, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    eidx = rng.integers(0, num_entries, size=num_pairs).astype(np.int64)
+    rep_q = rng.integers(0, num_queries, size=num_pairs).astype(np.int64)
+    rep_pd = rng.uniform(0, 2, size=num_pairs)
+    rep_pd[rng.random(num_pairs) < 0.2] = np.nan
+    hr_min = rng.uniform(0, 1, size=(num_entries, num_pivots))
+    hr_max = hr_min + rng.uniform(0, 1, size=(num_entries, num_pivots))
+    query_rings = (
+        rng.uniform(0, 2, size=(num_queries, num_pivots)) if num_pivots else None
+    )
+    if draw(st.booleans()):
+        radius = rng.uniform(0, 1.5, size=num_pairs)
+    else:
+        radius = float(rng.uniform(0, 1.5))
+    return dict(
+        eidx=eidx,
+        rep_q=rep_q,
+        rep_pd=rep_pd if draw(st.booleans()) else None,
+        entry_pd=rng.uniform(0, 2, size=num_entries),
+        entry_radius=rng.uniform(0, 1, size=num_entries),
+        hr_min=hr_min,
+        hr_max=hr_max,
+        query_rings=query_rings,
+        radius=radius,
+        use_parent_filter=draw(st.booleans()),
+    )
+
+
+@given(inner_prune_inputs())
+@settings(max_examples=80, deadline=None)
+def test_inner_prune(kwargs):
+    assert_bytes_equal(fast.inner_prune(**kwargs), reference.inner_prune(**kwargs))
+
+
+@st.composite
+def projection_inputs(draw):
+    n = draw(st.integers(min_value=0, max_value=60))
+    d = draw(st.integers(min_value=1, max_value=32))
+    m = draw(st.integers(min_value=1, max_value=10))
+    s = draw(st.integers(min_value=1, max_value=min(8, d)))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, d))
+    if draw(st.booleans()):
+        # Non-contiguous view: the gather must pin the layout itself.
+        points = rng.normal(size=(n, 2 * d))[:, ::2]
+    sample_idx = rng.integers(0, d, size=(m, s)).astype(np.int64)
+    weights = rng.normal(size=(m, s))
+    single = n >= 1 and draw(st.booleans())
+    return (points[0] if single else points), sample_idx, weights
+
+
+@given(projection_inputs())
+@settings(max_examples=80, deadline=None)
+def test_sampled_project(inputs):
+    points, sample_idx, weights = inputs
+    want = reference.sampled_project(points, sample_idx, weights)
+    got = fast.sampled_project(points, sample_idx, weights)
+    assert_bytes_equal(got, want)
+
+
+# ----------------------------------------------------------------------
+# Pinned adversarial corners (cheap, always run, no generation budget)
+# ----------------------------------------------------------------------
+
+
+class TestPinnedCorners:
+    def test_group_topk_k_exceeds_every_count(self):
+        q = np.array([0, 0, 2], dtype=np.int64)  # query 1 empty
+        ids = np.array([5, 3, 9], dtype=np.int64)
+        dists = np.array([1.0, 1.0, 0.5])  # exact tie within query 0
+        want = reference.group_topk(q, ids, dists, 3, 10)
+        got = fast.group_topk(q, ids, dists, 3, 10)
+        for w, g in zip(want, got):
+            assert_bytes_equal(g, w)
+        np.testing.assert_array_equal(got[1], [3, 5, 9])  # tie -> id order
+
+    def test_group_topk_empty_pool(self):
+        e = np.empty(0, dtype=np.int64)
+        want = reference.group_topk(e, e, e.astype(np.float64), 4, 3)
+        got = fast.group_topk(e, e, e.astype(np.float64), 4, 3)
+        for w, g in zip(want, got):
+            assert_bytes_equal(g, w)
+        assert got[1].size == 0
+
+    def test_budget_cut_no_query_over_limit_returns_none(self):
+        q = np.array([0, 1], dtype=np.int64)
+        counts = np.array([1, 1], dtype=np.int64)
+        lims = np.array([0, 1, 2], dtype=np.int64)
+        limits = np.array([5, 5], dtype=np.int64)
+        ids = np.array([1, 2], dtype=np.int64)
+        dists = np.array([0.1, 0.2])
+        assert reference.budget_cut(q, ids, dists, counts, lims, limits) is None
+        assert fast.budget_cut(q, ids, dists, counts, lims, limits) is None
+
+    def test_closest_mask_k_zero_and_k_ge_n(self):
+        dists = np.array([0.3, 0.1])
+        ids = np.array([1, 0], dtype=np.int64)
+        assert not reference.closest_mask(dists, ids, 0).any()
+        assert reference.closest_mask(dists, ids, 2).all()
+        assert reference.closest_mask(dists, ids, 5).all()
+
+    def test_pair_distances_d1_float32(self):
+        rows = np.array([[1.0], [2.0]], dtype=np.float32)
+        qrows = np.array([[0.5], [2.0]], dtype=np.float32)
+        want = reference.pair_distances(rows.copy(), qrows)
+        got = fast.pair_distances(rows.copy(), qrows)
+        assert_bytes_equal(got, want)
+        assert got.dtype == np.float32
+
+    def test_leaf_prune_all_rows_nan_parent(self):
+        kwargs = dict(
+            member=np.array([0, 1], dtype=np.int64),
+            rep_q=np.array([0, 0], dtype=np.int64),
+            rep_pd=np.array([np.nan, np.nan]),
+            leaf_pd=np.array([0.5, 0.7]),
+            ring_cols=[np.array([0.2, 0.9])],
+            query_rings=np.array([[0.4]]),
+            radius=0.3,
+            use_parent_filter=True,
+        )
+        assert_bytes_equal(
+            fast.leaf_prune(**kwargs), reference.leaf_prune(**kwargs)
+        )
